@@ -1,0 +1,47 @@
+//! End-to-end campaigns: grading plus per-technique report generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seugrade::prelude::*;
+use seugrade_bench::{paper_fixture, small_fixture};
+
+fn bench_campaign_grading(c: &mut Criterion) {
+    let (circuit, tb) = small_fixture();
+    let faults = circuit.num_ffs() * tb.num_cycles();
+    let mut g = c.benchmark_group("campaign_grade");
+    g.throughput(Throughput::Elements(faults as u64));
+    g.bench_function("b06s_64", |b| {
+        b.iter(|| AutonomousCampaign::new(&circuit, &tb));
+    });
+    g.finish();
+}
+
+fn bench_paper_campaign(c: &mut Criterion) {
+    let (circuit, tb) = paper_fixture();
+    let mut g = c.benchmark_group("campaign_grade");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(34_400));
+    g.bench_function("viper_34400_faults", |b| {
+        b.iter(|| AutonomousCampaign::new(&circuit, &tb));
+    });
+    g.finish();
+}
+
+fn bench_technique_reports(c: &mut Criterion) {
+    let (circuit, tb) = small_fixture();
+    let campaign = AutonomousCampaign::new(&circuit, &tb);
+    let mut g = c.benchmark_group("technique_report");
+    for technique in Technique::ALL {
+        g.bench_function(technique.label(), |b| {
+            b.iter(|| campaign.run(technique));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_campaign_grading,
+    bench_paper_campaign,
+    bench_technique_reports
+);
+criterion_main!(benches);

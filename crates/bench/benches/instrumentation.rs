@@ -1,0 +1,37 @@
+//! Instrumentation transforms and technology mapping on the Viper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seugrade::prelude::*;
+use seugrade_bench::paper_fixture;
+use seugrade::instrument::{mask_scan, state_scan, time_mux};
+
+fn bench_instrument(c: &mut Criterion) {
+    let (circuit, _) = paper_fixture();
+    let mut g = c.benchmark_group("instrument_viper");
+    g.bench_function("mask_scan", |b| b.iter(|| mask_scan::instrument(&circuit)));
+    g.bench_function("state_scan", |b| b.iter(|| state_scan::instrument(&circuit)));
+    g.bench_function("time_mux", |b| b.iter(|| time_mux::instrument(&circuit)));
+    g.finish();
+}
+
+fn bench_techmap(c: &mut Criterion) {
+    let (circuit, _) = paper_fixture();
+    let config = MapperConfig::virtex_e();
+    let mut g = c.benchmark_group("techmap");
+    g.sample_size(20);
+    g.bench_function("viper_4lut", |b| b.iter(|| map_luts(&circuit, &config)));
+    let tmx = time_mux::instrument(&circuit);
+    g.bench_function("viper_timemux_4lut", |b| b.iter(|| map_luts(tmx.netlist(), &config)));
+    g.finish();
+}
+
+fn bench_harden(c: &mut Criterion) {
+    let (circuit, _) = paper_fixture();
+    let mut g = c.benchmark_group("harden_viper");
+    g.bench_function("tmr", |b| b.iter(|| tmr(&circuit)));
+    g.bench_function("dwc", |b| b.iter(|| dwc(&circuit)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_instrument, bench_techmap, bench_harden);
+criterion_main!(benches);

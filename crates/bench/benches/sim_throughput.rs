@@ -1,0 +1,40 @@
+//! Simulator throughput: compiled (levelized, 64-lane) vs event-driven.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seugrade::prelude::*;
+use seugrade_bench::{medium_fixture, paper_fixture};
+
+fn bench_compiled_golden(c: &mut Criterion) {
+    let (circuit, tb) = paper_fixture();
+    let sim = CompiledSim::new(&circuit);
+    let gate_evals = circuit.num_gates() as u64 * tb.num_cycles() as u64;
+    let mut g = c.benchmark_group("golden_run");
+    g.throughput(Throughput::Elements(gate_evals));
+    g.bench_function("compiled/viper160", |b| {
+        b.iter(|| sim.run_golden(&tb));
+    });
+    g.finish();
+}
+
+fn bench_event_golden(c: &mut Criterion) {
+    let (circuit, tb) = medium_fixture();
+    let mut sim = EventSim::new(&circuit);
+    let mut g = c.benchmark_group("golden_run");
+    g.bench_function("event/b13s128", |b| {
+        b.iter(|| sim.run_golden(&tb));
+    });
+    g.finish();
+}
+
+fn bench_single_cycle(c: &mut Criterion) {
+    let (circuit, tb) = paper_fixture();
+    let sim = CompiledSim::new(&circuit);
+    let mut st = sim.new_state();
+    let vector: Vec<bool> = tb.cycle(0).to_vec();
+    c.bench_function("compiled_cycle/viper", |b| {
+        b.iter(|| sim.cycle(&mut st, &vector));
+    });
+}
+
+criterion_group!(benches, bench_compiled_golden, bench_event_golden, bench_single_cycle);
+criterion_main!(benches);

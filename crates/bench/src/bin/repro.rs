@@ -1,0 +1,136 @@
+//! `repro` — regenerate every table and figure of the DATE'05 paper.
+//!
+//! ```text
+//! cargo run -p seugrade-bench --release --bin repro -- all
+//! cargo run -p seugrade-bench --release --bin repro -- table2
+//! cargo run -p seugrade-bench --release --bin repro -- crossover --quick
+//! ```
+//!
+//! Subcommands: `table1`, `table2`, `figure1`, `classification`, `speed`,
+//! `crossover`, `ablations`, `sampling`, `all`. `--quick` shrinks the
+//! crossover sweep and sample sizes. `--csv` additionally prints
+//! machine-readable CSV blocks.
+
+use std::time::Instant;
+
+use seugrade::experiments::{
+    self, ablations_for, classification_for, crossover_for, figure1, sampling_for, speed_for,
+    table1, table2_for, viper_crossover_cycles,
+};
+use seugrade::prelude::*;
+
+struct Options {
+    quick: bool,
+    csv: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = Options {
+        quick: args.iter().any(|a| a == "--quick"),
+        csv: args.iter().any(|a| a == "--csv"),
+    };
+    let commands: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let command = *commands.first().unwrap_or(&"all");
+
+    let known = [
+        "table1",
+        "table2",
+        "figure1",
+        "classification",
+        "speed",
+        "crossover",
+        "ablations",
+        "sampling",
+        "all",
+    ];
+    if !known.contains(&command) {
+        eprintln!("unknown experiment `{command}`; expected one of {known:?}");
+        std::process::exit(2);
+    }
+
+    let run_all = command == "all";
+    let start = Instant::now();
+
+    // The graded campaign is shared by table2 / classification / speed.
+    let campaign_needed = run_all
+        || matches!(
+            command,
+            "table2" | "classification" | "speed" | "ablations" | "sampling"
+        );
+    let fixture = campaign_needed.then(|| {
+        let circuit = viper::viper();
+        let tb = stimuli::paper_testbench();
+        eprintln!(
+            "grading {} faults on {} ({} cycles)...",
+            circuit.num_ffs() * tb.num_cycles(),
+            circuit.name(),
+            tb.num_cycles()
+        );
+        let campaign = AutonomousCampaign::new(&circuit, &tb);
+        (circuit, tb, campaign)
+    });
+
+    if run_all || command == "figure1" {
+        println!("{}", figure1().render());
+    }
+    if run_all || command == "table1" {
+        eprintln!("mapping original, instrumented and controller netlists...");
+        let t1 = table1();
+        println!("{}", t1.render());
+        if opts.csv {
+            println!("{}", t1.to_csv());
+        }
+    }
+    if let Some((circuit, tb, campaign)) = &fixture {
+        if run_all || command == "table2" {
+            let t2 = table2_for(campaign);
+            println!("{}", t2.render());
+            if opts.csv {
+                println!("{}", t2.to_csv());
+            }
+        }
+        if run_all || command == "classification" {
+            println!("{}", classification_for(campaign).render());
+        }
+        if run_all || command == "speed" {
+            let sample = if opts.quick { 64 } else { 512 };
+            eprintln!("timing software fault simulation ({sample}-fault serial sample)...");
+            let s = speed_for(circuit, tb, campaign, sample);
+            println!("{}", s.render());
+            println!(
+                "fastest autonomous technique vs 2005 fault simulation: {:.1} orders of magnitude\n",
+                s.orders_of_magnitude_vs_simulation()
+            );
+        }
+        if run_all || command == "ablations" {
+            println!("{}", ablations_for(campaign).render());
+        }
+        if run_all || command == "sampling" {
+            let size = if opts.quick { 500 } else { 2_401 };
+            let study = sampling_for(circuit, tb, campaign, size, 99);
+            println!("{}", study.render());
+        }
+    }
+    if run_all || command == "crossover" {
+        let cycles = if opts.quick {
+            vec![40, 160, 480]
+        } else {
+            viper_crossover_cycles()
+        };
+        eprintln!("crossover sweep over {cycles:?} cycles (one campaign each)...");
+        let circuit = viper::viper();
+        let x = crossover_for(&circuit, &cycles, stimuli::PAPER_SEED);
+        println!("{}", x.render());
+        if opts.csv {
+            println!("{}", x.to_csv());
+        }
+    }
+
+    let _ = experiments::paper_campaign; // documented entry point
+    eprintln!("done in {:.1?}", start.elapsed());
+}

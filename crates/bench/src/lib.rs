@@ -1,0 +1,53 @@
+//! Shared fixtures for the seugrade benchmark harness.
+//!
+//! The interesting artifacts of this crate are:
+//!
+//! - the [`repro`](../repro/index.html) binary
+//!   (`cargo run -p seugrade-bench --release --bin repro -- all`), which
+//!   regenerates every table and figure of the DATE'05 paper;
+//! - the criterion benches (`cargo bench -p seugrade-bench`), which
+//!   measure the engines themselves (simulator throughput, bit-parallel
+//!   fault-simulation speedup, instrumentation and campaign cost).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use seugrade::prelude::*;
+
+/// A medium-sized fixture: the b13-style circuit with a 128-cycle bench.
+#[must_use]
+pub fn medium_fixture() -> (Netlist, Testbench) {
+    let circuit = registry::build("b13s").expect("registered circuit");
+    let tb = Testbench::random(circuit.num_inputs(), 128, 42);
+    (circuit, tb)
+}
+
+/// A small fixture for per-iteration benches: b06-style, 64 cycles.
+#[must_use]
+pub fn small_fixture() -> (Netlist, Testbench) {
+    let circuit = registry::build("b06s").expect("registered circuit");
+    let tb = Testbench::random(circuit.num_inputs(), 64, 42);
+    (circuit, tb)
+}
+
+/// The paper fixture: Viper + 160 biased instruction vectors.
+#[must_use]
+pub fn paper_fixture() -> (Netlist, Testbench) {
+    (viper::viper(), stimuli::paper_testbench())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_consistent() {
+        let (c, tb) = medium_fixture();
+        assert_eq!(c.num_inputs(), tb.num_inputs());
+        let (c, tb) = small_fixture();
+        assert_eq!(c.num_inputs(), tb.num_inputs());
+        let (c, tb) = paper_fixture();
+        assert_eq!(c.num_inputs(), tb.num_inputs());
+        assert_eq!(c.num_ffs(), 215);
+    }
+}

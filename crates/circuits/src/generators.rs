@@ -1,0 +1,253 @@
+//! Parametric circuit generators.
+//!
+//! Used by the crossover experiment (X1) — which needs circuits with a
+//! controlled flip-flop count — by property tests, and by the scalability
+//! benches.
+
+use seugrade_netlist::{GateKind, Netlist, NetlistBuilder, SigId};
+use seugrade_sim::SplitMix64;
+
+/// Fibonacci LFSR over `width` bits with XOR feedback from `taps`
+/// (bit positions). All bits are outputs; no inputs.
+///
+/// # Panics
+///
+/// Panics if `width == 0`, `taps` is empty, or a tap is out of range.
+#[must_use]
+pub fn lfsr(width: usize, taps: &[usize]) -> Netlist {
+    assert!(width > 0 && !taps.is_empty());
+    assert!(taps.iter().all(|&t| t < width), "tap out of range");
+    let mut b = NetlistBuilder::new(format!("lfsr{width}"));
+    // Non-zero seed: initialize the low bit to 1.
+    let ffs: Vec<SigId> = (0..width).map(|i| b.dff(i == 0)).collect();
+    let tap_sigs: Vec<SigId> = taps.iter().map(|&t| ffs[t]).collect();
+    let feedback = if tap_sigs.len() == 1 {
+        b.buf(tap_sigs[0])
+    } else {
+        b.gate(GateKind::Xor, &tap_sigs)
+    };
+    b.connect_dff(ffs[0], feedback).expect("ff0 connects");
+    for i in 1..width {
+        b.connect_dff(ffs[i], ffs[i - 1]).expect("shift connects");
+    }
+    for (i, &q) in ffs.iter().enumerate() {
+        b.output(format!("q{i}"), q);
+    }
+    b.finish().expect("lfsr is valid")
+}
+
+/// Binary up-counter of `width` bits; all bits are outputs, no inputs.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn counter(width: usize) -> Netlist {
+    assert!(width > 0);
+    let mut b = NetlistBuilder::new(format!("counter{width}"));
+    let ffs: Vec<SigId> = (0..width).map(|_| b.dff(false)).collect();
+    // bit i toggles when all lower bits are 1.
+    let mut carry = b.constant(true);
+    for &q in &ffs {
+        let next = b.xor2(q, carry);
+        carry = b.and2(q, carry);
+        b.connect_dff(q, next).expect("counter connects");
+    }
+    for (i, &q) in ffs.iter().enumerate() {
+        b.output(format!("c{i}"), q);
+    }
+    b.finish().expect("counter is valid")
+}
+
+/// Serial-in shift register of `width` bits; 1 input, last bit is output.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+#[must_use]
+pub fn shift_register(width: usize) -> Netlist {
+    assert!(width > 0);
+    let mut b = NetlistBuilder::new(format!("shreg{width}"));
+    let din = b.input("din");
+    let ffs: Vec<SigId> = (0..width).map(|_| b.dff(false)).collect();
+    b.connect_dff(ffs[0], din).expect("head connects");
+    for i in 1..width {
+        b.connect_dff(ffs[i], ffs[i - 1]).expect("chain connects");
+    }
+    b.output("dout", ffs[width - 1]);
+    b.finish().expect("shift register is valid")
+}
+
+/// Configuration for [`random_sequential`].
+#[derive(Clone, Debug)]
+pub struct RandomCircuitConfig {
+    /// Primary inputs.
+    pub num_inputs: usize,
+    /// Flip-flops.
+    pub num_ffs: usize,
+    /// Combinational gates.
+    pub num_gates: usize,
+    /// Primary outputs in addition to the flip-flop observation taps.
+    pub num_outputs: usize,
+    /// Fraction (numerator/8) of flip-flops directly observable at
+    /// outputs; lower values produce more latent faults.
+    pub observability_num: u32,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig {
+            num_inputs: 4,
+            num_ffs: 16,
+            num_gates: 80,
+            num_outputs: 6,
+            observability_num: 4,
+        }
+    }
+}
+
+/// Seeded random sequential circuit: acyclic random gate network over
+/// inputs and flip-flop outputs, random next-state taps, and a mix of
+/// directly-observed and buried flip-flops.
+///
+/// Deterministic for a given `(config, seed)`; used heavily by property
+/// tests to cross-validate the fault-simulation engines and the emulation
+/// models.
+///
+/// # Panics
+///
+/// Panics if `num_ffs == 0` or `num_outputs == 0`.
+#[must_use]
+pub fn random_sequential(config: &RandomCircuitConfig, seed: u64) -> Netlist {
+    assert!(config.num_ffs > 0 && config.num_outputs > 0);
+    let mut rng = SplitMix64::new(seed);
+    let mut b = NetlistBuilder::new(format!("rand{seed}"));
+    let mut pool: Vec<SigId> = Vec::new();
+    for i in 0..config.num_inputs {
+        pool.push(b.input(format!("i{i}")));
+    }
+    let ffs: Vec<SigId> = (0..config.num_ffs).map(|_| b.dff(rng.next_bool())).collect();
+    pool.extend(&ffs);
+
+    for _ in 0..config.num_gates {
+        use GateKind::*;
+        let kind = [And, Or, Nand, Nor, Xor, Xnor, Not, Mux][rng.index(8)];
+        let pick = pool[rng.index(pool.len())];
+        let g = match kind {
+            Not => b.not(pick),
+            Mux => {
+                let d0 = pool[rng.index(pool.len())];
+                let d1 = pool[rng.index(pool.len())];
+                b.mux(pick, d0, d1)
+            }
+            _ => {
+                let other = pool[rng.index(pool.len())];
+                b.gate(kind, &[pick, other])
+            }
+        };
+        pool.push(g);
+    }
+
+    // Next-state: prefer late (deep) signals so flip-flops actually
+    // depend on the logic.
+    for &q in &ffs {
+        let lo = pool.len() / 2;
+        let d = pool[lo + rng.index(pool.len() - lo)];
+        b.connect_dff(q, d).expect("random dff connects");
+    }
+
+    // Outputs: some random logic taps plus a subset of flip-flops.
+    for i in 0..config.num_outputs {
+        let sig = pool[rng.index(pool.len())];
+        b.output(format!("o{i}"), sig);
+    }
+    for (i, &q) in ffs.iter().enumerate() {
+        if rng.next_bool_ratio(config.observability_num, 8) {
+            b.output(format!("ff_obs{i}"), q);
+        }
+    }
+    b.finish().expect("random sequential circuit is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_sim::{CompiledSim, EventSim, Testbench};
+
+    use super::*;
+
+    #[test]
+    fn lfsr_cycles_through_states() {
+        // x^4 + x^3 + 1 (maximal for 4 bits with taps 3,2 counting from 0).
+        let n = lfsr(4, &[3, 2]);
+        assert_eq!(n.num_ffs(), 4);
+        let sim = CompiledSim::new(&n);
+        let trace = sim.run_golden(&Testbench::constant_low(0, 15));
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..15 {
+            seen.insert(trace.output_at(t).to_vec());
+        }
+        assert_eq!(seen.len(), 15, "maximal-length LFSR revisited a state");
+    }
+
+    #[test]
+    fn counter_counts() {
+        let n = counter(6);
+        let sim = CompiledSim::new(&n);
+        let trace = sim.run_golden(&Testbench::constant_low(0, 70));
+        for t in 0..70 {
+            let v: u64 = trace
+                .output_at(t)
+                .iter()
+                .enumerate()
+                .fold(0, |a, (i, &bit)| a | (u64::from(bit) << i));
+            assert_eq!(v, (t as u64) % 64);
+        }
+    }
+
+    #[test]
+    fn shift_register_delays() {
+        let n = shift_register(5);
+        let sim = CompiledSim::new(&n);
+        let tb = Testbench::new(
+            (0..12).map(|t| vec![t % 3 == 0]).collect(),
+        );
+        let trace = sim.run_golden(&tb);
+        for t in 5..12 {
+            assert_eq!(trace.output_at(t)[0], (t - 5) % 3 == 0, "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn random_circuits_are_deterministic_and_valid() {
+        let cfg = RandomCircuitConfig::default();
+        let a = random_sequential(&cfg, 11);
+        let b = random_sequential(&cfg, 11);
+        assert_eq!(seugrade_netlist::text::emit(&a), seugrade_netlist::text::emit(&b));
+        assert_eq!(a.num_ffs(), cfg.num_ffs);
+    }
+
+    #[test]
+    fn random_circuits_cross_check_engines() {
+        let cfg = RandomCircuitConfig { num_gates: 40, ..Default::default() };
+        for seed in 0..10 {
+            let n = random_sequential(&cfg, seed);
+            let tb = Testbench::random(n.num_inputs(), 30, seed);
+            let fast = CompiledSim::new(&n).run_golden(&tb);
+            let slow = EventSim::new(&n).run_golden(&tb);
+            assert_eq!(fast, slow, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn observability_knob_changes_output_count() {
+        let lo = random_sequential(
+            &RandomCircuitConfig { observability_num: 0, ..Default::default() },
+            5,
+        );
+        let hi = random_sequential(
+            &RandomCircuitConfig { observability_num: 8, ..Default::default() },
+            5,
+        );
+        assert!(hi.num_outputs() > lo.num_outputs());
+    }
+}

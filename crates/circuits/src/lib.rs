@@ -1,0 +1,45 @@
+//! Benchmark circuits for the `seugrade` workspace.
+//!
+//! The DATE'05 paper evaluates on **b14** from the ITC'99 suite — a subset
+//! of the Viper processor with 32 inputs, 54 outputs and 215 flip-flops.
+//! The original VHDL is not redistributable here, so this crate provides:
+//!
+//! - [`viper`] — a Viper-like accumulator processor written in the
+//!   `seugrade-rtl` DSL with **exactly** the paper's interface (32/54/215;
+//!   asserted by tests). Its fault-grading behaviour is driven by the same
+//!   structural ingredients as b14: a wide rarely-observed datapath
+//!   (A/X/Y), a highly-observable program counter and memory interface,
+//!   and a multi-cycle control FSM.
+//! - [`small`] — ITC'99-*style* small FSM benchmarks (b01…b13 interface
+//!   shapes) used for fast unit tests and for the gate-level emulation
+//!   cross-checks.
+//! - [`generators`] — parametric circuits (LFSRs, counters, shift
+//!   registers, random sequential logic) for sweeps such as the paper's
+//!   "state-scan wins when cycles > flip-flops" crossover claim.
+//! - [`stimuli`] — deterministic seeded test-bench generation, including
+//!   the biased Viper instruction-stream generator.
+//! - [`registry`] — name → circuit lookup used by examples and the
+//!   benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use seugrade_circuits::{registry, viper};
+//!
+//! let cpu = viper::viper();
+//! assert_eq!(cpu.num_inputs(), 32);
+//! assert_eq!(cpu.num_outputs(), 54);
+//! assert_eq!(cpu.num_ffs(), 215);
+//!
+//! let same = registry::build("viper").expect("registered");
+//! assert_eq!(same.num_ffs(), 215);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod registry;
+pub mod small;
+pub mod stimuli;
+pub mod viper;

@@ -1,0 +1,70 @@
+//! Name → circuit lookup for examples and the benchmark harness.
+
+use seugrade_netlist::Netlist;
+
+use crate::{generators, small, viper};
+
+/// Names accepted by [`build`], in display order.
+pub const NAMES: [&str; 10] = [
+    "viper",
+    "b01s",
+    "b02s",
+    "b03s",
+    "b06s",
+    "b09s",
+    "b13s",
+    "lfsr16",
+    "counter8",
+    "shreg32",
+];
+
+/// Builds a registered circuit by name, or `None` for unknown names.
+///
+/// # Example
+///
+/// ```
+/// let n = seugrade_circuits::registry::build("counter8").expect("known");
+/// assert_eq!(n.num_ffs(), 8);
+/// assert!(seugrade_circuits::registry::build("nope").is_none());
+/// ```
+#[must_use]
+pub fn build(name: &str) -> Option<Netlist> {
+    match name {
+        "viper" => Some(viper::viper()),
+        "b01s" => Some(small::b01_style()),
+        "b02s" => Some(small::b02_style()),
+        "b03s" => Some(small::b03_style()),
+        "b06s" => Some(small::b06_style()),
+        "b09s" => Some(small::b09_style()),
+        "b13s" => Some(small::b13_style()),
+        "lfsr16" => Some(generators::lfsr(16, &[15, 13, 12, 10])),
+        "counter8" => Some(generators::counter(8)),
+        "shreg32" => Some(generators::shift_register(32)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_build() {
+        for name in NAMES {
+            let n = build(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(n.name().is_empty(), false);
+            assert!(n.num_ffs() > 0, "{name} has no flip-flops");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build("definitely-not-a-circuit").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let set: std::collections::HashSet<&str> = NAMES.iter().copied().collect();
+        assert_eq!(set.len(), NAMES.len());
+    }
+}

@@ -1,0 +1,709 @@
+//! The Viper-like processor (b14 stand-in).
+//!
+//! ITC'99 b14 is a subset of the RSRE Viper microprocessor: a single-clock
+//! accumulator machine with registers A, X, Y, a 20-bit program counter P
+//! and a 1-bit comparison flag B, talking to external memory through
+//! `addr`/`datai`/`datao`/`rd`/`wr`. This module reimplements that shape
+//! from scratch at RT level. The interface matches the paper exactly:
+//!
+//! | quantity   | paper (b14) | this module |
+//! |------------|-------------|-------------|
+//! | inputs     | 32          | 32 (`datai[31:0]`) |
+//! | outputs    | 54          | 54 (`addr[19:0]`, `datao[31:0]`, `rd`, `wr`) |
+//! | flip-flops | 215         | 215 (asserted in tests) |
+//!
+//! # Instruction set
+//!
+//! A 32-bit instruction word is fetched from `datai`:
+//!
+//! ```text
+//! [31:28] opcode  [27:26] dst  [25:24] src  [23] imm-mode  [22] indirect
+//! [19:0] imm
+//! ```
+//!
+//! Registers are indexed `0=A, 1=X, 2=Y, 3=P`. The ALU operand is
+//! `reg[src]`, or the zero-extended 20-bit immediate when bit 23 is set.
+//! Memory instructions address `mem[imm]`, or `mem[reg[src][19:0]]` when
+//! bit 22 (*indirect*) is set — register-indirect addressing puts the
+//! address register on the external bus, which is the dominant
+//! observability path of the real Viper.
+//!
+//! | op | mnemonic | effect |
+//! |----|----------|--------|
+//! | 0  | `NOP`    | — |
+//! | 1  | `ADD`    | `dst += operand` |
+//! | 2  | `SUB`    | `dst -= operand` |
+//! | 3  | `AND`    | `dst &= operand` |
+//! | 4  | `OR`     | `dst |= operand` |
+//! | 5  | `XOR`    | `dst ^= operand` |
+//! | 6  | `NOT`    | `dst = !operand` |
+//! | 7  | `SHL`    | `dst <<= imm[3:0]` (iterative, 1 bit/cycle) |
+//! | 8  | `SHR`    | `dst >>= imm[3:0]` (iterative) |
+//! | 9  | `CMPEQ`  | `B = (dst == operand)` |
+//! | 10 | `CMPLT`  | `B = (dst < operand)` |
+//! | 11 | `LOAD`   | `dst = mem[addr]` |
+//! | 12 | `STORE`  | `mem[addr] = reg[dst]` |
+//! | 13 | `JMPB`   | `if B { P = imm }` |
+//! | 14 | `SETB`   | `B = parity(operand)` |
+//! | 15 | `JMP`    | `P = imm` |
+//!
+//! # Micro-architecture
+//!
+//! An 8-state one-hot FSM sequences fetch (2 cycles), decode (2 cycles),
+//! then execute / memory-access / iterative-shift states, exactly the kind
+//! of multi-cycle control that makes SEU grading interesting: flips in P,
+//! the FSM or the memory-interface registers surface quickly at the
+//! outputs, while flips high in A/X/Y may stay latent for the whole run.
+
+use seugrade_netlist::{Netlist, SigId};
+use seugrade_rtl::{RtlBuilder, Word};
+
+/// Number of primary inputs (matches b14).
+pub const NUM_INPUTS: usize = 32;
+/// Number of primary outputs (matches b14).
+pub const NUM_OUTPUTS: usize = 54;
+/// Number of flip-flops (matches b14).
+pub const NUM_FFS: usize = 215;
+
+/// FSM state indices (one-hot bit positions).
+mod state {
+    pub const FETCH_ADDR: usize = 0;
+    pub const FETCH_CAPTURE: usize = 1;
+    pub const DECODE1: usize = 2;
+    pub const EXECUTE: usize = 3;
+    pub const MEM_ADDR: usize = 4;
+    pub const MEM_WAIT: usize = 5;
+    pub const SHIFT_LOOP: usize = 6;
+    pub const DECODE2: usize = 7;
+}
+
+/// Opcode values (bits 31:28 of the instruction word).
+#[allow(missing_docs)]
+pub mod opcode {
+    pub const NOP: u64 = 0;
+    pub const ADD: u64 = 1;
+    pub const SUB: u64 = 2;
+    pub const AND: u64 = 3;
+    pub const OR: u64 = 4;
+    pub const XOR: u64 = 5;
+    pub const NOT: u64 = 6;
+    pub const SHL: u64 = 7;
+    pub const SHR: u64 = 8;
+    pub const CMPEQ: u64 = 9;
+    pub const CMPLT: u64 = 10;
+    pub const LOAD: u64 = 11;
+    pub const STORE: u64 = 12;
+    pub const JMPB: u64 = 13;
+    pub const SETB: u64 = 14;
+    pub const JMP: u64 = 15;
+}
+
+/// Builds the Viper-like processor netlist.
+///
+/// The result always has [`NUM_INPUTS`] inputs, [`NUM_OUTPUTS`] outputs
+/// and [`NUM_FFS`] flip-flops; `debug_assert`s in this function and unit
+/// tests pin those numbers.
+#[must_use]
+pub fn viper() -> Netlist {
+    let mut r = RtlBuilder::new("viper");
+
+    // ---------------- ports ----------------
+    let datai = r.input_word("datai", 32);
+
+    // ---------------- architectural registers ----------------
+    let areg = r.register("A", 32, 0);
+    let xreg = r.register("X", 32, 0);
+    let yreg = r.register("Y", 32, 0);
+    let preg = r.register("P", 20, 0);
+    let breg = r.register_bit("B", false);
+    let ir = r.register("IR", 32, 0);
+    // memory-interface output registers
+    let addr_r = r.register("ADDR", 20, 0);
+    let datao_r = r.register("DATAO", 32, 0);
+    let rd_r = r.register_bit("RD", false);
+    let wr_r = r.register_bit("WR", false);
+    // control
+    let fsm = r.register("S", 8, 1 << state::FETCH_ADDR);
+    let shcnt = r.register("SHCNT", 4, 0);
+
+    let s = |i: usize| fsm.q().bit(i);
+    let s_fetch_addr = s(state::FETCH_ADDR);
+    let s_fetch_cap = s(state::FETCH_CAPTURE);
+    let s_decode1 = s(state::DECODE1);
+    let s_decode2 = s(state::DECODE2);
+    let s_execute = s(state::EXECUTE);
+    let s_mem_addr = s(state::MEM_ADDR);
+    let s_mem_wait = s(state::MEM_WAIT);
+    let s_shift = s(state::SHIFT_LOOP);
+
+    // ---------------- instruction fields ----------------
+    let irq = ir.q();
+    let op = irq.slice(28, 32);
+    let dst_sel = irq.slice(26, 28);
+    let src_sel = irq.slice(24, 26);
+    let imm_mode = irq.bit(23);
+    let indirect = irq.bit(22);
+    let imm20 = irq.slice(0, 20);
+    let sh_amount = irq.slice(0, 4);
+
+    let op_hot = r.decode(&op); // 16 one-hot opcode lines
+    let is_load = op_hot[opcode::LOAD as usize];
+    let is_store = op_hot[opcode::STORE as usize];
+    let is_shl = op_hot[opcode::SHL as usize];
+    let is_shr = op_hot[opcode::SHR as usize];
+    let is_jmp = op_hot[opcode::JMP as usize];
+    let is_jmpb = op_hot[opcode::JMPB as usize];
+    let is_cmpeq = op_hot[opcode::CMPEQ as usize];
+    let is_cmplt = op_hot[opcode::CMPLT as usize];
+    let is_setb = op_hot[opcode::SETB as usize];
+
+    let is_mem = r.bit_builder().or2(is_load, is_store);
+    let is_shift = r.bit_builder().or2(is_shl, is_shr);
+    // ALU-class = everything not memory and not shift (NOP/JMP/CMP flow
+    // through EXECUTE with selective write enables).
+    let mem_or_shift = r.bit_builder().or2(is_mem, is_shift);
+    let is_aluclass = r.bit_builder().not(mem_or_shift);
+
+    // write-to-register opcodes: ADD SUB AND OR XOR NOT
+    let is_writeop = {
+        let terms = [
+            op_hot[opcode::ADD as usize],
+            op_hot[opcode::SUB as usize],
+            op_hot[opcode::AND as usize],
+            op_hot[opcode::OR as usize],
+            op_hot[opcode::XOR as usize],
+            op_hot[opcode::NOT as usize],
+        ];
+        r.bit_builder().gate(seugrade_netlist::GateKind::Or, &terms)
+    };
+
+    // ---------------- operand network ----------------
+    let dst_hot = r.decode(&dst_sel); // [A, X, Y, P]
+    let src_hot = r.decode(&src_sel);
+    let p32 = r.zext(&preg.q(), 32);
+    let regs32 = [areg.q(), xreg.q(), yreg.q(), p32.clone()];
+    let dst_val = r.onehot_select(&dst_hot, &regs32);
+    let src_val = r.onehot_select(&src_hot, &regs32);
+    let imm32 = r.zext(&imm20, 32);
+    let operand = r.mux_word(imm_mode, &src_val, &imm32);
+
+    // ---------------- ALU ----------------
+    let (add_res, _) = r.add(&dst_val, &operand);
+    let (sub_res, sub_borrow) = r.sub(&dst_val, &operand);
+    let and_res = r.and(&dst_val, &operand);
+    let or_res = r.or(&dst_val, &operand);
+    let xor_res = r.xor(&dst_val, &operand);
+    let not_res = r.not(&operand);
+    let alu_out = {
+        let hot = [
+            op_hot[opcode::ADD as usize],
+            op_hot[opcode::SUB as usize],
+            op_hot[opcode::AND as usize],
+            op_hot[opcode::OR as usize],
+            op_hot[opcode::XOR as usize],
+            op_hot[opcode::NOT as usize],
+        ];
+        r.onehot_select(&hot, &[add_res, sub_res, and_res, or_res, xor_res, not_res])
+    };
+
+    // comparison network
+    let cmp_eq = r.eq(&dst_val, &operand);
+    let parity = r.reduce_xor(&operand);
+    let b_next = {
+        let hot = [is_cmpeq, is_cmplt, is_setb];
+        let vals = [
+            Word::from(cmp_eq),
+            Word::from(sub_borrow),
+            Word::from(parity),
+        ];
+        r.onehot_select(&hot, &vals)
+    };
+
+    // shifter (1 bit per SHIFT_LOOP cycle)
+    let shl1 = r.shl_const(&dst_val, 1);
+    let shr1 = r.shr_const(&dst_val, 1);
+    let shifted = r.mux_word(is_shr, &shl1, &shr1);
+    let sh_zero = r.is_zero(&shcnt.q());
+    let sh_active = {
+        let nz = r.bit_builder().not(sh_zero);
+        r.bit_builder().and2(s_shift, nz)
+    };
+
+    // ---------------- register write-back ----------------
+    // value written in EXECUTE (alu), MEM_WAIT (load) or SHIFT_LOOP.
+    let exec_or_shift_val = r.mux_word(s_shift, &alu_out, &shifted);
+    let wb_val = r.mux_word(s_mem_wait, &exec_or_shift_val, &datai);
+
+    let exec_write = r.bit_builder().and2(s_execute, is_writeop);
+    let load_write = r.bit_builder().and2(s_mem_wait, is_load);
+    let wb_any = {
+        let b = r.bit_builder();
+        let ew_or_lw = b.or2(exec_write, load_write);
+        b.or2(ew_or_lw, sh_active)
+    };
+
+    for (i, reg) in [&areg, &xreg, &yreg].into_iter().enumerate() {
+        let en = r.bit_builder().and2(wb_any, dst_hot[i]);
+        r.connect_enabled(reg, en, &wb_val);
+    }
+
+    // P: fetch increment, jumps, or write-back when dst == P.
+    let (p_inc, _) = r.inc(&preg.q());
+    let jmpb_taken = r.bit_builder().and2(is_jmpb, breg.q().bit(0));
+    let jump_any = r.bit_builder().or2(is_jmp, jmpb_taken);
+    let p_jump = r.bit_builder().and2(s_execute, jump_any);
+    let p_wb = r.bit_builder().and2(wb_any, dst_hot[3]);
+    let wb20 = wb_val.slice(0, 20);
+    let p_data = {
+        // priority: fetch-increment < write-back < jump
+        let a = r.mux_word(p_wb, &p_inc, &wb20);
+        r.mux_word(p_jump, &a, &imm20)
+    };
+    let p_en = {
+        let b = r.bit_builder();
+        let e1 = b.or2(s_fetch_cap, p_jump);
+        b.or2(e1, p_wb)
+    };
+    r.connect_enabled(&preg, p_en, &p_data);
+
+    // B flag
+    let b_en = {
+        let b = r.bit_builder();
+        let c = b.or2(is_cmpeq, is_cmplt);
+        let c2 = b.or2(c, is_setb);
+        b.and2(s_execute, c2)
+    };
+    r.connect_enabled(&breg, b_en, &b_next);
+
+    // IR capture
+    r.connect_enabled(&ir, s_fetch_cap, &datai);
+
+    // shift counter: load in DECODE2 (if shift), decrement while active.
+    let one4 = r.constant_word(4, 1);
+    let (sh_dec, _) = r.sub(&shcnt.q(), &one4);
+    let sh_load = r.bit_builder().and2(s_decode2, is_shift);
+    let shcnt_next = r.mux_word(sh_load, &sh_dec, &sh_amount);
+    let shcnt_en = r.bit_builder().or2(sh_load, sh_active);
+    r.connect_enabled(&shcnt, shcnt_en, &shcnt_next);
+
+    // ---------------- memory interface registers ----------------
+    let p20 = preg.q();
+    let src20 = src_val.slice(0, 20);
+    let mem_addr = r.mux_word(indirect, &imm20, &src20);
+    let addr_data = r.mux_word(s_mem_addr, &p20, &mem_addr);
+    let addr_en = r.bit_builder().or2(s_fetch_addr, s_mem_addr);
+    r.connect_enabled(&addr_r, addr_en, &addr_data);
+
+    // rd: asserted for the cycle after FETCH_ADDR / MEM_ADDR(load)
+    let mem_rd = r.bit_builder().and2(s_mem_addr, is_load);
+    let rd_next = r.bit_builder().or2(s_fetch_addr, mem_rd);
+    r.connect(&rd_r, &Word::from(rd_next));
+
+    let wr_next = r.bit_builder().and2(s_mem_addr, is_store);
+    r.connect(&wr_r, &Word::from(wr_next));
+
+    let datao_en = r.bit_builder().and2(s_mem_addr, is_store);
+    r.connect_enabled(&datao_r, datao_en, &dst_val);
+
+    // ---------------- FSM next-state ----------------
+    let sh_exit = r.bit_builder().and2(s_shift, sh_zero);
+    let next_fetch_addr = {
+        let b = r.bit_builder();
+        let e = b.or2(s_execute, s_mem_wait);
+        b.or2(e, sh_exit)
+    };
+    let next_fetch_cap = s_fetch_addr;
+    let next_decode1 = s_fetch_cap;
+    let next_decode2 = s_decode1;
+    let next_execute = r.bit_builder().and2(s_decode2, is_aluclass);
+    let next_mem_addr = r.bit_builder().and2(s_decode2, is_mem);
+    let next_mem_wait = s_mem_addr;
+    let next_shift = {
+        let b = r.bit_builder();
+        let enter = b.and2(s_decode2, is_shift);
+        b.or2(enter, sh_active)
+    };
+    let mut next_state_bits = vec![SigId::new(0); 8];
+    next_state_bits[state::FETCH_ADDR] = next_fetch_addr;
+    next_state_bits[state::FETCH_CAPTURE] = next_fetch_cap;
+    next_state_bits[state::DECODE1] = next_decode1;
+    next_state_bits[state::DECODE2] = next_decode2;
+    next_state_bits[state::EXECUTE] = next_execute;
+    next_state_bits[state::MEM_ADDR] = next_mem_addr;
+    next_state_bits[state::MEM_WAIT] = next_mem_wait;
+    next_state_bits[state::SHIFT_LOOP] = next_shift;
+    r.connect(&fsm, &Word::from_bits(next_state_bits));
+
+    // ---------------- outputs ----------------
+    r.output_word("addr", &addr_r.q());
+    r.output_word("datao", &datao_r.q());
+    r.output_bit("rd", rd_r.q().bit(0));
+    r.output_bit("wr", wr_r.q().bit(0));
+
+    let netlist = r.finish().expect("viper elaborates to a valid netlist");
+    debug_assert_eq!(netlist.num_inputs(), NUM_INPUTS);
+    debug_assert_eq!(netlist.num_outputs(), NUM_OUTPUTS);
+    debug_assert_eq!(netlist.num_ffs(), NUM_FFS);
+    netlist
+}
+
+/// Encodes an instruction word with direct (immediate) memory
+/// addressing.
+///
+/// `dst`/`src` index `0=A, 1=X, 2=Y, 3=P`; when `imm_mode` is true the
+/// ALU operand is the zero-extended immediate.
+///
+/// # Panics
+///
+/// Panics if a field is out of range.
+#[must_use]
+pub fn encode(op: u64, dst: u64, src: u64, imm_mode: bool, imm: u64) -> u32 {
+    encode_full(op, dst, src, imm_mode, false, imm)
+}
+
+/// Encodes an instruction word including the register-indirect
+/// addressing flag (bit 22) used by `LOAD`/`STORE`.
+///
+/// # Panics
+///
+/// Panics if a field is out of range.
+#[must_use]
+pub fn encode_full(
+    op: u64,
+    dst: u64,
+    src: u64,
+    imm_mode: bool,
+    indirect: bool,
+    imm: u64,
+) -> u32 {
+    assert!(op < 16 && dst < 4 && src < 4 && imm < (1 << 20));
+    let w = (op << 28)
+        | (dst << 26)
+        | (src << 24)
+        | (u64::from(imm_mode) << 23)
+        | (u64::from(indirect) << 22)
+        | imm;
+    w as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_sim::{CompiledSim, SimState};
+
+    use super::*;
+
+    struct Harness {
+        sim: CompiledSim,
+        st: SimState,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            let n = viper();
+            let sim = CompiledSim::new(&n);
+            let st = sim.new_state();
+            Harness { sim, st }
+        }
+
+        fn word_to_vec(w: u32) -> Vec<bool> {
+            (0..32).map(|i| w >> i & 1 == 1).collect()
+        }
+
+        /// Runs one clock cycle with `datai = w`, returning outputs seen
+        /// during the cycle.
+        fn cycle(&mut self, w: u32) -> Outputs {
+            self.sim.set_inputs(&mut self.st, &Self::word_to_vec(w));
+            self.sim.eval(&mut self.st);
+            let o = self.sim.outputs_lane(&self.st, 0);
+            self.sim.step(&mut self.st);
+            Outputs::decode(&o)
+        }
+
+        /// Feeds an instruction at the right fetch moment and then idles
+        /// (datai = filler) until back in FETCH_ADDR state; returns cycle
+        /// count consumed. Assumes current state = FETCH_ADDR.
+        fn run_instr(&mut self, instr: u32, mem_data: u32) -> usize {
+            // FETCH_ADDR cycle: datai ignored.
+            self.cycle(0);
+            // FETCH_CAPTURE cycle: instruction is sampled now.
+            self.cycle(instr);
+            // DECODE1, DECODE2
+            self.cycle(0);
+            self.cycle(0);
+            let mut spent = 4;
+            let op = u64::from(instr >> 28);
+            match op {
+                opcode::LOAD | opcode::STORE => {
+                    self.cycle(0); // MEM_ADDR
+                    self.cycle(mem_data); // MEM_WAIT samples datai for LOAD
+                    spent += 2;
+                }
+                opcode::SHL | opcode::SHR => {
+                    let count = (instr & 0xF) as usize;
+                    for _ in 0..=count {
+                        self.cycle(0);
+                    }
+                    spent += count + 1;
+                }
+                _ => {
+                    self.cycle(0); // EXECUTE
+                    spent += 1;
+                }
+            }
+            spent
+        }
+
+        fn reg(&self, name: &str, width: usize) -> u64 {
+            // Registers are observable only through outputs; for tests we
+            // read flip-flops directly via their debug-name order: find
+            // by running STORE. Simpler: reach into state via ff index
+            // ordering (A starts at ff 0).
+            let base = match name {
+                "A" => 0,
+                "X" => 32,
+                "Y" => 64,
+                "P" => 96,
+                "B" => 116,
+                _ => panic!("unknown reg {name}"),
+            };
+            let bits = self.sim.state_lane(&self.st, 0);
+            (0..width).fold(0u64, |acc, i| acc | (u64::from(bits[base + i]) << i))
+        }
+    }
+
+    struct Outputs {
+        addr: u64,
+        datao: u64,
+        rd: bool,
+        wr: bool,
+    }
+
+    impl Outputs {
+        fn decode(o: &[bool]) -> Self {
+            let addr = (0..20).fold(0u64, |a, i| a | (u64::from(o[i]) << i));
+            let datao = (0..32).fold(0u64, |a, i| a | (u64::from(o[20 + i]) << i));
+            Outputs { addr, datao, rd: o[52], wr: o[53] }
+        }
+    }
+
+    #[test]
+    fn interface_matches_b14() {
+        let n = viper();
+        assert_eq!(n.num_inputs(), NUM_INPUTS);
+        assert_eq!(n.num_outputs(), NUM_OUTPUTS);
+        assert_eq!(n.num_ffs(), NUM_FFS);
+    }
+
+    #[test]
+    fn alu_add_and_store_roundtrip() {
+        let mut h = Harness::new();
+        // A += 0x123 (imm)
+        h.run_instr(encode(opcode::ADD, 0, 0, true, 0x123), 0);
+        assert_eq!(h.reg("A", 32), 0x123);
+        // X += 0x456
+        h.run_instr(encode(opcode::ADD, 1, 0, true, 0x456), 0);
+        assert_eq!(h.reg("X", 32), 0x456);
+        // A += X (reg mode)
+        h.run_instr(encode(opcode::ADD, 0, 1, false, 0), 0);
+        assert_eq!(h.reg("A", 32), 0x579);
+        // STORE A to address 0x7F: watch wr pulse with datao = A.
+        // instruction: STORE src=A
+        let mut saw_wr = false;
+        // replicate run_instr but watch outputs
+        let instr = encode(opcode::STORE, 0, 0, true, 0x7F);
+        h.cycle(0);
+        h.cycle(instr);
+        h.cycle(0);
+        h.cycle(0);
+        let o = h.cycle(0); // MEM_ADDR: registers addr/wr for next cycle
+        assert!(!o.wr);
+        let o = h.cycle(0); // MEM_WAIT: wr visible
+        if o.wr {
+            saw_wr = true;
+            assert_eq!(o.addr, 0x7F);
+            assert_eq!(o.datao, 0x579);
+        }
+        assert!(saw_wr, "wr never asserted");
+    }
+
+    #[test]
+    fn sub_and_logic_ops() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::ADD, 0, 0, true, 0xF0F), 0);
+        h.run_instr(encode(opcode::SUB, 0, 0, true, 0x00F), 0);
+        assert_eq!(h.reg("A", 32), 0xF00);
+        h.run_instr(encode(opcode::OR, 0, 0, true, 0x0FF), 0);
+        assert_eq!(h.reg("A", 32), 0xFFF);
+        h.run_instr(encode(opcode::AND, 0, 0, true, 0xF0), 0);
+        assert_eq!(h.reg("A", 32), 0xF0);
+        h.run_instr(encode(opcode::XOR, 0, 0, true, 0xFF), 0);
+        assert_eq!(h.reg("A", 32), 0x0F);
+        // NOT writes ~operand
+        h.run_instr(encode(opcode::NOT, 1, 0, true, 0), 0);
+        assert_eq!(h.reg("X", 32), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn load_captures_memory_data() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::LOAD, 2, 0, true, 0xABC), 0xDEAD_BEEF);
+        assert_eq!(h.reg("Y", 32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn shifts_are_iterative_but_correct() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::ADD, 0, 0, true, 0b1011), 0);
+        h.run_instr(encode(opcode::SHL, 0, 0, true, 4), 0);
+        assert_eq!(h.reg("A", 32), 0b1011_0000);
+        h.run_instr(encode(opcode::SHR, 0, 0, true, 2), 0);
+        assert_eq!(h.reg("A", 32), 0b10_1100);
+    }
+
+    #[test]
+    fn compare_and_branch() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::ADD, 0, 0, true, 5), 0);
+        // B = (A == 5)
+        h.run_instr(encode(opcode::CMPEQ, 0, 0, true, 5), 0);
+        assert_eq!(h.reg("B", 1), 1);
+        let p_before = h.reg("P", 20);
+        // JMPB taken: P = 0x100
+        h.run_instr(encode(opcode::JMPB, 0, 0, true, 0x100), 0);
+        assert_eq!(h.reg("P", 20), 0x100, "p before jump was {p_before}");
+        // B = (A < 3) = false; JMPB not taken.
+        h.run_instr(encode(opcode::CMPLT, 0, 0, true, 3), 0);
+        assert_eq!(h.reg("B", 1), 0);
+        let p = h.reg("P", 20);
+        h.run_instr(encode(opcode::JMPB, 0, 0, true, 0x55), 0);
+        assert_eq!(h.reg("P", 20), p + 1, "not-taken branch only advances");
+    }
+
+    #[test]
+    fn jmp_unconditional() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::JMP, 0, 0, true, 0xBEEF), 0);
+        assert_eq!(h.reg("P", 20), 0xBEEF);
+    }
+
+    #[test]
+    fn fetch_drives_addr_and_rd() {
+        let mut h = Harness::new();
+        // Cycle 0 = FETCH_ADDR: registers addr=P(0), rd=1, visible cycle 1.
+        h.cycle(0);
+        let o = h.cycle(encode(opcode::NOP, 0, 0, false, 0));
+        assert!(o.rd, "rd asserted during fetch data cycle");
+        assert_eq!(o.addr, 0);
+        // After one full NOP (5 cycles total), next fetch addr = 1.
+        h.cycle(0);
+        h.cycle(0);
+        h.cycle(0); // EXECUTE
+        h.cycle(0); // FETCH_ADDR again
+        let o = h.cycle(0);
+        assert!(o.rd);
+        assert_eq!(o.addr, 1);
+    }
+
+    #[test]
+    fn setb_parity() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::SETB, 0, 0, true, 0b111), 0);
+        assert_eq!(h.reg("B", 1), 1);
+        h.run_instr(encode(opcode::SETB, 0, 0, true, 0b11), 0);
+        assert_eq!(h.reg("B", 1), 0);
+    }
+
+    #[test]
+    fn indirect_load_uses_register_address() {
+        let mut h = Harness::new();
+        // X = 0x222 (the address), then LOAD A <- mem[X] indirect.
+        h.run_instr(encode(opcode::ADD, 1, 0, true, 0x222), 0);
+        let instr = encode_full(opcode::LOAD, 0, 1, false, true, 0);
+        // Watch the addr bus during the memory access.
+        h.cycle(0); // FETCH_ADDR
+        h.cycle(instr); // FETCH_CAPTURE
+        h.cycle(0); // DECODE1
+        h.cycle(0); // DECODE2
+        h.cycle(0); // MEM_ADDR registers addr
+        let o = h.cycle(0x5555_0001); // MEM_WAIT: addr visible, data sampled
+        assert!(o.rd, "indirect load drives rd");
+        assert_eq!(o.addr, 0x222, "address came from X");
+        assert_eq!(h.reg("A", 32), 0x5555_0001);
+    }
+
+    #[test]
+    fn indirect_store_writes_dst_register() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::ADD, 0, 0, true, 0xABC), 0); // A = 0xABC (data)
+        h.run_instr(encode(opcode::ADD, 2, 0, true, 0x77), 0); // Y = 0x77 (address)
+        let instr = encode_full(opcode::STORE, 0, 2, false, true, 0);
+        h.cycle(0);
+        h.cycle(instr);
+        h.cycle(0);
+        h.cycle(0);
+        h.cycle(0); // MEM_ADDR
+        let o = h.cycle(0); // MEM_WAIT: wr + addr + datao visible
+        assert!(o.wr);
+        assert_eq!(o.addr, 0x77, "address from Y");
+        assert_eq!(o.datao, 0xABC, "data from A (the dst register)");
+    }
+
+    #[test]
+    fn direct_store_still_uses_immediate_address() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::ADD, 1, 0, true, 0xFEED), 0); // X = data
+        let instr = encode(opcode::STORE, 1, 0, true, 0x99);
+        h.cycle(0);
+        h.cycle(instr);
+        h.cycle(0);
+        h.cycle(0);
+        h.cycle(0);
+        let o = h.cycle(0);
+        assert!(o.wr);
+        assert_eq!(o.addr, 0x99);
+        assert_eq!(o.datao, 0xFEED);
+    }
+
+    #[test]
+    fn shift_by_zero_is_identity() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::ADD, 0, 0, true, 0x5A5), 0);
+        h.run_instr(encode(opcode::SHL, 0, 0, true, 0), 0);
+        assert_eq!(h.reg("A", 32), 0x5A5);
+    }
+
+    #[test]
+    fn nop_preserves_all_registers() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::ADD, 0, 0, true, 0x111), 0);
+        h.run_instr(encode(opcode::ADD, 1, 0, true, 0x222), 0);
+        let (a, x, b) = (h.reg("A", 32), h.reg("X", 32), h.reg("B", 1));
+        h.run_instr(encode(opcode::NOP, 3, 3, true, 0xFFF), 0);
+        assert_eq!(h.reg("A", 32), a);
+        assert_eq!(h.reg("X", 32), x);
+        assert_eq!(h.reg("B", 1), b);
+    }
+
+    #[test]
+    fn register_mode_operand_reads_src() {
+        let mut h = Harness::new();
+        h.run_instr(encode(opcode::ADD, 1, 0, true, 0xF0), 0); // X = 0xF0
+        h.run_instr(encode(opcode::ADD, 2, 0, true, 0x0F), 0); // Y = 0x0F
+        // A = 0 | X (reg mode, src = X)
+        h.run_instr(encode(opcode::OR, 0, 1, false, 0), 0);
+        assert_eq!(h.reg("A", 32), 0xF0);
+        // A = A ^ Y
+        h.run_instr(encode(opcode::XOR, 0, 2, false, 0), 0);
+        assert_eq!(h.reg("A", 32), 0xFF);
+    }
+
+    #[test]
+    fn p_as_alu_destination() {
+        let mut h = Harness::new();
+        // P = P + 0x10 via ADD dst=P imm — P advances by fetches too; the
+        // write-back happens in EXECUTE, after P was already incremented
+        // during this instruction's fetch. dst_val reads the incremented P.
+        h.run_instr(encode(opcode::ADD, 3, 0, true, 0x10), 0);
+        assert_eq!(h.reg("P", 20), 0x11);
+    }
+}

@@ -1,0 +1,126 @@
+//! Experiment A1 (extension) — ablating each technique's key mechanism.
+//!
+//! Not in the paper; DESIGN.md calls these out as the design choices
+//! worth quantifying. Each row compares a technique's cycle cost with
+//! one mechanism removed (or, for mask-scan, added).
+
+use seugrade_emulation::ablation::{
+    mask_scan_with_state_compare, state_scan_without_overlap, time_mux_without_early_silent,
+};
+use seugrade_emulation::campaign::{AutonomousCampaign, Technique};
+use seugrade_emulation::controller::TimingConfig;
+
+use crate::tables::{fixed, Align, TextTable};
+
+/// One ablation row.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// What was changed.
+    pub label: String,
+    /// Baseline µs/fault.
+    pub baseline_us: f64,
+    /// Variant µs/fault.
+    pub variant_us: f64,
+}
+
+impl AblationRow {
+    /// Cost ratio variant/baseline.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.variant_us / self.baseline_us
+    }
+}
+
+/// The ablation study over one campaign.
+#[derive(Clone, Debug)]
+pub struct Ablations {
+    /// One row per mechanism.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs the three ablations on a graded campaign.
+#[must_use]
+pub fn ablations_for(campaign: &AutonomousCampaign) -> Ablations {
+    let cfg = TimingConfig::default();
+    let faults = campaign.faults();
+    let outcomes = campaign.outcomes();
+    let n_cycles = campaign.num_cycles();
+    let n_ffs = campaign.num_ffs();
+
+    let tmux_base = campaign.run(Technique::TimeMux).timing;
+    let tmux_abl = time_mux_without_early_silent(faults, outcomes, n_cycles, &cfg);
+    let state_base = campaign.run(Technique::StateScan).timing;
+    let state_abl = state_scan_without_overlap(faults, outcomes, n_cycles, n_ffs, &cfg);
+    let mask_base = campaign.run(Technique::MaskScan).timing;
+    let mask_upg = mask_scan_with_state_compare(faults, outcomes, n_cycles, &cfg);
+
+    Ablations {
+        rows: vec![
+            AblationRow {
+                label: "time-mux - early silent detection".into(),
+                baseline_us: tmux_base.us_per_fault(),
+                variant_us: tmux_abl.us_per_fault(),
+            },
+            AblationRow {
+                label: "state-scan - overlapped scan-out".into(),
+                baseline_us: state_base.us_per_fault(),
+                variant_us: state_abl.us_per_fault(),
+            },
+            AblationRow {
+                label: "mask-scan + per-cycle state compare".into(),
+                baseline_us: mask_base.us_per_fault(),
+                variant_us: mask_upg.us_per_fault(),
+            },
+        ],
+    }
+}
+
+impl Ablations {
+    /// Renders the study.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            ("mechanism", Align::Left),
+            ("baseline us/fault", Align::Right),
+            ("variant us/fault", Align::Right),
+            ("ratio", Align::Right),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.label.clone(),
+                fixed(row.baseline_us, 2),
+                fixed(row.variant_us, 2),
+                fixed(row.ratio(), 2),
+            ]);
+        }
+        format!("Ablation study (design-choice contributions)\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators::{random_sequential, RandomCircuitConfig};
+    use seugrade_sim::Testbench;
+
+    use super::*;
+
+    #[test]
+    fn ablations_have_expected_directions() {
+        let cfg = RandomCircuitConfig {
+            num_ffs: 10,
+            num_gates: 60,
+            observability_num: 2,
+            ..Default::default()
+        };
+        let circuit = random_sequential(&cfg, 7);
+        let tb = Testbench::random(circuit.num_inputs(), 48, 7);
+        let campaign = AutonomousCampaign::new(&circuit, &tb);
+        let a = ablations_for(&campaign);
+        assert_eq!(a.rows.len(), 3);
+        // Removing early-silent and overlap hurts; adding state-compare helps.
+        assert!(a.rows[0].ratio() >= 1.0, "{}", a.rows[0].ratio());
+        assert!(a.rows[1].ratio() >= 1.0, "{}", a.rows[1].ratio());
+        assert!(a.rows[2].ratio() <= 1.0, "{}", a.rows[2].ratio());
+        assert!(a.render().contains("Ablation"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Experiment C1 — fault-classification percentages (§III).
+
+use seugrade_emulation::campaign::AutonomousCampaign;
+use seugrade_faultsim::{FaultClass, GradingSummary};
+
+use crate::paper;
+use crate::tables::{fixed, Align, TextTable};
+
+/// Measured classification distribution with the paper's reference.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    /// Measured tallies.
+    pub summary: GradingSummary,
+    /// Total faults graded.
+    pub total: usize,
+}
+
+/// Extracts the classification experiment from a graded campaign.
+#[must_use]
+pub fn classification_for(campaign: &AutonomousCampaign) -> Classification {
+    Classification {
+        summary: campaign.summary().clone(),
+        total: campaign.faults().len(),
+    }
+}
+
+impl Classification {
+    /// Measured percentage for a class.
+    #[must_use]
+    pub fn percent(&self, class: FaultClass) -> f64 {
+        self.summary.percent(class)
+    }
+
+    /// Renders measured vs paper percentages.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let (pf, pl, ps) = paper::CLASSIFICATION_PCT;
+        let mut t = TextTable::new(vec![
+            ("class", Align::Left),
+            ("count", Align::Right),
+            ("measured %", Align::Right),
+            ("paper %", Align::Right),
+        ]);
+        for (class, paper_pct) in [
+            (FaultClass::Failure, pf),
+            (FaultClass::Latent, pl),
+            (FaultClass::Silent, ps),
+        ] {
+            t.row(vec![
+                class.label().to_owned(),
+                self.summary.count(class).to_string(),
+                fixed(self.summary.percent(class), 1),
+                fixed(paper_pct, 1),
+            ]);
+        }
+        format!(
+            "Fault classification of {} single faults (measured vs paper)\n{}",
+            self.total,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators;
+    use seugrade_sim::Testbench;
+
+    use super::*;
+
+    #[test]
+    fn classification_totals() {
+        let circuit = generators::lfsr(8, &[7, 5, 4, 3]);
+        let tb = Testbench::constant_low(0, 12);
+        let campaign = AutonomousCampaign::new(&circuit, &tb);
+        let c = classification_for(&campaign);
+        assert_eq!(c.total, 96);
+        let sum = c.percent(FaultClass::Failure)
+            + c.percent(FaultClass::Latent)
+            + c.percent(FaultClass::Silent);
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!(c.render().contains("paper %"));
+    }
+}

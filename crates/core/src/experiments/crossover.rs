@@ -1,0 +1,180 @@
+//! Experiment X1 — the mask-scan/state-scan crossover (§III).
+//!
+//! The paper observes that state-scan loses on b14 because scanning 215
+//! flip-flops per fault costs more than replaying a 160-cycle prefix, and
+//! claims the method "improves when the number of cycles is higher than
+//! the flip-flop number". This experiment turns that sentence into a
+//! measured curve: per-fault emulation cycles of all three techniques as
+//! the test-bench length sweeps past the flip-flop count.
+
+use seugrade_circuits::stimuli;
+use seugrade_emulation::campaign::{AutonomousCampaign, Technique};
+use seugrade_netlist::Netlist;
+
+use crate::tables::{fixed, Align, TextTable};
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossoverPoint {
+    /// Test-bench cycles at this point.
+    pub num_cycles: usize,
+    /// Circuit flip-flops (constant across the sweep).
+    pub num_ffs: usize,
+    /// Mask-scan cycles per fault.
+    pub mask_cpf: f64,
+    /// State-scan cycles per fault.
+    pub state_cpf: f64,
+    /// Time-mux cycles per fault.
+    pub tmux_cpf: f64,
+}
+
+/// The measured crossover curve.
+#[derive(Clone, Debug)]
+pub struct Crossover {
+    /// Sweep points in increasing cycle count.
+    pub points: Vec<CrossoverPoint>,
+}
+
+/// The cycle counts swept for the Viper crossover experiment. The
+/// flip-flop count is 215, so the interesting region is both sides of
+/// roughly `2 × 215 = 430` cycles (a fault at the average injection
+/// point replays half the bench under mask-scan).
+#[must_use]
+pub fn viper_crossover_cycles() -> Vec<usize> {
+    vec![40, 80, 160, 320, 640, 960]
+}
+
+/// Runs the crossover sweep on one circuit: for each test-bench length,
+/// grade the exhaustive fault list and evaluate each technique's
+/// per-fault cycle cost. Stimuli come from the Viper biased instruction
+/// generator when the circuit has 32 inputs, uniform random bits
+/// otherwise.
+#[must_use]
+pub fn crossover_for(circuit: &Netlist, cycle_counts: &[usize], seed: u64) -> Crossover {
+    let points = cycle_counts
+        .iter()
+        .map(|&num_cycles| {
+            let tb = if circuit.num_inputs() == seugrade_circuits::viper::NUM_INPUTS {
+                stimuli::viper_program(num_cycles, seed)
+            } else {
+                seugrade_sim::Testbench::random(circuit.num_inputs(), num_cycles, seed)
+            };
+            let campaign = AutonomousCampaign::new(circuit, &tb);
+            let cpf = |t: Technique| campaign.run(t).timing.cycles_per_fault();
+            CrossoverPoint {
+                num_cycles,
+                num_ffs: circuit.num_ffs(),
+                mask_cpf: cpf(Technique::MaskScan),
+                state_cpf: cpf(Technique::StateScan),
+                tmux_cpf: cpf(Technique::TimeMux),
+            }
+        })
+        .collect();
+    Crossover { points }
+}
+
+impl Crossover {
+    /// The smallest swept cycle count where state-scan beats mask-scan,
+    /// if the sweep reaches it.
+    #[must_use]
+    pub fn crossover_cycles(&self) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| p.state_cpf < p.mask_cpf)
+            .map(|p| p.num_cycles)
+    }
+
+    /// Renders the curve plus the paper's qualitative claim.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            ("bench cycles", Align::Right),
+            ("flip-flops", Align::Right),
+            ("mask cyc/fault", Align::Right),
+            ("state cyc/fault", Align::Right),
+            ("tmux cyc/fault", Align::Right),
+            ("winner (scan pair)", Align::Left),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.num_cycles.to_string(),
+                p.num_ffs.to_string(),
+                fixed(p.mask_cpf, 1),
+                fixed(p.state_cpf, 1),
+                fixed(p.tmux_cpf, 1),
+                if p.state_cpf < p.mask_cpf { "state-scan" } else { "mask-scan" }.into(),
+            ]);
+        }
+        let verdict = match self.crossover_cycles() {
+            Some(c) => format!("state-scan overtakes mask-scan at {c} cycles"),
+            None => "no crossover within the sweep".to_owned(),
+        };
+        format!(
+            "Crossover sweep (paper: state-scan improves when cycles > flip-flops)\n{}\n{verdict}\n",
+            t.render()
+        )
+    }
+
+    /// CSV form.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut t = TextTable::new(vec![
+            ("num_cycles", Align::Right),
+            ("num_ffs", Align::Right),
+            ("mask_cpf", Align::Right),
+            ("state_cpf", Align::Right),
+            ("tmux_cpf", Align::Right),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.num_cycles.to_string(),
+                p.num_ffs.to_string(),
+                fixed(p.mask_cpf, 3),
+                fixed(p.state_cpf, 3),
+                fixed(p.tmux_cpf, 3),
+            ]);
+        }
+        t.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators::{self, RandomCircuitConfig};
+
+    use super::*;
+
+    #[test]
+    fn crossover_happens_on_small_circuit() {
+        // 12 flip-flops, moderate observability: sweeping the bench well
+        // past the flip-flop count must flip the winner.
+        let cfg = RandomCircuitConfig {
+            num_ffs: 12,
+            num_gates: 60,
+            num_outputs: 2,
+            observability_num: 1,
+            ..Default::default()
+        };
+        let circuit = generators::random_sequential(&cfg, 3);
+        let x = crossover_for(&circuit, &[8, 64, 256], 9);
+        assert_eq!(x.points.len(), 3);
+        // At 8 cycles (<< 12 ffs) mask-scan wins; by 256 cycles
+        // state-scan must win.
+        let first = &x.points[0];
+        let last = &x.points[2];
+        assert!(first.mask_cpf < first.state_cpf, "{first:?}");
+        assert!(last.state_cpf < last.mask_cpf, "{last:?}");
+        assert!(x.crossover_cycles().is_some());
+        assert!(x.render().contains("overtakes"));
+    }
+
+    #[test]
+    fn time_mux_always_wins() {
+        let circuit = generators::lfsr(10, &[9, 6]);
+        let x = crossover_for(&circuit, &[16, 64, 128], 5);
+        for p in &x.points {
+            assert!(p.tmux_cpf < p.mask_cpf, "{p:?}");
+            assert!(p.tmux_cpf < p.state_cpf, "{p:?}");
+        }
+    }
+}

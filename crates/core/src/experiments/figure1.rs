@@ -1,0 +1,100 @@
+//! Experiment F1 — Figure 1, the time-multiplexed instrument.
+
+use seugrade_circuits::generators;
+use seugrade_emulation::instrument::time_mux;
+use seugrade_netlist::GateKind;
+use seugrade_techmap::{map_luts, MapperConfig};
+
+/// Structural reproduction of Figure 1: the per-flip-flop instrument's
+/// cell inventory, measured from an actual instrumentation of a
+/// single-flip-flop circuit, plus its 4-LUT cost.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// Flip-flops per instrument (golden, faulty, mask, state).
+    pub dffs: usize,
+    /// Multiplexers per instrument.
+    pub muxes: usize,
+    /// XOR gates per instrument (inject flip + mismatch comparator).
+    pub xors: usize,
+    /// 4-input LUTs the instrument's logic maps to.
+    pub luts: usize,
+}
+
+/// Builds and measures the Figure 1 instrument.
+#[must_use]
+pub fn figure1() -> Figure1 {
+    // A single flip-flop with trivial surroundings isolates the
+    // instrument itself.
+    let unit = generators::shift_register(1);
+    let inst = time_mux::instrument(&unit);
+    let stats = inst.netlist().stats();
+    let mapping = map_luts(inst.netlist(), &MapperConfig::virtex_e());
+    Figure1 {
+        dffs: stats.num_ffs(),
+        muxes: stats.gate_count(GateKind::Mux),
+        xors: stats.gate_count(GateKind::Xor),
+        luts: mapping.num_luts(),
+    }
+}
+
+impl Figure1 {
+    /// Renders the instrument diagram with the measured inventory.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            r#"Figure 1. Instrument for the time-multiplexed technique
+(per original flip-flop; measured from the netlist transform)
+
+                 +-------------+
+   DataIn ------>| GOLDEN  dff |--GoldenQ---+---------------+
+   (shared       |  en=EnaG    |            |               |
+   comb network) |  ld=LoadSt  |<-StateQ    +--> DataOut ---+--> to comb
+                 +-------------+            |   (sel mux)   |    network
+                 +-------------+            |               |
+   DataIn ------>| FAULTY  dff |--FaultyQ---+          +----+----+
+                 |  en=EnaF    |                       |   XOR   |--+
+                 |  inj=Inject |<--GoldenQ xor MaskQ   +---------+  |
+                 +-------------+                                    v
+                 +-------------+       +-------------+      state_diff
+   ScanIn ------>| MASK    dff |------>| STATE   dff |      (OR tree)
+   (chain)       |  en=ScanEn  | SaveQ |  en=SaveSt  |
+                 +-------------+       +-------------+
+
+measured inventory per instrument:
+  flip-flops : {dffs}   (golden, faulty, mask, state)
+  muxes      : {muxes}   (DataOut sel, golden en+restore, faulty en+inject,
+               mask shift, state save)
+  xors       : {xors}   (injection flip, golden/faulty comparator)
+  4-LUT cost : {luts}
+"#,
+            dffs = self.dffs,
+            muxes = self.muxes,
+            xors = self.xors,
+            luts = self.luts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_transform_constants() {
+        let f = figure1();
+        let expected: std::collections::HashMap<&str, usize> =
+            time_mux::figure1_inventory().into_iter().collect();
+        assert_eq!(f.dffs, expected["dff"]);
+        assert_eq!(f.muxes, expected["mux"]);
+        assert_eq!(f.xors, expected["xor"]);
+        assert!(f.luts >= 4, "instrument logic costs LUTs: {}", f.luts);
+    }
+
+    #[test]
+    fn render_shows_ports() {
+        let text = figure1().render();
+        for needle in ["GOLDEN", "FAULTY", "MASK", "STATE", "state_diff", "DataOut"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

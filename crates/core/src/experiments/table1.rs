@@ -1,0 +1,223 @@
+//! Experiment T1 — Table 1, synthesis results.
+
+use seugrade_circuits::{stimuli, viper};
+use seugrade_emulation::campaign::Technique;
+use seugrade_emulation::controller_netlist::{controller_netlist, ControllerParams};
+use seugrade_emulation::instrument::{mask_scan, state_scan, time_mux};
+use seugrade_emulation::ram::{RamParams, RamPlan};
+use seugrade_netlist::Netlist;
+use seugrade_sim::Testbench;
+use seugrade_techmap::{map_luts, MapperConfig};
+
+use crate::paper;
+use crate::tables::{fixed, pct, Align, TextTable};
+
+/// One measured Table 1 row.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Row label (`b14 original`, technique names).
+    pub name: String,
+    /// Board RAM in kbit (`None` for the original circuit).
+    pub board_kbits: Option<f64>,
+    /// FPGA RAM in kbit.
+    pub fpga_kbits: Option<f64>,
+    /// Modified-circuit LUTs.
+    pub luts: usize,
+    /// LUT overhead vs original, percent.
+    pub lut_overhead_pct: Option<f64>,
+    /// Modified-circuit flip-flops.
+    pub ffs: usize,
+    /// FF overhead vs original, percent.
+    pub ff_overhead_pct: Option<f64>,
+    /// Complete emulator system LUTs (modified circuit + controller).
+    pub system_luts: Option<usize>,
+    /// Complete emulator system flip-flops.
+    pub system_ffs: Option<usize>,
+}
+
+/// Measured Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// Rows: original circuit first, then one per technique.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Regenerates Table 1 for the paper's configuration (Viper, 160
+/// vectors).
+#[must_use]
+pub fn table1() -> Table1 {
+    table1_for(&viper::viper(), &stimuli::paper_testbench())
+}
+
+/// Regenerates Table 1 for an arbitrary circuit and test bench: maps the
+/// original, the three instrumented versions and the per-technique
+/// controllers onto 4-input LUTs, and plans the campaign RAM.
+#[must_use]
+pub fn table1_for(circuit: &Netlist, tb: &Testbench) -> Table1 {
+    let config = MapperConfig::virtex_e();
+    let base_map = map_luts(circuit, &config);
+    let base_luts = base_map.num_luts();
+    let base_ffs = circuit.num_ffs();
+
+    let ram_params = RamParams {
+        num_inputs: circuit.num_inputs(),
+        num_outputs: circuit.num_outputs(),
+        num_ffs: circuit.num_ffs(),
+        num_cycles: tb.num_cycles(),
+        num_faults: circuit.num_ffs() * tb.num_cycles(),
+    };
+    let ctrl_params = ControllerParams {
+        num_inputs: circuit.num_inputs(),
+        num_outputs: circuit.num_outputs(),
+        num_ffs: circuit.num_ffs(),
+        num_cycles: tb.num_cycles(),
+    };
+
+    let mut rows = vec![Table1Row {
+        name: format!("{} original", circuit.name()),
+        board_kbits: None,
+        fpga_kbits: None,
+        luts: base_luts,
+        lut_overhead_pct: None,
+        ffs: base_ffs,
+        ff_overhead_pct: None,
+        system_luts: None,
+        system_ffs: None,
+    }];
+
+    for technique in Technique::ALL {
+        let inst = match technique {
+            Technique::MaskScan => mask_scan::instrument(circuit),
+            Technique::StateScan => state_scan::instrument(circuit),
+            Technique::TimeMux => time_mux::instrument(circuit),
+        };
+        let modified = inst.netlist();
+        let mod_map = map_luts(modified, &config);
+        let ctrl = controller_netlist(technique, &ctrl_params);
+        let ctrl_map = map_luts(&ctrl, &config);
+        let ram = RamPlan::plan(technique, &ram_params);
+
+        let luts = mod_map.num_luts();
+        let ffs = modified.num_ffs();
+        rows.push(Table1Row {
+            name: technique.label().to_owned(),
+            board_kbits: Some(ram.board_kbits()),
+            fpga_kbits: Some(ram.fpga_kbits()),
+            luts,
+            lut_overhead_pct: Some(overhead(luts, base_luts)),
+            ffs,
+            ff_overhead_pct: Some(overhead(ffs, base_ffs)),
+            system_luts: Some(luts + ctrl_map.num_luts()),
+            system_ffs: Some(ffs + ctrl.num_ffs()),
+        });
+    }
+    Table1 { rows }
+}
+
+fn overhead(value: usize, base: usize) -> f64 {
+    (value as f64 - base as f64) * 100.0 / base as f64
+}
+
+impl Table1 {
+    /// Renders the measured table with the paper's published values in
+    /// adjacent columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            ("circuit", Align::Left),
+            ("RAM board/FPGA kbit", Align::Right),
+            ("LUTs", Align::Right),
+            ("LUT ovh", Align::Right),
+            ("FFs", Align::Right),
+            ("FF ovh", Align::Right),
+            ("sys LUTs", Align::Right),
+            ("sys FFs", Align::Right),
+            ("paper LUTs", Align::Right),
+            ("paper FFs", Align::Right),
+        ]);
+        for (row, paper_row) in self.rows.iter().zip(paper::TABLE1.iter()) {
+            t.row(vec![
+                row.name.clone(),
+                match (row.board_kbits, row.fpga_kbits) {
+                    (Some(b), Some(f)) => format!("{} / {}", fixed(b, 1), fixed(f, 1)),
+                    _ => "-".into(),
+                },
+                row.luts.to_string(),
+                pct(row.lut_overhead_pct),
+                row.ffs.to_string(),
+                pct(row.ff_overhead_pct),
+                row.system_luts.map_or("-".into(), |v| v.to_string()),
+                row.system_ffs.map_or("-".into(), |v| v.to_string()),
+                paper_row.modified_luts.to_string(),
+                paper_row.modified_ffs.to_string(),
+            ]);
+        }
+        format!("Table 1. Synthesis results (measured vs paper)\n{}", t.render())
+    }
+
+    /// CSV form of the measured values.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut t = TextTable::new(vec![
+            ("circuit", Align::Left),
+            ("board_kbits", Align::Right),
+            ("fpga_kbits", Align::Right),
+            ("luts", Align::Right),
+            ("lut_overhead_pct", Align::Right),
+            ("ffs", Align::Right),
+            ("ff_overhead_pct", Align::Right),
+            ("system_luts", Align::Right),
+            ("system_ffs", Align::Right),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.name.clone(),
+                row.board_kbits.map_or(String::new(), |v| fixed(v, 3)),
+                row.fpga_kbits.map_or(String::new(), |v| fixed(v, 3)),
+                row.luts.to_string(),
+                row.lut_overhead_pct.map_or(String::new(), |v| fixed(v, 1)),
+                row.ffs.to_string(),
+                row.ff_overhead_pct.map_or(String::new(), |v| fixed(v, 1)),
+                row.system_luts.map_or(String::new(), |v| v.to_string()),
+                row.system_ffs.map_or(String::new(), |v| v.to_string()),
+            ]);
+        }
+        t.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators;
+
+    use super::*;
+
+    #[test]
+    fn small_circuit_table1_shape() {
+        let circuit = generators::lfsr(8, &[7, 5, 4, 3]);
+        let tb = Testbench::constant_low(0, 16);
+        let t = table1_for(&circuit, &tb);
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[0].ffs, 8);
+        // FF overheads: mask/state 2x (100 %), time-mux 4x (300 %).
+        assert_eq!(t.rows[1].ffs, 16);
+        assert!((t.rows[1].ff_overhead_pct.unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(t.rows[3].ffs, 32);
+        assert!((t.rows[3].ff_overhead_pct.unwrap() - 300.0).abs() < 1e-9);
+        // Time-mux is the LUT-heaviest modification, as in the paper.
+        assert!(t.rows[3].luts > t.rows[1].luts);
+        assert!(t.rows[3].luts > t.rows[2].luts);
+        // Systems add controller resources.
+        for r in &t.rows[1..] {
+            assert!(r.system_luts.unwrap() > r.luts);
+            assert!(r.system_ffs.unwrap() > r.ffs);
+        }
+        // State-scan board RAM dominates everything else (n_ff + 2 bits
+        // per fault vs mask-scan's single result bit).
+        assert!(t.rows[2].board_kbits.unwrap() >= 5.0 * t.rows[1].board_kbits.unwrap());
+        let text = t.render();
+        assert!(text.contains("Table 1"));
+        let csv = t.to_csv();
+        assert!(csv.lines().count() == 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Experiment T2 — Table 2, emulation time results.
+
+use seugrade_emulation::campaign::{AutonomousCampaign, Technique};
+
+use crate::paper;
+use crate::tables::{fixed, Align, TextTable};
+
+/// One measured Table 2 row.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Row {
+    /// Technique.
+    pub technique: Technique,
+    /// Total emulation clock cycles.
+    pub total_cycles: u64,
+    /// Emulation time in ms at the campaign clock.
+    pub emulation_ms: f64,
+    /// Average speed in µs/fault.
+    pub us_per_fault: f64,
+}
+
+/// Measured Table 2.
+#[derive(Clone, Debug)]
+pub struct Table2 {
+    /// One row per technique, paper order.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Regenerates Table 2 from a graded campaign.
+#[must_use]
+pub fn table2_for(campaign: &AutonomousCampaign) -> Table2 {
+    let rows = Technique::ALL
+        .iter()
+        .map(|&technique| {
+            let report = campaign.run(technique);
+            Table2Row {
+                technique,
+                total_cycles: report.timing.total_cycles,
+                emulation_ms: report.timing.millis(),
+                us_per_fault: report.timing.us_per_fault(),
+            }
+        })
+        .collect();
+    Table2 { rows }
+}
+
+impl Table2 {
+    /// Renders measured vs paper values.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec![
+            ("autonomous system", Align::Left),
+            ("cycles", Align::Right),
+            ("emulation ms", Align::Right),
+            ("us/fault", Align::Right),
+            ("paper ms", Align::Right),
+            ("paper us/fault", Align::Right),
+        ]);
+        for (row, p) in self.rows.iter().zip(paper::TABLE2.iter()) {
+            t.row(vec![
+                row.technique.label().to_owned(),
+                row.total_cycles.to_string(),
+                fixed(row.emulation_ms, 2),
+                fixed(row.us_per_fault, 2),
+                fixed(p.emulation_ms, 2),
+                fixed(p.us_per_fault, 2),
+            ]);
+        }
+        format!("Table 2. Time results at 25 MHz (measured vs paper)\n{}", t.render())
+    }
+
+    /// The row of one technique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the technique is missing (cannot happen for tables from
+    /// [`table2_for`]).
+    #[must_use]
+    pub fn row(&self, technique: Technique) -> &Table2Row {
+        self.rows
+            .iter()
+            .find(|r| r.technique == technique)
+            .expect("all techniques present")
+    }
+
+    /// CSV form.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut t = TextTable::new(vec![
+            ("technique", Align::Left),
+            ("total_cycles", Align::Right),
+            ("emulation_ms", Align::Right),
+            ("us_per_fault", Align::Right),
+        ]);
+        for row in &self.rows {
+            t.row(vec![
+                row.technique.label().to_owned(),
+                row.total_cycles.to_string(),
+                fixed(row.emulation_ms, 4),
+                fixed(row.us_per_fault, 4),
+            ]);
+        }
+        t.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::{stimuli, viper};
+    use seugrade_sim::Testbench;
+
+    use super::*;
+
+    #[test]
+    fn shape_on_small_campaign() {
+        let circuit = seugrade_circuits::generators::lfsr(8, &[7, 5, 4, 3]);
+        let tb = Testbench::constant_low(0, 20);
+        let campaign = AutonomousCampaign::new(&circuit, &tb);
+        let t = table2_for(&campaign);
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.render().contains("Table 2"));
+        assert_eq!(t.to_csv().lines().count(), 4);
+        // All-output LFSR: every fault detected at injection, so
+        // time-mux is far ahead.
+        assert!(t.row(Technique::TimeMux).us_per_fault < t.row(Technique::MaskScan).us_per_fault);
+    }
+
+    #[test]
+    #[ignore = "full paper campaign; run with --ignored (slow in debug builds)"]
+    fn paper_ordering_on_viper() {
+        let circuit = viper::viper();
+        let tb = stimuli::paper_testbench();
+        let campaign = AutonomousCampaign::new(&circuit, &tb);
+        let t = table2_for(&campaign);
+        let mask = t.row(Technique::MaskScan).us_per_fault;
+        let state = t.row(Technique::StateScan).us_per_fault;
+        let tmux = t.row(Technique::TimeMux).us_per_fault;
+        // The paper's ordering: time-mux < mask-scan < state-scan
+        // (because 160 bench cycles < 215 flip-flops).
+        assert!(tmux < mask && mask < state, "{tmux} {mask} {state}");
+        // And its scale: all three within the same decade as published.
+        assert!((0.1..5.0).contains(&tmux), "{tmux}");
+        assert!((1.0..20.0).contains(&mask), "{mask}");
+        assert!((3.0..40.0).contains(&state), "{state}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Published numbers from the DATE'05 paper, used by the reproduction
+//! harness to print paper-vs-measured comparisons.
+//!
+//! Sources: Table 1 (synthesis results), Table 2 (time results) and the
+//! §III prose of López-Ongil et al., DATE 2005.
+
+/// One Table 1 row as printed in the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperTable1Row {
+    /// Row label.
+    pub name: &'static str,
+    /// Board RAM, kbit (`None` where the paper prints “-”).
+    pub board_ram_kbits: Option<f64>,
+    /// FPGA RAM, kbit.
+    pub fpga_ram_kbits: Option<f64>,
+    /// Modified-circuit LUTs.
+    pub modified_luts: usize,
+    /// Modified-circuit LUT overhead vs original, percent.
+    pub modified_lut_overhead_pct: Option<f64>,
+    /// Modified-circuit flip-flops.
+    pub modified_ffs: usize,
+    /// Modified-circuit FF overhead vs original, percent.
+    pub modified_ff_overhead_pct: Option<f64>,
+    /// Emulator-system LUTs.
+    pub system_luts: Option<usize>,
+    /// Emulator-system flip-flops.
+    pub system_ffs: Option<usize>,
+}
+
+/// Table 1 of the paper (synthesis results for b14, Leonardo Spectrum
+/// 2003, Virtex-E).
+pub const TABLE1: [PaperTable1Row; 4] = [
+    PaperTable1Row {
+        name: "b14 original",
+        board_ram_kbits: None,
+        fpga_ram_kbits: None,
+        modified_luts: 1_172,
+        modified_lut_overhead_pct: None,
+        modified_ffs: 215,
+        modified_ff_overhead_pct: None,
+        system_luts: None,
+        system_ffs: None,
+    },
+    PaperTable1Row {
+        name: "Mask Scan",
+        board_ram_kbits: Some(33.0),
+        fpga_ram_kbits: Some(13.4),
+        modified_luts: 1_657,
+        modified_lut_overhead_pct: Some(41.0),
+        modified_ffs: 434,
+        modified_ff_overhead_pct: Some(102.0),
+        system_luts: Some(2_040),
+        system_ffs: Some(670),
+    },
+    PaperTable1Row {
+        name: "State Scan",
+        board_ram_kbits: Some(7_289.0),
+        fpga_ram_kbits: Some(13.4),
+        modified_luts: 1_644,
+        modified_lut_overhead_pct: Some(40.0),
+        modified_ffs: 433,
+        modified_ff_overhead_pct: Some(101.0),
+        system_luts: Some(1_728),
+        system_ffs: Some(518),
+    },
+    PaperTable1Row {
+        name: "Time Multiplex.",
+        board_ram_kbits: Some(67.0),
+        fpga_ram_kbits: Some(5.3),
+        modified_luts: 3_836,
+        modified_lut_overhead_pct: Some(227.0),
+        modified_ffs: 859,
+        modified_ff_overhead_pct: Some(300.0),
+        system_luts: Some(4_162),
+        system_ffs: Some(1_032),
+    },
+];
+
+/// One Table 2 row as printed in the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperTable2Row {
+    /// Row label.
+    pub name: &'static str,
+    /// Emulation time in ms at 25 MHz.
+    pub emulation_ms: f64,
+    /// Average speed in µs/fault.
+    pub us_per_fault: f64,
+}
+
+/// Table 2 of the paper (time results for b14, 34,400 faults, 25 MHz).
+pub const TABLE2: [PaperTable2Row; 3] = [
+    PaperTable2Row { name: "Mask Scan", emulation_ms: 141.11, us_per_fault: 4.1 },
+    PaperTable2Row { name: "State Scan", emulation_ms: 386.40, us_per_fault: 11.2 },
+    PaperTable2Row { name: "Time Multiplex.", emulation_ms: 19.95, us_per_fault: 0.58 },
+];
+
+/// §III: classification of the 34,400 b14 faults, percent.
+pub const CLASSIFICATION_PCT: (f64, f64, f64) = (49.2, 4.4, 46.4);
+
+/// §III: fault simulation baseline, µs/fault (2005 workstation).
+pub const FAULT_SIM_US_PER_FAULT: f64 = 1_300.0;
+
+/// §III: host-controlled emulation baseline [2], µs/fault.
+pub const HOST_EMULATION_US_PER_FAULT: f64 = 100.0;
+
+/// The b14 campaign dimensions.
+pub const B14_INPUTS: usize = 32;
+/// Outputs of b14.
+pub const B14_OUTPUTS: usize = 54;
+/// Flip-flops of b14.
+pub const B14_FFS: usize = 215;
+/// Test-bench vectors of the paper's experiment.
+pub const B14_CYCLES: usize = 160;
+/// Single faults graded in the paper (215 × 160).
+pub const B14_FAULTS: usize = 34_400;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_count_is_cross_product() {
+        assert_eq!(B14_FFS * B14_CYCLES, B14_FAULTS);
+    }
+
+    #[test]
+    fn classification_sums_to_100() {
+        let (f, l, s) = CLASSIFICATION_PCT;
+        assert!((f + l + s - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_speed_consistent_with_time() {
+        // ms * 1000 / 34,400 faults ≈ printed µs/fault.
+        for row in TABLE2 {
+            let derived = row.emulation_ms * 1e3 / B14_FAULTS as f64;
+            assert!(
+                (derived - row.us_per_fault).abs() / row.us_per_fault < 0.02,
+                "{}: {derived} vs {}",
+                row.name,
+                row.us_per_fault
+            );
+        }
+    }
+}

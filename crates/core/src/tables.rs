@@ -1,0 +1,174 @@
+//! Plain-text table rendering and CSV export for the reproduction
+//! harness.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder.
+///
+/// # Example
+///
+/// ```
+/// use seugrade::tables::{Align, TextTable};
+///
+/// let mut t = TextTable::new(vec![
+///     ("technique", Align::Left),
+///     ("us/fault", Align::Right),
+/// ]);
+/// t.row(vec!["Time Multiplex.".into(), "0.58".into()]);
+/// let text = t.render();
+/// assert!(text.contains("Time Multiplex."));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<(String, Align)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given headers.
+    #[must_use]
+    pub fn new(headers: Vec<(&str, Align)>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(|(h, a)| (h.to_owned(), a)).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "table row width");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with a header rule, columns padded to content width.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|(h, _)| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, (h, _)) in self.headers.iter().enumerate() {
+            let sep = if i + 1 == n { "\n" } else { "  " };
+            write!(out, "{:<width$}{sep}", h, width = widths[i]).unwrap();
+        }
+        for (i, w) in widths.iter().enumerate() {
+            let sep = if i + 1 == n { "\n" } else { "  " };
+            write!(out, "{}{sep}", "-".repeat(*w)).unwrap();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let sep = if i + 1 == n { "\n" } else { "  " };
+                match self.headers[i].1 {
+                    Align::Left => write!(out, "{:<width$}{sep}", cell, width = widths[i]),
+                    Align::Right => write!(out, "{:>width$}{sep}", cell, width = widths[i]),
+                }
+                .unwrap();
+            }
+        }
+        out
+    }
+
+    /// Renders as RFC-4180-ish CSV (quotes only where needed).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let headers: Vec<String> = self.headers.iter().map(|(h, _)| escape(h)).collect();
+        writeln!(out, "{}", headers.join(",")).unwrap();
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            writeln!(out, "{}", cells.join(",")).unwrap();
+        }
+        out
+    }
+}
+
+/// Formats an optional percentage as the paper does: `(41%)` or blank.
+#[must_use]
+pub fn pct(value: Option<f64>) -> String {
+    value.map_or(String::from("-"), |v| format!("({v:.0}%)"))
+}
+
+/// Formats a float with `digits` decimal places.
+#[must_use]
+pub fn fixed(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(vec![("name", Align::Left), ("value", Align::Right)]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        t
+    }
+
+    #[test]
+    fn render_alignment() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("-----"));
+        assert!(lines[2].contains("alpha"));
+        // right-aligned number column
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].ends_with("22.5"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = TextTable::new(vec![("a", Align::Left), ("b", Align::Left)]);
+        t.row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = sample();
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(Some(41.0)), "(41%)");
+        assert_eq!(pct(None), "-");
+        assert_eq!(fixed(1.2345, 2), "1.23");
+    }
+}

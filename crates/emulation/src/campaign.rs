@@ -1,0 +1,267 @@
+//! End-to-end autonomous fault-grading campaigns.
+
+use std::fmt;
+
+use seugrade_faultsim::{Fault, FaultList, FaultOutcome, Grader, GradingSummary};
+use seugrade_netlist::Netlist;
+use seugrade_sim::Testbench;
+
+use crate::controller::{
+    mask_scan_timing, state_scan_timing, time_mux_timing, CampaignTiming, TimingConfig,
+};
+use crate::ram::{RamParams, RamPlan};
+
+/// The three autonomous fault-injection techniques of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Mask flip-flop per circuit flip-flop; full test-bench replay per
+    /// fault.
+    MaskScan,
+    /// Shadow scan chain inserting precomputed faulty states.
+    StateScan,
+    /// Figure-1 instruments; golden/faulty time multiplexing with
+    /// checkpointing and early classification.
+    TimeMux,
+}
+
+impl Technique {
+    /// All techniques in the paper's presentation order.
+    pub const ALL: [Technique; 3] =
+        [Technique::MaskScan, Technique::StateScan, Technique::TimeMux];
+
+    /// Table label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::MaskScan => "Mask Scan",
+            Technique::StateScan => "State Scan",
+            Technique::TimeMux => "Time Multiplex.",
+        }
+    }
+
+    /// Grading classes the technique can natively distinguish in
+    /// hardware: mask-scan sees only failure/no-failure (1 result bit in
+    /// Table 1), the others all three.
+    #[must_use]
+    pub fn native_classes(self) -> usize {
+        match self {
+            Technique::MaskScan => 2,
+            _ => 3,
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Result of one autonomous campaign.
+#[derive(Clone, Debug)]
+pub struct EmulationReport {
+    /// Which technique ran.
+    pub technique: Technique,
+    /// Fault classification tallies.
+    pub summary: GradingSummary,
+    /// Cycle-accurate timing (Table 2 row).
+    pub timing: CampaignTiming,
+    /// Memory plan (Table 1 RAM column).
+    pub ram: RamPlan,
+}
+
+impl fmt::Display for EmulationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.2} ms, {:.2} us/fault | {}",
+            self.technique,
+            self.timing.millis(),
+            self.timing.us_per_fault(),
+            self.summary
+        )
+    }
+}
+
+/// A configured autonomous campaign for one circuit and test bench.
+///
+/// Construction grades the **exhaustive** fault list once with the
+/// bit-parallel oracle; [`run`](Self::run) then derives each technique's
+/// report from the shared outcomes (the techniques classify identically —
+/// a property the gate-level harness verifies — and differ only in time
+/// and resources).
+#[derive(Debug)]
+pub struct AutonomousCampaign {
+    faults: FaultList,
+    outcomes: Vec<FaultOutcome>,
+    summary: GradingSummary,
+    num_inputs: usize,
+    num_outputs: usize,
+    num_ffs: usize,
+    num_cycles: usize,
+    timing_config: TimingConfig,
+}
+
+impl AutonomousCampaign {
+    /// Grades the exhaustive fault list of `circuit` under `tb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test bench width does not match the circuit.
+    #[must_use]
+    pub fn new(circuit: &Netlist, tb: &Testbench) -> Self {
+        Self::with_config(circuit, tb, TimingConfig::default())
+    }
+
+    /// Like [`new`](Self::new) with explicit timing overheads.
+    #[must_use]
+    pub fn with_config(circuit: &Netlist, tb: &Testbench, timing_config: TimingConfig) -> Self {
+        let grader = Grader::new(circuit, tb);
+        let faults = FaultList::exhaustive(circuit.num_ffs(), tb.num_cycles());
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let outcomes = grader.run_parallel_threaded(faults.as_slice(), threads);
+        let summary = GradingSummary::from_outcomes(&outcomes);
+        AutonomousCampaign {
+            faults,
+            outcomes,
+            summary,
+            num_inputs: circuit.num_inputs(),
+            num_outputs: circuit.num_outputs(),
+            num_ffs: circuit.num_ffs(),
+            num_cycles: tb.num_cycles(),
+            timing_config,
+        }
+    }
+
+    /// The graded fault list (cycle-major exhaustive order).
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        self.faults.as_slice()
+    }
+
+    /// Per-fault outcomes, parallel to [`faults`](Self::faults).
+    #[must_use]
+    pub fn outcomes(&self) -> &[FaultOutcome] {
+        &self.outcomes
+    }
+
+    /// The shared classification summary.
+    #[must_use]
+    pub fn summary(&self) -> &GradingSummary {
+        &self.summary
+    }
+
+    /// Number of test-bench cycles.
+    #[must_use]
+    pub fn num_cycles(&self) -> usize {
+        self.num_cycles
+    }
+
+    /// Number of circuit flip-flops.
+    #[must_use]
+    pub fn num_ffs(&self) -> usize {
+        self.num_ffs
+    }
+
+    /// Produces the emulation report for one technique.
+    #[must_use]
+    pub fn run(&self, technique: Technique) -> EmulationReport {
+        let timing = match technique {
+            Technique::MaskScan => mask_scan_timing(
+                self.faults.as_slice(),
+                &self.outcomes,
+                self.num_cycles,
+                &self.timing_config,
+            ),
+            Technique::StateScan => state_scan_timing(
+                self.faults.as_slice(),
+                &self.outcomes,
+                self.num_cycles,
+                self.num_ffs,
+                &self.timing_config,
+            ),
+            Technique::TimeMux => time_mux_timing(
+                self.faults.as_slice(),
+                &self.outcomes,
+                self.num_cycles,
+                &self.timing_config,
+            ),
+        };
+        let ram = RamPlan::plan(
+            technique,
+            &RamParams {
+                num_inputs: self.num_inputs,
+                num_outputs: self.num_outputs,
+                num_ffs: self.num_ffs,
+                num_cycles: self.num_cycles,
+                num_faults: self.faults.len(),
+            },
+        );
+        EmulationReport { technique, summary: self.summary.clone(), timing, ram }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators;
+    use seugrade_sim::Testbench;
+
+    use super::*;
+
+    fn campaign() -> AutonomousCampaign {
+        let circuit = generators::lfsr(10, &[9, 6]);
+        let tb = Testbench::constant_low(0, 30);
+        AutonomousCampaign::new(&circuit, &tb)
+    }
+
+    #[test]
+    fn exhaustive_fault_count() {
+        let c = campaign();
+        assert_eq!(c.faults().len(), 10 * 30);
+        assert_eq!(c.summary().total(), 300);
+    }
+
+    #[test]
+    fn all_techniques_report() {
+        let c = campaign();
+        for tech in Technique::ALL {
+            let r = c.run(tech);
+            assert_eq!(r.summary.total(), 300);
+            assert!(r.timing.total_cycles > 0);
+            assert_eq!(r.timing.num_faults, 300);
+            assert!(r.ram.fpga_bits() > 0 || r.ram.board_bits() > 0);
+            assert!(r.to_string().contains("us/fault"));
+        }
+    }
+
+    #[test]
+    fn summaries_are_technique_independent() {
+        let c = campaign();
+        let a = c.run(Technique::MaskScan).summary;
+        let b = c.run(Technique::TimeMux).summary;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn time_mux_is_fastest_on_lfsr() {
+        // An all-output LFSR detects every fault immediately, the ideal
+        // case for early termination.
+        let c = campaign();
+        let mask = c.run(Technique::MaskScan).timing.total_cycles;
+        let tmux = c.run(Technique::TimeMux).timing.total_cycles;
+        assert!(tmux < mask, "tmux {tmux} >= mask {mask}");
+    }
+
+    #[test]
+    fn native_classes() {
+        assert_eq!(Technique::MaskScan.native_classes(), 2);
+        assert_eq!(Technique::StateScan.native_classes(), 3);
+        assert_eq!(Technique::TimeMux.native_classes(), 3);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Technique::MaskScan.label(), "Mask Scan");
+        assert_eq!(Technique::TimeMux.to_string(), "Time Multiplex.");
+    }
+}

@@ -1,0 +1,400 @@
+//! Cycle-accurate campaign timing models (Table 2).
+//!
+//! The emulation *time* of an autonomous campaign is simply
+//! `total clock cycles / clock frequency` — there is no host in the loop.
+//! These models count the cycles each technique's controller schedule
+//! spends, using the per-fault classification outcomes (detection /
+//! convergence cycles) produced by the behavioural oracle. The
+//! [`gate_level`](crate::gate_level) harness follows the *same schedules*
+//! cycle by cycle on the real instrumented netlists, which is what ties
+//! these formulas to the hardware.
+
+use std::time::Duration;
+
+use seugrade_faultsim::{Fault, FaultOutcome};
+
+use crate::campaign::Technique;
+
+/// Emulation clock frequency in Hz.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockHz(pub u64);
+
+impl ClockHz {
+    /// The paper's RC1000 configuration: 25 MHz.
+    pub const PAPER: ClockHz = ClockHz(25_000_000);
+
+    /// Converts a cycle count to wall-clock time at this frequency.
+    #[must_use]
+    pub fn cycles_to_time(self, cycles: u64) -> Duration {
+        Duration::from_secs_f64(cycles as f64 / self.0 as f64)
+    }
+}
+
+/// Fixed overheads of a campaign schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingConfig {
+    /// One-time cycles for configuration/start (host writes campaign
+    /// parameters, arms the controller). The paper's win is exactly that
+    /// this happens once per *campaign*, not per fault.
+    pub setup_cycles: u64,
+    /// Controller bookkeeping cycles per fault (fault counter update,
+    /// result write, circuit reset release).
+    pub per_fault_overhead: u64,
+    /// Emulation clock.
+    pub clock: ClockHz,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig { setup_cycles: 64, per_fault_overhead: 1, clock: ClockHz::PAPER }
+    }
+}
+
+/// Cycle breakdown of one campaign (one technique).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CampaignTiming {
+    /// The technique being timed.
+    pub technique: Technique,
+    /// Number of faults graded.
+    pub num_faults: u64,
+    /// Cycles of the initial golden/reference pass.
+    pub golden_cycles: u64,
+    /// Cycles spent shifting scan chains (mask positioning, state
+    /// scan-in).
+    pub scan_cycles: u64,
+    /// Cycles spent actually emulating faulty behaviour.
+    pub run_cycles: u64,
+    /// Injection pulses.
+    pub inject_cycles: u64,
+    /// Checkpoint restore / golden-advance cycles (time-mux).
+    pub restore_cycles: u64,
+    /// Setup plus per-fault bookkeeping.
+    pub overhead_cycles: u64,
+    /// Grand total.
+    pub total_cycles: u64,
+    /// Clock used for time conversion.
+    pub clock: ClockHz,
+}
+
+impl CampaignTiming {
+    /// Wall-clock emulation time (Table 2, "Emulation time (ms)").
+    #[must_use]
+    pub fn emulation_time(&self) -> Duration {
+        self.clock.cycles_to_time(self.total_cycles)
+    }
+
+    /// Emulation time in milliseconds.
+    #[must_use]
+    pub fn millis(&self) -> f64 {
+        self.emulation_time().as_secs_f64() * 1e3
+    }
+
+    /// Average speed in µs/fault (Table 2, "Average speed").
+    #[must_use]
+    pub fn us_per_fault(&self) -> f64 {
+        if self.num_faults == 0 {
+            0.0
+        } else {
+            self.emulation_time().as_secs_f64() * 1e6 / self.num_faults as f64
+        }
+    }
+
+    /// Average cycles per fault.
+    #[must_use]
+    pub fn cycles_per_fault(&self) -> f64 {
+        if self.num_faults == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.num_faults as f64
+        }
+    }
+}
+
+fn finish(
+    technique: Technique,
+    cfg: &TimingConfig,
+    num_faults: u64,
+    golden: u64,
+    scan: u64,
+    run: u64,
+    inject: u64,
+    restore: u64,
+) -> CampaignTiming {
+    let overhead = cfg.setup_cycles + cfg.per_fault_overhead * num_faults;
+    CampaignTiming {
+        technique,
+        num_faults,
+        golden_cycles: golden,
+        scan_cycles: scan,
+        run_cycles: run,
+        inject_cycles: inject,
+        restore_cycles: restore,
+        overhead_cycles: overhead,
+        total_cycles: golden + scan + run + inject + restore + overhead,
+        clock: cfg.clock,
+    }
+}
+
+/// Mask-scan schedule: one golden pass, then per fault a full test-bench
+/// replay from cycle 0, aborted at failure detection. The mask walks the
+/// scan chain one step per flip-flop change (ff-major fault order).
+///
+/// # Panics
+///
+/// Panics if `faults` and `outcomes` lengths differ.
+#[must_use]
+pub fn mask_scan_timing(
+    faults: &[Fault],
+    outcomes: &[FaultOutcome],
+    num_cycles: usize,
+    cfg: &TimingConfig,
+) -> CampaignTiming {
+    assert_eq!(faults.len(), outcomes.len());
+    let mut scan = 0u64;
+    let mut run = 0u64;
+    // The campaign processes faults ff-major regardless of list order;
+    // count one mask step per distinct flip-flop encountered.
+    let mut ffs: Vec<_> = faults.iter().map(|f| f.ff).collect();
+    ffs.sort_unstable();
+    ffs.dedup();
+    scan += ffs.len() as u64;
+    for (f, o) in faults.iter().zip(outcomes) {
+        let replay_end = match o.detect_cycle {
+            Some(u) => u as u64 + 1,
+            None => num_cycles as u64,
+        };
+        debug_assert!(u64::from(f.cycle) <= replay_end);
+        run += replay_end;
+    }
+    finish(Technique::MaskScan, cfg, faults.len() as u64, num_cycles as u64, scan, run, 0, 0)
+}
+
+/// State-scan schedule: one golden pass (recording the per-cycle states),
+/// then per fault `n_ff` scan-in cycles (the previous fault's end state
+/// scans out simultaneously), one load pulse, and a run from the
+/// injection cycle aborted at failure detection; non-failing faults run
+/// to the end plus one capture pulse.
+///
+/// # Panics
+///
+/// Panics if `faults` and `outcomes` lengths differ.
+#[must_use]
+pub fn state_scan_timing(
+    faults: &[Fault],
+    outcomes: &[FaultOutcome],
+    num_cycles: usize,
+    num_ffs: usize,
+    cfg: &TimingConfig,
+) -> CampaignTiming {
+    assert_eq!(faults.len(), outcomes.len());
+    let mut scan = 0u64;
+    let mut run = 0u64;
+    let mut inject = 0u64;
+    for (f, o) in faults.iter().zip(outcomes) {
+        scan += num_ffs as u64; // scan-in (+ overlapped scan-out)
+        inject += 1; // load_state pulse
+        let t = u64::from(f.cycle);
+        match o.detect_cycle {
+            Some(u) => run += u as u64 - t + 1,
+            None => {
+                run += num_cycles as u64 - t;
+                inject += 1; // capture pulse for the end-state check
+            }
+        }
+    }
+    finish(Technique::StateScan, cfg, faults.len() as u64, num_cycles as u64, scan, run, inject, 0)
+}
+
+/// Time-multiplexed schedule: the campaign walks the test bench once
+/// (cycle-major fault order). Per fault: one mask step, one inject pulse,
+/// two emulation clocks per test-bench cycle until classification
+/// (failure *or* convergence — both detected in hardware), one restore
+/// pulse. Per test-bench cycle: two clocks to advance and checkpoint the
+/// golden machine.
+///
+/// # Panics
+///
+/// Panics if `faults` and `outcomes` lengths differ.
+#[must_use]
+pub fn time_mux_timing(
+    faults: &[Fault],
+    outcomes: &[FaultOutcome],
+    num_cycles: usize,
+    cfg: &TimingConfig,
+) -> CampaignTiming {
+    assert_eq!(faults.len(), outcomes.len());
+    let mut run = 0u64;
+    let mut scan = 0u64;
+    let mut inject = 0u64;
+    let mut restore = 0u64;
+    for (f, o) in faults.iter().zip(outcomes) {
+        let t = u64::from(f.cycle);
+        let classify = u64::from(o.classify_cycle(num_cycles));
+        debug_assert!(classify >= t);
+        scan += 1; // mask step
+        inject += 1; // golden->faulty copy with flip
+        run += 2 * (classify - t + 1);
+        restore += 1; // golden restore from checkpoint
+    }
+    // Golden advance + checkpoint save, once per test-bench cycle.
+    let advance = 2 * num_cycles as u64;
+    finish(
+        Technique::TimeMux,
+        cfg,
+        faults.len() as u64,
+        advance,
+        scan,
+        run,
+        inject,
+        restore,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_netlist::FfIndex;
+
+    use super::*;
+
+    fn fault(ff: usize, t: u32) -> Fault {
+        Fault::new(FfIndex::new(ff), t)
+    }
+
+    fn cfg() -> TimingConfig {
+        TimingConfig { setup_cycles: 0, per_fault_overhead: 0, clock: ClockHz::PAPER }
+    }
+
+    #[test]
+    fn clock_conversion() {
+        let c = ClockHz(25_000_000);
+        assert_eq!(c.cycles_to_time(25_000_000), Duration::from_secs(1));
+        let t = c.cycles_to_time(25); // 1 us
+        assert!((t.as_secs_f64() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_scan_replays_prefix() {
+        // Fault at cycle 50 detected at 60: replay = 61 cycles, even
+        // though injection was at 50.
+        let faults = [fault(0, 50)];
+        let outcomes = [FaultOutcome::failure(60)];
+        let t = mask_scan_timing(&faults, &outcomes, 100, &cfg());
+        assert_eq!(t.run_cycles, 61);
+        assert_eq!(t.golden_cycles, 100);
+        assert_eq!(t.scan_cycles, 1);
+    }
+
+    #[test]
+    fn mask_scan_nonfailure_runs_full_bench() {
+        let faults = [fault(0, 50), fault(1, 10)];
+        let outcomes = [FaultOutcome::latent(), FaultOutcome::silent(20)];
+        let t = mask_scan_timing(&faults, &outcomes, 100, &cfg());
+        // Both replay the full 100 cycles: mask-scan cannot observe
+        // convergence.
+        assert_eq!(t.run_cycles, 200);
+        assert_eq!(t.scan_cycles, 2);
+    }
+
+    #[test]
+    fn state_scan_skips_prefix_but_pays_scan() {
+        let faults = [fault(3, 50)];
+        let outcomes = [FaultOutcome::failure(60)];
+        let t = state_scan_timing(&faults, &outcomes, 100, 215, &cfg());
+        assert_eq!(t.scan_cycles, 215);
+        assert_eq!(t.run_cycles, 11); // cycles 50..=60
+        assert_eq!(t.inject_cycles, 1); // load pulse only (failure)
+    }
+
+    #[test]
+    fn state_scan_nonfailure_pays_capture() {
+        let faults = [fault(3, 90)];
+        let outcomes = [FaultOutcome::latent()];
+        let t = state_scan_timing(&faults, &outcomes, 100, 10, &cfg());
+        assert_eq!(t.run_cycles, 10); // cycles 90..100
+        assert_eq!(t.inject_cycles, 2); // load + capture
+    }
+
+    #[test]
+    fn time_mux_early_terminates_on_convergence() {
+        let faults = [fault(0, 10), fault(1, 10), fault(2, 10)];
+        let outcomes = [
+            FaultOutcome::failure(12),  // 2*(12-10+1) = 6
+            FaultOutcome::silent(10),   // 2*1 = 2
+            FaultOutcome::latent(),     // runs to end: 2*(19-10+1) = 20
+        ];
+        let t = time_mux_timing(&faults, &outcomes, 20, &cfg());
+        assert_eq!(t.run_cycles, 6 + 2 + 20);
+        assert_eq!(t.inject_cycles, 3);
+        assert_eq!(t.restore_cycles, 3);
+        assert_eq!(t.golden_cycles, 40, "2 cycles per bench cycle");
+    }
+
+    #[test]
+    fn us_per_fault_at_paper_clock() {
+        // 14.5 cycles/fault at 25 MHz = 0.58 us/fault (the paper's
+        // headline time-mux number).
+        let faults: Vec<Fault> = (0..100).map(|i| fault(i % 5, 0)).collect();
+        let outcomes: Vec<FaultOutcome> =
+            (0..100).map(|_| FaultOutcome::silent(2)).collect();
+        let mut c = cfg();
+        c.per_fault_overhead = 1;
+        let t = time_mux_timing(&faults, &outcomes, 10, &c);
+        // per fault: scan1 + inject1 + run6 + restore1 + overhead1 = 10
+        // plus golden advance 20 cycles amortized
+        assert_eq!(t.total_cycles, 100 * 10 + 20);
+        let us = t.us_per_fault();
+        assert!((us - (10.2 / 25.0)).abs() < 1e-9, "{us}");
+    }
+
+    #[test]
+    fn paper_ordering_holds_for_b14_shape() {
+        // With b14's parameters (215 ffs, 160 cycles) and plausible
+        // outcome mixes, time-mux << mask-scan < state-scan.
+        let n_ff = 215;
+        let n_cycles = 160usize;
+        let mut faults = Vec::new();
+        let mut outcomes = Vec::new();
+        for t in 0..n_cycles as u32 {
+            for ff in 0..n_ff {
+                faults.push(fault(ff, t));
+                // Paper-like mix: ~50 % fail shortly after injection,
+                // ~5 % latent, the rest converge after 2 cycles.
+                let o = match ff % 20 {
+                    0..=9 => FaultOutcome::failure((t + 3).min(n_cycles as u32 - 1)),
+                    10 => FaultOutcome::latent(),
+                    _ => FaultOutcome::silent((t + 2).min(n_cycles as u32 - 1)),
+                };
+                outcomes.push(o);
+            }
+        }
+        let c = TimingConfig::default();
+        let mask = mask_scan_timing(&faults, &outcomes, n_cycles, &c);
+        let state = state_scan_timing(&faults, &outcomes, n_cycles, n_ff, &c);
+        let tmux = time_mux_timing(&faults, &outcomes, n_cycles, &c);
+        assert!(tmux.total_cycles * 5 < mask.total_cycles, "time-mux wins big");
+        assert!(mask.total_cycles < state.total_cycles, "160 cycles < 215 ffs");
+    }
+
+    #[test]
+    fn crossover_when_cycles_exceed_ffs() {
+        // Same mix but 64 ffs and 1024 cycles: state-scan must now beat
+        // mask-scan (the paper's §III observation).
+        let n_ff = 64;
+        let n_cycles = 1024usize;
+        let mut faults = Vec::new();
+        let mut outcomes = Vec::new();
+        for t in (0..n_cycles as u32).step_by(8) {
+            for ff in 0..n_ff {
+                faults.push(fault(ff, t));
+                outcomes.push(match ff % 2 {
+                    0 => FaultOutcome::failure((t + 4).min(n_cycles as u32 - 1)),
+                    _ => FaultOutcome::silent((t + 2).min(n_cycles as u32 - 1)),
+                });
+            }
+        }
+        let c = TimingConfig::default();
+        let mask = mask_scan_timing(&faults, &outcomes, n_cycles, &c);
+        let state = state_scan_timing(&faults, &outcomes, n_cycles, n_ff, &c);
+        assert!(state.total_cycles < mask.total_cycles);
+    }
+}

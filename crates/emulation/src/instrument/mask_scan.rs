@@ -1,0 +1,223 @@
+//! Mask-scan instrumentation (the paper's first technique, derived from
+//! the host-driven approach of Civera et al. [2], made autonomous).
+//!
+//! Every circuit flip-flop gets a companion **mask** flip-flop; the mask
+//! flip-flops form a scan chain. A fault is injected by (a) positioning a
+//! one-hot pattern in the mask chain (`scan_en`/`scan_in`) and (b)
+//! pulsing `inject` during the cycle *before* the target cycle, which
+//! XORs the masked flip-flop's data input:
+//!
+//! ```text
+//! ff.d' = ff.d ⊕ (inject ∧ mask_q)
+//! ```
+//!
+//! The faulty run must replay the test bench from cycle 0 for every
+//! fault — the cost that the state-scan and time-multiplexed techniques
+//! remove.
+
+use seugrade_netlist::{CellKind, FfIndex, Netlist};
+
+use super::{InstrumentedCircuit, PortMap};
+
+/// Applies the mask-scan transform.
+///
+/// Adds 3 control inputs (`scan_in`, `scan_en`, `inject`), 1 observation
+/// output (`scan_out`) and exactly one mask flip-flop per original
+/// flip-flop (2× total flip-flops, matching Table 1's ~102 % FF
+/// overhead).
+///
+/// # Panics
+///
+/// Panics if the input netlist has no flip-flops (nothing to inject
+/// into).
+#[must_use]
+pub fn instrument(old: &Netlist) -> InstrumentedCircuit {
+    assert!(old.num_ffs() > 0, "mask-scan needs at least one flip-flop");
+    let mut b = seugrade_netlist::NetlistBuilder::new(format!("{}_maskscan", old.name()));
+    let mut map = vec![seugrade_netlist::SigId::new(0); old.num_cells()];
+
+    // 1. Original inputs, in order.
+    for (sig, name) in old.inputs().iter().zip(old.input_names()) {
+        map[sig.index()] = b.input(name.clone());
+    }
+    // 2. Control inputs.
+    let scan_in = b.input("msk_scan_in");
+    let scan_en = b.input("msk_scan_en");
+    let inject = b.input("msk_inject");
+    let scan_in_idx = old.num_inputs();
+    let scan_en_idx = old.num_inputs() + 1;
+    let inject_idx = old.num_inputs() + 2;
+
+    // 3. Instrument flip-flops (circuit copy + mask), in original order.
+    let mut circuit_ffs = Vec::with_capacity(old.num_ffs());
+    let mut mask_ffs = Vec::with_capacity(old.num_ffs());
+    let mut circuit_q = Vec::with_capacity(old.num_ffs());
+    let mut mask_q = Vec::with_capacity(old.num_ffs());
+    for (k, &ff) in old.ffs().iter().enumerate() {
+        let CellKind::Dff { init } = old.cell(ff).kind() else { unreachable!() };
+        let q = b.dff(init);
+        b.name_signal(q, format!("u{k}_ff"));
+        circuit_ffs.push(FfIndex::new(2 * k));
+        circuit_q.push(q);
+        let m = b.dff(false);
+        b.name_signal(m, format!("u{k}_mask"));
+        mask_ffs.push(FfIndex::new(2 * k + 1));
+        mask_q.push(m);
+        map[ff.index()] = q;
+    }
+
+    // 4. Constants and gates in topological order.
+    for (sig, cell) in old.iter_cells() {
+        if let CellKind::Const(v) = cell.kind() {
+            map[sig.index()] = b.constant(v);
+        }
+    }
+    let order = old.levelize().expect("validated netlist");
+    for &sig in order.order() {
+        let cell = old.cell(sig);
+        let CellKind::Gate(kind) = cell.kind() else { unreachable!() };
+        let pins: Vec<_> = cell.pins().iter().map(|p| map[p.index()]).collect();
+        map[sig.index()] = b.gate(kind, &pins);
+    }
+
+    // 5. Wire the instrument.
+    for (k, &ff) in old.ffs().iter().enumerate() {
+        let d_orig = map[old.cell(ff).pins()[0].index()];
+        // mask chain
+        let prev = if k == 0 { scan_in } else { mask_q[k - 1] };
+        let hold = b.mux(scan_en, mask_q[k], prev);
+        b.connect_dff(mask_q[k], hold).expect("mask dff wiring");
+        // injection XOR
+        let arm = b.and2(inject, mask_q[k]);
+        let d_new = b.xor2(d_orig, arm);
+        b.connect_dff(circuit_q[k], d_new).expect("circuit dff wiring");
+    }
+
+    // 6. Outputs: originals then scan_out.
+    for (name, sig) in old.outputs() {
+        b.output(name.clone(), map[sig.index()]);
+    }
+    b.output("msk_scan_out", *mask_q.last().expect("at least one ff"));
+
+    let netlist = b.finish().expect("mask-scan instrumentation is valid");
+    let ports = PortMap {
+        num_orig_inputs: old.num_inputs(),
+        num_orig_outputs: old.num_outputs(),
+        scan_in: Some(scan_in_idx),
+        scan_en: Some(scan_en_idx),
+        inject: Some(inject_idx),
+        scan_out: Some(old.num_outputs()),
+        circuit_ffs,
+        mask_ffs,
+        ..PortMap::default()
+    };
+    InstrumentedCircuit::new(netlist, ports)
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators;
+    use seugrade_netlist::FfIndex;
+
+    use crate::instrument::test_support::Driver;
+    use super::*;
+
+    #[test]
+    fn structural_overheads() {
+        let old = generators::lfsr(8, &[7, 5, 4, 3]);
+        let inst = instrument(&old);
+        let n = inst.netlist();
+        assert_eq!(n.num_ffs(), 16, "2x flip-flops");
+        assert_eq!(n.num_inputs(), old.num_inputs() + 3);
+        assert_eq!(n.num_outputs(), old.num_outputs() + 1);
+        assert_eq!(inst.ports().circuit_ffs.len(), 8);
+        assert_eq!(inst.ports().mask_ffs.len(), 8);
+    }
+
+    #[test]
+    fn behaves_identically_when_idle() {
+        // With all control inputs low the instrumented circuit must track
+        // the original cycle for cycle.
+        let old = generators::lfsr(6, &[5, 4]);
+        let inst = instrument(&old);
+        let sim_old = seugrade_sim::CompiledSim::new(&old);
+        let tb = seugrade_sim::Testbench::constant_low(0, 30);
+        let golden = sim_old.run_golden(&tb);
+
+        let mut drv = Driver::new(inst.netlist());
+        for t in 0..30 {
+            let out = drv.clock();
+            assert_eq!(&out[..old.num_outputs()], golden.output_at(t), "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn scan_positions_the_mask() {
+        let old = generators::shift_register(4);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        // Shift a single 1 into the chain head, then 2 more shifts to
+        // reach mask position 2.
+        drv.set(p.scan_in.unwrap(), true);
+        drv.set(p.scan_en.unwrap(), true);
+        drv.clock();
+        drv.set(p.scan_in.unwrap(), false);
+        drv.clock();
+        drv.clock();
+        drv.set(p.scan_en.unwrap(), false);
+        let st = drv.state();
+        let mask_vals: Vec<bool> = p.mask_ffs.iter().map(|f| st[f.index()]).collect();
+        assert_eq!(mask_vals, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn inject_flips_exactly_the_masked_ff() {
+        let old = generators::shift_register(4);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        // Position mask at ff1 (one shift of a 1, then one more shift).
+        drv.set(p.scan_in.unwrap(), true);
+        drv.set(p.scan_en.unwrap(), true);
+        drv.clock();
+        drv.set(p.scan_in.unwrap(), false);
+        drv.clock();
+        drv.set(p.scan_en.unwrap(), false);
+        // Pulse inject for one cycle with din=0: ff1 loads ff0 ^ 1.
+        let before = drv.state();
+        let ff0 = before[p.circuit_ffs[0].index()];
+        drv.set(p.inject.unwrap(), true);
+        drv.clock();
+        drv.set(p.inject.unwrap(), false);
+        let after = drv.state();
+        assert_eq!(after[p.circuit_ffs[1].index()], !ff0, "ff1 flipped");
+        // Other ffs shifted normally.
+        assert_eq!(after[p.circuit_ffs[2].index()], before[p.circuit_ffs[1].index()]);
+    }
+
+    #[test]
+    fn scan_out_is_chain_tail() {
+        let old = generators::shift_register(3);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        drv.set(p.scan_in.unwrap(), true);
+        drv.set(p.scan_en.unwrap(), true);
+        // After 3 shifts the 1 reaches the tail and appears on scan_out.
+        drv.clock();
+        drv.clock();
+        drv.clock();
+        let out = drv.peek();
+        assert!(out[p.scan_out.unwrap()], "scan_out sees the shifted 1");
+    }
+
+    #[test]
+    fn ff_roles_interleave() {
+        let old = generators::counter(3);
+        let inst = instrument(&old);
+        let p = inst.ports();
+        assert_eq!(p.circuit_ffs, vec![FfIndex::new(0), FfIndex::new(2), FfIndex::new(4)]);
+        assert_eq!(p.mask_ffs, vec![FfIndex::new(1), FfIndex::new(3), FfIndex::new(5)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Circuit instrumentation transforms.
+//!
+//! Each transform consumes a plain netlist and produces an
+//! [`InstrumentedCircuit`]: a new netlist in which every original
+//! flip-flop has been augmented (or replaced) by injection hardware, plus
+//! a description of the added control ports so a campaign controller —
+//! the software model in [`gate_level`](crate::gate_level), or a real one
+//! — can drive it.
+//!
+//! Conventions shared by all three transforms:
+//!
+//! - original primary inputs come first (same order), control inputs
+//!   after them;
+//! - original primary outputs come first (same order), added observation
+//!   outputs after them;
+//! - the *k*-th original flip-flop maps to the *k*-th entry of each role
+//!   vector in the port map, so fault lists translate 1:1.
+
+pub mod mask_scan;
+pub mod state_scan;
+pub mod time_mux;
+
+use seugrade_netlist::{FfIndex, Netlist};
+
+/// An instrumented netlist plus its control-port directory.
+#[derive(Clone, Debug)]
+pub struct InstrumentedCircuit {
+    netlist: Netlist,
+    ports: PortMap,
+}
+
+impl InstrumentedCircuit {
+    pub(crate) fn new(netlist: Netlist, ports: PortMap) -> Self {
+        InstrumentedCircuit { netlist, ports }
+    }
+
+    /// The transformed netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Control-port directory.
+    #[must_use]
+    pub fn ports(&self) -> &PortMap {
+        &self.ports
+    }
+}
+
+/// Indices of the added control inputs/outputs and the flip-flop role
+/// map of an instrumented circuit.
+///
+/// All `*_in` values index the instrumented netlist's primary inputs;
+/// `*_out` values index its primary outputs. `None` means the technique
+/// does not use that port.
+#[derive(Clone, Debug, Default)]
+pub struct PortMap {
+    /// Number of original (functional) inputs.
+    pub num_orig_inputs: usize,
+    /// Number of original (functional) outputs.
+    pub num_orig_outputs: usize,
+    /// Serial data into the mask / shadow scan chain.
+    pub scan_in: Option<usize>,
+    /// Shift enable for the mask / shadow scan chain.
+    pub scan_en: Option<usize>,
+    /// Capture pulse: copy circuit state into the shadow chain
+    /// (state-scan only).
+    pub capture: Option<usize>,
+    /// Transfer pulse: load shadow/checkpoint state into the circuit
+    /// flip-flops (state-scan: shadow→circuit; time-mux: state→golden).
+    pub load_state: Option<usize>,
+    /// Checkpoint pulse: golden→state (time-mux only).
+    pub save_state: Option<usize>,
+    /// Injection pulse.
+    pub inject: Option<usize>,
+    /// Select the faulty copy as the combinational network's state source
+    /// (time-mux only).
+    pub sel_faulty: Option<usize>,
+    /// Clock-enable of the golden copy (time-mux only).
+    pub ena_golden: Option<usize>,
+    /// Clock-enable of the faulty copy (time-mux only).
+    pub ena_faulty: Option<usize>,
+    /// Serial data out of the scan chain (output index).
+    pub scan_out: Option<usize>,
+    /// Golden/faulty state mismatch flag (output index, time-mux only).
+    pub state_diff: Option<usize>,
+    /// Per-original-FF instrument flip-flops, by role. `circuit_ffs` is
+    /// the functional copy (mask-/state-scan) or the *faulty* copy
+    /// (time-mux).
+    pub circuit_ffs: Vec<FfIndex>,
+    /// Mask flip-flops (mask-scan, time-mux).
+    pub mask_ffs: Vec<FfIndex>,
+    /// Shadow scan flip-flops (state-scan).
+    pub shadow_ffs: Vec<FfIndex>,
+    /// Golden-copy flip-flops (time-mux).
+    pub golden_ffs: Vec<FfIndex>,
+    /// Checkpoint flip-flops (time-mux).
+    pub state_ffs: Vec<FfIndex>,
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared helpers for instrumentation tests.
+
+    use seugrade_netlist::Netlist;
+    use seugrade_sim::{CompiledSim, SimState};
+
+    /// Drives an instrumented circuit with named control values.
+    pub struct Driver {
+        pub sim: CompiledSim,
+        pub st: SimState,
+        num_inputs: usize,
+        pub inputs: Vec<bool>,
+    }
+
+    impl Driver {
+        pub fn new(netlist: &Netlist) -> Self {
+            let sim = CompiledSim::new(netlist);
+            let st = sim.new_state();
+            let num_inputs = netlist.num_inputs();
+            Driver { sim, st, num_inputs, inputs: vec![false; netlist.num_inputs()] }
+        }
+
+        pub fn set(&mut self, idx: usize, v: bool) {
+            assert!(idx < self.num_inputs);
+            self.inputs[idx] = v;
+        }
+
+        pub fn set_functional(&mut self, vector: &[bool]) {
+            self.inputs[..vector.len()].copy_from_slice(vector);
+        }
+
+        /// One clock: eval with current inputs, capture outputs, step.
+        pub fn clock(&mut self) -> Vec<bool> {
+            let v = self.inputs.clone();
+            self.sim.set_inputs(&mut self.st, &v);
+            self.sim.eval(&mut self.st);
+            let out = self.sim.outputs_lane(&self.st, 0);
+            self.sim.step(&mut self.st);
+            out
+        }
+
+        /// Eval-only peek at outputs without clocking.
+        pub fn peek(&mut self) -> Vec<bool> {
+            let v = self.inputs.clone();
+            self.sim.set_inputs(&mut self.st, &v);
+            self.sim.eval(&mut self.st);
+            self.sim.outputs_lane(&self.st, 0)
+        }
+
+        pub fn state(&self) -> Vec<bool> {
+            self.sim.state_lane(&self.st, 0)
+        }
+    }
+}

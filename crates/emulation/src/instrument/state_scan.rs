@@ -1,0 +1,232 @@
+//! State-scan instrumentation (the paper's second technique).
+//!
+//! Every circuit flip-flop gets a **shadow** flip-flop; the shadows form
+//! a scan chain that can (a) be serially filled with an arbitrary state
+//! (`scan_en`/`scan_in`), (b) capture the circuit state in one pulse
+//! (`capture`) and (c) be transferred into the circuit flip-flops in one
+//! pulse (`load_state`).
+//!
+//! A fault `(ff, t)` is emulated by scanning in the golden state
+//! `S_t ⊕ e_ff` (precomputed by the golden run, stored in campaign RAM —
+//! the paper's dominant 7,289-kbit region), pulsing `load_state`, and
+//! running the test bench *from cycle `t`*, skipping the prefix replay
+//! that mask-scan pays for. The scan-out side (`scan_out`) simultaneously
+//! ejects the previous fault's captured end state, which the controller
+//! compares against the golden end state to split latent from silent —
+//! overlap that costs zero extra cycles.
+
+use seugrade_netlist::{CellKind, FfIndex, Netlist};
+
+use super::{InstrumentedCircuit, PortMap};
+
+/// Applies the state-scan transform.
+///
+/// Adds 4 control inputs (`scan_in`, `scan_en`, `capture`, `load_state`),
+/// 1 observation output (`scan_out`) and one shadow flip-flop per
+/// original flip-flop (2× total flip-flops, matching Table 1's ~101 % FF
+/// overhead).
+///
+/// # Panics
+///
+/// Panics if the input netlist has no flip-flops.
+#[must_use]
+pub fn instrument(old: &Netlist) -> InstrumentedCircuit {
+    assert!(old.num_ffs() > 0, "state-scan needs at least one flip-flop");
+    let mut b = seugrade_netlist::NetlistBuilder::new(format!("{}_statescan", old.name()));
+    let mut map = vec![seugrade_netlist::SigId::new(0); old.num_cells()];
+
+    for (sig, name) in old.inputs().iter().zip(old.input_names()) {
+        map[sig.index()] = b.input(name.clone());
+    }
+    let scan_in = b.input("ssc_scan_in");
+    let scan_en = b.input("ssc_scan_en");
+    let capture = b.input("ssc_capture");
+    let load_state = b.input("ssc_load_state");
+    let base = old.num_inputs();
+
+    let mut circuit_ffs = Vec::with_capacity(old.num_ffs());
+    let mut shadow_ffs = Vec::with_capacity(old.num_ffs());
+    let mut circuit_q = Vec::with_capacity(old.num_ffs());
+    let mut shadow_q = Vec::with_capacity(old.num_ffs());
+    for (k, &ff) in old.ffs().iter().enumerate() {
+        let CellKind::Dff { init } = old.cell(ff).kind() else { unreachable!() };
+        let q = b.dff(init);
+        b.name_signal(q, format!("u{k}_ff"));
+        circuit_ffs.push(FfIndex::new(2 * k));
+        circuit_q.push(q);
+        let s = b.dff(false);
+        b.name_signal(s, format!("u{k}_shadow"));
+        shadow_ffs.push(FfIndex::new(2 * k + 1));
+        shadow_q.push(s);
+        map[ff.index()] = q;
+    }
+
+    for (sig, cell) in old.iter_cells() {
+        if let CellKind::Const(v) = cell.kind() {
+            map[sig.index()] = b.constant(v);
+        }
+    }
+    let order = old.levelize().expect("validated netlist");
+    for &sig in order.order() {
+        let cell = old.cell(sig);
+        let CellKind::Gate(kind) = cell.kind() else { unreachable!() };
+        let pins: Vec<_> = cell.pins().iter().map(|p| map[p.index()]).collect();
+        map[sig.index()] = b.gate(kind, &pins);
+    }
+
+    for (k, &ff) in old.ffs().iter().enumerate() {
+        let d_orig = map[old.cell(ff).pins()[0].index()];
+        // shadow: capture beats shift beats hold.
+        let prev = if k == 0 { scan_in } else { shadow_q[k - 1] };
+        let shifted = b.mux(scan_en, shadow_q[k], prev);
+        let shadow_d = b.mux(capture, shifted, circuit_q[k]);
+        b.connect_dff(shadow_q[k], shadow_d).expect("shadow dff wiring");
+        // circuit: load_state beats normal operation.
+        let d_new = b.mux(load_state, d_orig, shadow_q[k]);
+        b.connect_dff(circuit_q[k], d_new).expect("circuit dff wiring");
+    }
+
+    for (name, sig) in old.outputs() {
+        b.output(name.clone(), map[sig.index()]);
+    }
+    b.output("ssc_scan_out", *shadow_q.last().expect("at least one ff"));
+
+    let netlist = b.finish().expect("state-scan instrumentation is valid");
+    let ports = PortMap {
+        num_orig_inputs: old.num_inputs(),
+        num_orig_outputs: old.num_outputs(),
+        scan_in: Some(base),
+        scan_en: Some(base + 1),
+        capture: Some(base + 2),
+        load_state: Some(base + 3),
+        scan_out: Some(old.num_outputs()),
+        circuit_ffs,
+        shadow_ffs,
+        ..PortMap::default()
+    };
+    InstrumentedCircuit::new(netlist, ports)
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators;
+    use seugrade_sim::{CompiledSim, Testbench};
+
+    use crate::instrument::test_support::Driver;
+    use super::*;
+
+    #[test]
+    fn structural_overheads() {
+        let old = generators::lfsr(8, &[7, 5, 4, 3]);
+        let inst = instrument(&old);
+        assert_eq!(inst.netlist().num_ffs(), 16);
+        assert_eq!(inst.netlist().num_inputs(), old.num_inputs() + 4);
+        assert_eq!(inst.netlist().num_outputs(), old.num_outputs() + 1);
+    }
+
+    #[test]
+    fn idle_instrument_tracks_original() {
+        let old = generators::lfsr(5, &[4, 2]);
+        let inst = instrument(&old);
+        let golden = CompiledSim::new(&old).run_golden(&Testbench::constant_low(0, 25));
+        let mut drv = Driver::new(inst.netlist());
+        for t in 0..25 {
+            let out = drv.clock();
+            assert_eq!(&out[..old.num_outputs()], golden.output_at(t), "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn scan_in_then_load_sets_circuit_state() {
+        let old = generators::shift_register(4);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        // Scan pattern 1,0,1,1 (MSB-first into the chain: the value for
+        // the *last* ff enters first).
+        let target = [true, false, true, true];
+        drv.set(p.scan_en.unwrap(), true);
+        for &bit in target.iter().rev() {
+            drv.set(p.scan_in.unwrap(), bit);
+            drv.clock();
+        }
+        drv.set(p.scan_en.unwrap(), false);
+        // Shadows hold the pattern; transfer.
+        drv.set(p.load_state.unwrap(), true);
+        drv.clock();
+        drv.set(p.load_state.unwrap(), false);
+        let st = drv.state();
+        let circuit: Vec<bool> = p.circuit_ffs.iter().map(|f| st[f.index()]).collect();
+        assert_eq!(circuit, target);
+    }
+
+    #[test]
+    fn capture_then_scan_out_reads_state() {
+        let old = generators::counter(3);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        // Run 5 cycles: counter = 5 = 101.
+        for _ in 0..5 {
+            drv.clock();
+        }
+        drv.set(p.capture.unwrap(), true);
+        drv.clock();
+        drv.set(p.capture.unwrap(), false);
+        // Counter keeps running but the shadow now holds 5; scan it out.
+        drv.set(p.scan_en.unwrap(), true);
+        let mut bits = Vec::new();
+        for _ in 0..3 {
+            let out = drv.peek();
+            bits.push(out[p.scan_out.unwrap()]);
+            drv.clock();
+        }
+        // Chain tail is the last ff (bit 2); shifting ejects bit2, bit1, bit0.
+        assert_eq!(bits, vec![true, false, true], "captured 5 = 101");
+    }
+
+    #[test]
+    fn load_state_overrides_normal_next_state() {
+        // Counter would advance to 1, but loading zeros must hold it at 0.
+        let old = generators::counter(4);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        drv.set(p.load_state.unwrap(), true);
+        drv.clock(); // shadows are all 0 -> circuit stays 0
+        drv.set(p.load_state.unwrap(), false);
+        let st = drv.state();
+        assert!(p.circuit_ffs.iter().all(|f| !st[f.index()]));
+    }
+
+    #[test]
+    fn simultaneous_scan_in_and_out_overlap() {
+        // While scanning in a new state, the old captured state leaves
+        // through scan_out: verify both data streams are intact.
+        let old = generators::shift_register(3);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        // Put 1s into the circuit (din=1 for 3 cycles).
+        drv.set_functional(&[true]);
+        drv.clock();
+        drv.clock();
+        drv.clock();
+        // Capture (all ones).
+        drv.set(p.capture.unwrap(), true);
+        drv.clock();
+        drv.set(p.capture.unwrap(), false);
+        // Scan in zeros while reading out ones.
+        drv.set(p.scan_en.unwrap(), true);
+        drv.set(p.scan_in.unwrap(), false);
+        let mut ejected = Vec::new();
+        for _ in 0..3 {
+            let out = drv.peek();
+            ejected.push(out[p.scan_out.unwrap()]);
+            drv.clock();
+        }
+        assert_eq!(ejected, vec![true, true, true], "old state out");
+        let st = drv.state();
+        assert!(p.shadow_ffs.iter().all(|f| !st[f.index()]), "new state in");
+    }
+}

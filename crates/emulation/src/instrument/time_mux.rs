@@ -1,0 +1,343 @@
+//! Time-multiplexed instrumentation — the paper's Figure 1 and its key
+//! original contribution.
+//!
+//! Every original flip-flop is replaced by a four-flip-flop *instrument*:
+//!
+//! ```text
+//!              ┌────────────┐
+//!   DataIn ───►│  GOLDEN ff │──GoldenQ──┐
+//!   (shared    │  en: EnaG  │           │
+//!   comb net)  └────────────┘           ├──► DataOut = sel_faulty
+//!              ┌────────────┐           │      ? FaultyQ : GoldenQ
+//!   DataIn ───►│  FAULTY ff │──FaultyQ──┘        (drives comb net)
+//!              │  en: EnaF  │
+//!              │  Inject:   │      ┌──────────┐
+//!              │   GoldenQ ⊕│◄─────│  MASK ff │◄── scan chain
+//!              │     MaskQ  │      └──────────┘
+//!              └────────────┘      ┌──────────┐
+//!   SaveState: StateQ ◄─ GoldenQ   │ STATE ff │  (checkpoint)
+//!   LoadState: GoldenQ ◄─ StateQ   └──────────┘
+//!   mismatch = GoldenQ ⊕ FaultyQ ──► OR-tree ──► state_diff
+//! ```
+//!
+//! The golden and the faulty machine share one combinational network and
+//! advance in **alternating clock cycles** (`sel_faulty` + the two
+//! enables). Because both states are present simultaneously:
+//!
+//! - injection is a single-cycle parallel copy golden→faulty with the
+//!   masked bit flipped — no test-bench replay, no scan;
+//! - `state_diff` (the OR of all golden/faulty mismatches) detects fault
+//!   *disappearance* the moment it happens, so silent faults terminate
+//!   early — the mechanism behind the technique's order-of-magnitude win
+//!   in Table 2;
+//! - the STATE checkpoint restores the golden machine after each fault,
+//!   so the campaign walks the test bench once instead of once per fault.
+
+use seugrade_netlist::{CellKind, FfIndex, GateKind, Netlist};
+
+use super::{InstrumentedCircuit, PortMap};
+
+/// Applies the time-multiplexed transform.
+///
+/// Adds 8 control inputs, 2 observation outputs (`state_diff`,
+/// `scan_out`) and exactly 4 flip-flops per original flip-flop (matching
+/// Table 1's ~300 % FF overhead).
+///
+/// # Panics
+///
+/// Panics if the input netlist has no flip-flops.
+#[must_use]
+pub fn instrument(old: &Netlist) -> InstrumentedCircuit {
+    assert!(old.num_ffs() > 0, "time-mux needs at least one flip-flop");
+    let mut b = seugrade_netlist::NetlistBuilder::new(format!("{}_timemux", old.name()));
+    let mut map = vec![seugrade_netlist::SigId::new(0); old.num_cells()];
+
+    for (sig, name) in old.inputs().iter().zip(old.input_names()) {
+        map[sig.index()] = b.input(name.clone());
+    }
+    let sel_faulty = b.input("tmx_sel_faulty");
+    let ena_golden = b.input("tmx_ena_golden");
+    let ena_faulty = b.input("tmx_ena_faulty");
+    let inject = b.input("tmx_inject");
+    let save_state = b.input("tmx_save_state");
+    let load_state = b.input("tmx_load_state");
+    let scan_en = b.input("tmx_scan_en");
+    let scan_in = b.input("tmx_scan_in");
+    let base = old.num_inputs();
+
+    let n = old.num_ffs();
+    let mut golden_ffs = Vec::with_capacity(n);
+    let mut faulty_ffs = Vec::with_capacity(n);
+    let mut mask_ffs = Vec::with_capacity(n);
+    let mut state_ffs = Vec::with_capacity(n);
+    let mut golden_q = Vec::with_capacity(n);
+    let mut faulty_q = Vec::with_capacity(n);
+    let mut mask_q = Vec::with_capacity(n);
+    let mut state_q = Vec::with_capacity(n);
+    for (k, &ff) in old.ffs().iter().enumerate() {
+        let CellKind::Dff { init } = old.cell(ff).kind() else { unreachable!() };
+        let g = b.dff(init);
+        b.name_signal(g, format!("u{k}_golden"));
+        golden_ffs.push(FfIndex::new(4 * k));
+        golden_q.push(g);
+        let f = b.dff(init);
+        b.name_signal(f, format!("u{k}_faulty"));
+        faulty_ffs.push(FfIndex::new(4 * k + 1));
+        faulty_q.push(f);
+        let m = b.dff(false);
+        b.name_signal(m, format!("u{k}_mask"));
+        mask_ffs.push(FfIndex::new(4 * k + 2));
+        mask_q.push(m);
+        let s = b.dff(init);
+        b.name_signal(s, format!("u{k}_state"));
+        state_ffs.push(FfIndex::new(4 * k + 3));
+        state_q.push(s);
+        // DataOut: the combinational network reads the selected copy.
+        let data_out = b.mux(sel_faulty, g, f);
+        b.name_signal(data_out, format!("u{k}_dataout"));
+        map[ff.index()] = data_out;
+    }
+
+    for (sig, cell) in old.iter_cells() {
+        if let CellKind::Const(v) = cell.kind() {
+            map[sig.index()] = b.constant(v);
+        }
+    }
+    let order = old.levelize().expect("validated netlist");
+    for &sig in order.order() {
+        let cell = old.cell(sig);
+        let CellKind::Gate(kind) = cell.kind() else { unreachable!() };
+        let pins: Vec<_> = cell.pins().iter().map(|p| map[p.index()]).collect();
+        map[sig.index()] = b.gate(kind, &pins);
+    }
+
+    let mut mismatches = Vec::with_capacity(n);
+    for (k, &ff) in old.ffs().iter().enumerate() {
+        let d_orig = map[old.cell(ff).pins()[0].index()];
+        // GOLDEN: enable, then checkpoint restore has priority.
+        let g_run = b.mux(ena_golden, golden_q[k], d_orig);
+        let g_d = b.mux(load_state, g_run, state_q[k]);
+        b.connect_dff(golden_q[k], g_d).expect("golden wiring");
+        // FAULTY: enable, then injection (parallel copy with flip) has
+        // priority.
+        let f_run = b.mux(ena_faulty, faulty_q[k], d_orig);
+        let flip = b.xor2(golden_q[k], mask_q[k]);
+        let f_d = b.mux(inject, f_run, flip);
+        b.connect_dff(faulty_q[k], f_d).expect("faulty wiring");
+        // MASK scan chain.
+        let prev = if k == 0 { scan_in } else { mask_q[k - 1] };
+        let m_d = b.mux(scan_en, mask_q[k], prev);
+        b.connect_dff(mask_q[k], m_d).expect("mask wiring");
+        // STATE checkpoint.
+        let s_d = b.mux(save_state, state_q[k], golden_q[k]);
+        b.connect_dff(state_q[k], s_d).expect("state wiring");
+        // Comparator leg.
+        mismatches.push(b.xor2(golden_q[k], faulty_q[k]));
+    }
+    let state_diff = if mismatches.len() == 1 {
+        b.buf(mismatches[0])
+    } else {
+        b.gate(GateKind::Or, &mismatches)
+    };
+
+    for (name, sig) in old.outputs() {
+        b.output(name.clone(), map[sig.index()]);
+    }
+    b.output("tmx_state_diff", state_diff);
+    b.output("tmx_scan_out", *mask_q.last().expect("at least one ff"));
+
+    let netlist = b.finish().expect("time-mux instrumentation is valid");
+    let ports = PortMap {
+        num_orig_inputs: old.num_inputs(),
+        num_orig_outputs: old.num_outputs(),
+        sel_faulty: Some(base),
+        ena_golden: Some(base + 1),
+        ena_faulty: Some(base + 2),
+        inject: Some(base + 3),
+        save_state: Some(base + 4),
+        load_state: Some(base + 5),
+        scan_en: Some(base + 6),
+        scan_in: Some(base + 7),
+        state_diff: Some(old.num_outputs()),
+        scan_out: Some(old.num_outputs() + 1),
+        circuit_ffs: faulty_ffs,
+        mask_ffs,
+        golden_ffs,
+        state_ffs,
+        ..PortMap::default()
+    };
+    InstrumentedCircuit::new(netlist, ports)
+}
+
+/// Figure 1 inventory: the per-flip-flop cell cost of the instrument —
+/// 4 DFFs (golden, faulty, mask, state), 7 muxes (DataOut selector,
+/// golden enable + restore, faulty enable + inject, mask shift, state
+/// save) and 2 XORs (injection flip, mismatch comparator). Used by the
+/// Figure-1 reproduction bench.
+#[must_use]
+pub fn figure1_inventory() -> [(&'static str, usize); 3] {
+    [("dff", 4), ("mux", 7), ("xor", 2)]
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators;
+    use seugrade_sim::{CompiledSim, Testbench};
+
+    use crate::instrument::test_support::Driver;
+    use super::*;
+
+    /// Idle control word: golden runs, faulty frozen.
+    fn golden_running(drv: &mut Driver, p: &PortMap) {
+        drv.set(p.sel_faulty.unwrap(), false);
+        drv.set(p.ena_golden.unwrap(), true);
+        drv.set(p.ena_faulty.unwrap(), false);
+    }
+
+    #[test]
+    fn structural_overheads() {
+        let old = generators::lfsr(8, &[7, 5, 4, 3]);
+        let inst = instrument(&old);
+        assert_eq!(inst.netlist().num_ffs(), 32, "4x flip-flops");
+        assert_eq!(inst.netlist().num_inputs(), old.num_inputs() + 8);
+        assert_eq!(inst.netlist().num_outputs(), old.num_outputs() + 2);
+    }
+
+    #[test]
+    fn golden_copy_tracks_original() {
+        let old = generators::lfsr(6, &[5, 4]);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let golden = CompiledSim::new(&old).run_golden(&Testbench::constant_low(0, 25));
+        let mut drv = Driver::new(inst.netlist());
+        golden_running(&mut drv, &p);
+        for t in 0..25 {
+            let out = drv.clock();
+            assert_eq!(&out[..old.num_outputs()], golden.output_at(t), "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn inject_copies_golden_with_flip() {
+        let old = generators::counter(4);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        golden_running(&mut drv, &p);
+        // Advance golden to 5.
+        for _ in 0..5 {
+            drv.clock();
+        }
+        // Mask at ff2 (two shifts after inserting 1... chain: insert then
+        // shift once more to reach position 2? Insert puts it at position
+        // 0; k shifts move to position k).
+        drv.set(p.scan_en.unwrap(), true);
+        drv.set(p.scan_in.unwrap(), true);
+        drv.set(p.ena_golden.unwrap(), false); // freeze golden while scanning
+        drv.clock();
+        drv.set(p.scan_in.unwrap(), false);
+        drv.clock();
+        drv.clock();
+        drv.set(p.scan_en.unwrap(), false);
+        // Inject.
+        drv.set(p.inject.unwrap(), true);
+        drv.clock();
+        drv.set(p.inject.unwrap(), false);
+        let st = drv.state();
+        let g: Vec<bool> = p.golden_ffs.iter().map(|f| st[f.index()]).collect();
+        let f: Vec<bool> = p.circuit_ffs.iter().map(|f| st[f.index()]).collect();
+        assert_eq!(g, vec![true, false, true, false], "golden still 5");
+        assert_eq!(f, vec![true, false, false, false], "faulty = 5 ^ bit2 = 1");
+        // state_diff must be up now.
+        let out = drv.peek();
+        assert!(out[p.state_diff.unwrap()]);
+    }
+
+    #[test]
+    fn save_and_load_checkpoint_golden() {
+        let old = generators::counter(4);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        golden_running(&mut drv, &p);
+        for _ in 0..9 {
+            drv.clock();
+        }
+        // checkpoint 9
+        drv.set(p.save_state.unwrap(), true);
+        drv.set(p.ena_golden.unwrap(), false);
+        drv.clock();
+        drv.set(p.save_state.unwrap(), false);
+        // run golden 3 more cycles (12)
+        drv.set(p.ena_golden.unwrap(), true);
+        drv.clock();
+        drv.clock();
+        drv.clock();
+        // restore
+        drv.set(p.load_state.unwrap(), true);
+        drv.clock();
+        drv.set(p.load_state.unwrap(), false);
+        let st = drv.state();
+        let g: Vec<bool> = p.golden_ffs.iter().map(|f| st[f.index()]).collect();
+        assert_eq!(g, vec![true, false, false, true], "restored to 9");
+    }
+
+    #[test]
+    fn alternating_emulation_matches_two_machines() {
+        // Run golden and faulty alternately for a counter, with faulty
+        // injected +bit0 at value 3; both must advance independently.
+        let old = generators::counter(3);
+        let inst = instrument(&old);
+        let p = inst.ports().clone();
+        let mut drv = Driver::new(inst.netlist());
+        golden_running(&mut drv, &p);
+        for _ in 0..3 {
+            drv.clock();
+        }
+        // inject with empty mask = plain copy golden->faulty (no flip).
+        drv.set(p.ena_golden.unwrap(), false);
+        drv.set(p.inject.unwrap(), true);
+        drv.clock();
+        drv.set(p.inject.unwrap(), false);
+        // Alternate: faulty cycle then golden cycle, 4 times.
+        for _ in 0..4 {
+            // faulty cycle
+            drv.set(p.sel_faulty.unwrap(), true);
+            drv.set(p.ena_faulty.unwrap(), true);
+            drv.set(p.ena_golden.unwrap(), false);
+            drv.clock();
+            // golden cycle
+            drv.set(p.sel_faulty.unwrap(), false);
+            drv.set(p.ena_faulty.unwrap(), false);
+            drv.set(p.ena_golden.unwrap(), true);
+            drv.clock();
+        }
+        let st = drv.state();
+        let g: Vec<bool> = p.golden_ffs.iter().map(|f| st[f.index()]).collect();
+        let f: Vec<bool> = p.circuit_ffs.iter().map(|f| st[f.index()]).collect();
+        assert_eq!(g, vec![true, true, true], "golden 3+4=7");
+        assert_eq!(f, vec![true, true, true], "faulty copy also 3+4=7");
+        let out = drv.peek();
+        assert!(!out[p.state_diff.unwrap()], "identical copies converge");
+    }
+
+    #[test]
+    fn figure1_inventory_matches_structure() {
+        // Instrument a 1-FF circuit and verify the per-FF cell counts of
+        // Figure 1 (4 dffs, 7 muxes, 2 xors) plus the network.
+        let old = generators::shift_register(1);
+        let inst = instrument(&old);
+        let stats = inst.netlist().stats();
+        assert_eq!(stats.num_ffs(), 4);
+        assert_eq!(stats.gate_count(GateKind::Mux), 7);
+        assert_eq!(stats.gate_count(GateKind::Xor), 2);
+        for (name, count) in figure1_inventory() {
+            match name {
+                "dff" => assert_eq!(stats.num_ffs(), count),
+                "mux" => assert_eq!(stats.gate_count(GateKind::Mux), count),
+                "xor" => assert_eq!(stats.gate_count(GateKind::Xor), count),
+                _ => unreachable!(),
+            }
+        }
+    }
+}

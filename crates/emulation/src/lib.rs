@@ -1,0 +1,52 @@
+//! Autonomous FPGA fault-emulation system — the DATE'05 contribution.
+//!
+//! The paper moves the *entire* SEU fault-injection campaign into the
+//! FPGA: stimuli application, fault injection, output checking and fault
+//! classification all run in hardware, with host communication only at
+//! the start and end. Three circuit-instrumentation techniques implement
+//! this idea; this crate reproduces all three as *real netlist
+//! transforms* plus cycle-accurate campaign controllers:
+//!
+//! | module | paper concept |
+//! |--------|---------------|
+//! | [`instrument::mask_scan`] | mask flip-flop per circuit flip-flop marks the injection target; the test bench restarts per fault |
+//! | [`instrument::state_scan`] | shadow scan chain inserts a corrupted state directly, skipping the test-bench prefix |
+//! | [`instrument::time_mux`] | Figure 1 instrument: golden + faulty + mask + state flip-flops; golden/faulty runs alternate cycles, with checkpointing and early classification |
+//! | [`controller`] | per-technique campaign schedules with exact cycle accounting (Table 2) |
+//! | [`ram`] | campaign memory regions and their board/FPGA placement (Table 1's RAM column) |
+//! | [`controller_netlist`] | synthesizable controller models (Table 1's emulator-system rows) |
+//! | [`hostlink`] | the host-controlled emulation baseline of Civera et al. [2] (≈100 µs/fault) |
+//! | [`campaign`] | end-to-end autonomous campaign: grading verdicts + emulation time |
+//! | [`gate_level`] | drives the instrumented netlists cycle by cycle like the FPGA controller would, proving the transforms classify identically to the software oracle |
+//!
+//! # Example — grade a circuit with all three techniques
+//!
+//! ```
+//! use seugrade_circuits::generators;
+//! use seugrade_emulation::campaign::{AutonomousCampaign, Technique};
+//! use seugrade_sim::Testbench;
+//!
+//! let circuit = generators::lfsr(8, &[7, 5, 4, 3]);
+//! let tb = Testbench::constant_low(0, 24);
+//! let campaign = AutonomousCampaign::new(&circuit, &tb);
+//! for technique in Technique::ALL {
+//!     let report = campaign.run(technique);
+//!     assert_eq!(report.summary.total(), 8 * 24);
+//!     assert!(report.timing.total_cycles > 0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod campaign;
+pub mod controller;
+pub mod controller_netlist;
+pub mod gate_level;
+pub mod hostlink;
+pub mod instrument;
+pub mod ram;
+
+pub use campaign::{AutonomousCampaign, EmulationReport, Technique};
+pub use controller::{CampaignTiming, ClockHz};

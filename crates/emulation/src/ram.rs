@@ -1,0 +1,253 @@
+//! Campaign memory planning (Table 1's RAM column).
+//!
+//! The autonomous emulator stores everything the campaign needs in RAM:
+//! stimuli, golden responses, per-fault state vectors and the result log.
+//! Regions read or written every emulation cycle live in on-FPGA block
+//! RAM; bulk regions live in the board's external SRAM (the RC1000's
+//! 8 MB). This module reproduces the placement and the bit counts, which
+//! is how the paper's seemingly odd numbers (7,289 kbit for state-scan,
+//! 33 kbit for mask-scan) decompose.
+
+use std::fmt;
+
+use crate::campaign::Technique;
+
+/// Where a region is placed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// On-FPGA block RAM (read every cycle).
+    Fpga,
+    /// On-board external SRAM (bulk, accessed per fault).
+    Board,
+}
+
+/// One named memory region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RamRegion {
+    /// Region name (stable identifiers, e.g. `stimuli`).
+    pub name: &'static str,
+    /// Size in bits.
+    pub bits: u64,
+    /// Placement.
+    pub placement: Placement,
+}
+
+/// The full memory plan of one campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RamPlan {
+    technique: Technique,
+    regions: Vec<RamRegion>,
+}
+
+/// Campaign dimensions needed for memory planning.
+#[derive(Clone, Copy, Debug)]
+pub struct RamParams {
+    /// Primary inputs of the circuit under test.
+    pub num_inputs: usize,
+    /// Primary outputs of the circuit under test.
+    pub num_outputs: usize,
+    /// Flip-flops of the circuit under test.
+    pub num_ffs: usize,
+    /// Test-bench cycles.
+    pub num_cycles: usize,
+    /// Faults in the campaign.
+    pub num_faults: usize,
+}
+
+impl RamPlan {
+    /// Plans the memory for one technique.
+    #[must_use]
+    pub fn plan(technique: Technique, p: &RamParams) -> Self {
+        let mut regions = vec![RamRegion {
+            name: "stimuli",
+            bits: p.num_inputs as u64 * p.num_cycles as u64,
+            placement: Placement::Fpga,
+        }];
+        match technique {
+            Technique::MaskScan => {
+                regions.push(RamRegion {
+                    name: "golden_outputs",
+                    bits: p.num_outputs as u64 * p.num_cycles as u64,
+                    placement: Placement::Fpga,
+                });
+                // 1 result bit per fault: mask-scan natively observes
+                // only failure / no-failure (Table 1: 33 kbit ≈ 34,400
+                // bits).
+                regions.push(RamRegion {
+                    name: "results",
+                    bits: p.num_faults as u64,
+                    placement: Placement::Board,
+                });
+            }
+            Technique::StateScan => {
+                regions.push(RamRegion {
+                    name: "golden_outputs",
+                    bits: p.num_outputs as u64 * p.num_cycles as u64,
+                    placement: Placement::Fpga,
+                });
+                regions.push(RamRegion {
+                    name: "golden_end_state",
+                    bits: p.num_ffs as u64,
+                    placement: Placement::Fpga,
+                });
+                // One full scan-in state vector per fault — the paper's
+                // dominant 7,289 kbit region (215 × 34,400 bits).
+                regions.push(RamRegion {
+                    name: "scan_states",
+                    bits: p.num_ffs as u64 * p.num_faults as u64,
+                    placement: Placement::Board,
+                });
+                regions.push(RamRegion {
+                    name: "results",
+                    bits: 2 * p.num_faults as u64,
+                    placement: Placement::Board,
+                });
+            }
+            Technique::TimeMux => {
+                // No golden responses at all: the golden machine runs
+                // concurrently (Table 1: FPGA RAM is stimuli only).
+                regions.push(RamRegion {
+                    name: "results",
+                    bits: 2 * p.num_faults as u64,
+                    placement: Placement::Board,
+                });
+            }
+        }
+        RamPlan { technique, regions }
+    }
+
+    /// The technique this plan belongs to.
+    #[must_use]
+    pub fn technique(&self) -> Technique {
+        self.technique
+    }
+
+    /// All regions.
+    #[must_use]
+    pub fn regions(&self) -> &[RamRegion] {
+        &self.regions
+    }
+
+    /// Looks up a region by name.
+    #[must_use]
+    pub fn region(&self, name: &str) -> Option<&RamRegion> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Total on-FPGA bits.
+    #[must_use]
+    pub fn fpga_bits(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter(|r| r.placement == Placement::Fpga)
+            .map(|r| r.bits)
+            .sum()
+    }
+
+    /// Total on-board bits.
+    #[must_use]
+    pub fn board_bits(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter(|r| r.placement == Placement::Board)
+            .map(|r| r.bits)
+            .sum()
+    }
+
+    /// Kilobits (1024-bit units) on the FPGA, Table 1 convention.
+    #[must_use]
+    pub fn fpga_kbits(&self) -> f64 {
+        self.fpga_bits() as f64 / 1024.0
+    }
+
+    /// Kilobits on the board RAM, Table 1 convention.
+    #[must_use]
+    pub fn board_kbits(&self) -> f64 {
+        self.board_bits() as f64 / 1024.0
+    }
+}
+
+impl fmt::Display for RamPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} RAM plan: {:.1} kbit board / {:.1} kbit FPGA",
+            self.technique,
+            self.board_kbits(),
+            self.fpga_kbits()
+        )?;
+        for r in &self.regions {
+            writeln!(
+                f,
+                "  {:<18} {:>12} bits  ({})",
+                r.name,
+                r.bits,
+                match r.placement {
+                    Placement::Fpga => "FPGA",
+                    Placement::Board => "board",
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// b14/160 campaign dimensions.
+    fn b14() -> RamParams {
+        RamParams {
+            num_inputs: 32,
+            num_outputs: 54,
+            num_ffs: 215,
+            num_cycles: 160,
+            num_faults: 34_400,
+        }
+    }
+
+    #[test]
+    fn mask_scan_matches_paper_scale() {
+        let plan = RamPlan::plan(Technique::MaskScan, &b14());
+        // FPGA: stimuli 5,120 + golden outputs 8,640 = 13,760 bits
+        // = 13.4 kbit (paper: 13.4).
+        assert_eq!(plan.fpga_bits(), 13_760);
+        assert!((plan.fpga_kbits() - 13.4).abs() < 0.1);
+        // Board: 34,400 result bits = 33.6 kbit (paper: 33).
+        assert_eq!(plan.board_bits(), 34_400);
+        assert!((plan.board_kbits() - 33.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn state_scan_matches_paper_scale() {
+        let plan = RamPlan::plan(Technique::StateScan, &b14());
+        // Scan states: 215 × 34,400 = 7,396,000 bits = 7,223 kbit;
+        // paper prints 7,289 kbit — same region, within 1 %.
+        let scan = plan.region("scan_states").unwrap();
+        assert_eq!(scan.bits, 7_396_000);
+        let paper_kbits = 7_289.0;
+        let ratio = plan.board_kbits() / paper_kbits;
+        assert!((0.95..1.05).contains(&ratio), "ratio {ratio}");
+        assert_eq!(plan.fpga_bits(), 13_760 + 215);
+    }
+
+    #[test]
+    fn time_mux_matches_paper_scale() {
+        let plan = RamPlan::plan(Technique::TimeMux, &b14());
+        // FPGA: stimuli only, 5,120 bits = 5.0 kbit (paper: 5.3).
+        assert_eq!(plan.fpga_bits(), 5_120);
+        assert!(plan.region("golden_outputs").is_none());
+        // Board: 2 × 34,400 = 68,800 bits = 67.2 kbit (paper: 67).
+        assert_eq!(plan.board_bits(), 68_800);
+        assert!((plan.board_kbits() - 67.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn display_lists_regions() {
+        let plan = RamPlan::plan(Technique::StateScan, &b14());
+        let text = plan.to_string();
+        assert!(text.contains("scan_states"));
+        assert!(text.contains("board"));
+    }
+}

@@ -1,0 +1,442 @@
+//! The fault-grading engines.
+
+use seugrade_netlist::Netlist;
+use seugrade_sim::{broadcast, CompiledSim, GoldenTrace, SimState, Testbench};
+
+use crate::{Fault, FaultClass, FaultOutcome};
+
+/// Fault grader: compiled simulator + golden trace for one
+/// (circuit, test bench) pair, with serial and bit-parallel engines.
+///
+/// All engines implement the classification semantics documented at the
+/// [crate root](crate); the test suite enforces that they agree fault by
+/// fault.
+#[derive(Debug)]
+pub struct Grader {
+    sim: CompiledSim,
+    tb: Testbench,
+    golden: GoldenTrace,
+}
+
+impl Grader {
+    /// Builds the grader (runs the golden reference once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test bench width does not match the netlist's inputs.
+    #[must_use]
+    pub fn new(netlist: &Netlist, tb: &Testbench) -> Self {
+        assert_eq!(
+            tb.num_inputs(),
+            netlist.num_inputs(),
+            "test bench width does not match circuit"
+        );
+        let sim = CompiledSim::new(netlist);
+        let golden = sim.run_golden(tb);
+        Grader { sim, tb: tb.clone(), golden }
+    }
+
+    /// The golden reference trace.
+    #[must_use]
+    pub fn golden(&self) -> &GoldenTrace {
+        &self.golden
+    }
+
+    /// The compiled simulator (shared with emulation models).
+    #[must_use]
+    pub fn sim(&self) -> &CompiledSim {
+        &self.sim
+    }
+
+    /// The test bench.
+    #[must_use]
+    pub fn testbench(&self) -> &Testbench {
+        &self.tb
+    }
+
+    // ------------------------------------------------------------------
+    // Serial engine (reference implementation)
+    // ------------------------------------------------------------------
+
+    /// Grades one fault with the straightforward serial algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault's cycle is outside the test bench or its
+    /// flip-flop index outside the circuit.
+    #[must_use]
+    pub fn classify_serial(&self, fault: Fault) -> FaultOutcome {
+        let n_cycles = self.tb.num_cycles();
+        let t = fault.cycle as usize;
+        assert!(t < n_cycles, "fault cycle out of range");
+        let mut st = self.sim.new_state();
+        self.sim.load_state(&mut st, self.golden.state_at(t));
+        self.sim.flip_ff_lane(&mut st, fault.ff, 0);
+        for u in t..n_cycles {
+            self.sim.set_inputs(&mut st, self.tb.cycle(u));
+            self.sim.eval(&mut st);
+            if self.sim.outputs_lane(&st, 0) != self.golden.output_at(u) {
+                return FaultOutcome::failure(u as u32);
+            }
+            self.sim.step(&mut st);
+            if self.sim.state_lane(&st, 0) == self.golden.state_at(u + 1) {
+                return FaultOutcome::silent(u as u32);
+            }
+        }
+        FaultOutcome::latent()
+    }
+
+    /// Grades a fault list serially, in order.
+    #[must_use]
+    pub fn run_serial(&self, faults: &[Fault]) -> Vec<FaultOutcome> {
+        faults.iter().map(|&f| self.classify_serial(f)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Bit-parallel engine (64 faults per pass)
+    // ------------------------------------------------------------------
+
+    /// Grades a fault list with the bit-parallel engine: faults sharing an
+    /// injection cycle are packed 64 to a simulation pass. Outcomes are
+    /// returned in the order of `faults`.
+    #[must_use]
+    pub fn run_parallel(&self, faults: &[Fault]) -> Vec<FaultOutcome> {
+        let mut st = self.sim.new_state();
+        let mut outcomes = vec![FaultOutcome::latent(); faults.len()];
+        // Group indices by injection cycle, preserving order inside a group.
+        let mut by_cycle: Vec<Vec<usize>> = vec![Vec::new(); self.tb.num_cycles()];
+        for (i, f) in faults.iter().enumerate() {
+            assert!(
+                (f.cycle as usize) < self.tb.num_cycles(),
+                "fault cycle out of range"
+            );
+            by_cycle[f.cycle as usize].push(i);
+        }
+        for (t, group) in by_cycle.iter().enumerate() {
+            for chunk in group.chunks(64) {
+                self.grade_chunk(&mut st, t, chunk, faults, &mut outcomes);
+            }
+        }
+        outcomes
+    }
+
+    /// One 64-lane pass: lanes `0..chunk.len()` carry the faults in
+    /// `chunk` (indices into `faults`/`outcomes`), all injected at `t`.
+    fn grade_chunk(
+        &self,
+        st: &mut SimState,
+        t: usize,
+        chunk: &[usize],
+        faults: &[Fault],
+        outcomes: &mut [FaultOutcome],
+    ) {
+        let n_cycles = self.tb.num_cycles();
+        let lanes_used: u64 = if chunk.len() == 64 {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        self.sim.load_state(st, self.golden.state_at(t));
+        for (lane, &fi) in chunk.iter().enumerate() {
+            self.sim.flip_ff_lane(st, faults[fi].ff, lane as u32);
+        }
+        let mut undecided = lanes_used;
+        for u in t..n_cycles {
+            self.sim.set_inputs(st, self.tb.cycle(u));
+            self.sim.eval(st);
+            // Output mismatch mask across all outputs.
+            let mut out_diff = 0u64;
+            let golden_out = self.golden.output_at(u);
+            for (word, &g) in self.sim.outputs_raw(st).into_iter().zip(golden_out) {
+                out_diff |= word ^ broadcast(g);
+            }
+            let newly_failed = out_diff & undecided;
+            if newly_failed != 0 {
+                for (lane, &fi) in chunk.iter().enumerate() {
+                    if newly_failed >> lane & 1 == 1 {
+                        outcomes[fi] = FaultOutcome::failure(u as u32);
+                    }
+                }
+                undecided &= !newly_failed;
+                if undecided == 0 {
+                    return;
+                }
+            }
+            self.sim.step(st);
+            // State convergence mask.
+            let mut state_diff = 0u64;
+            let golden_state = self.golden.state_at(u + 1);
+            for (ff, &g) in golden_state.iter().enumerate() {
+                let word = self.sim.ff_raw(st, seugrade_netlist::FfIndex::new(ff));
+                state_diff |= word ^ broadcast(g);
+            }
+            let newly_silent = !state_diff & undecided;
+            if newly_silent != 0 {
+                for (lane, &fi) in chunk.iter().enumerate() {
+                    if newly_silent >> lane & 1 == 1 {
+                        outcomes[fi] = FaultOutcome::silent(u as u32);
+                    }
+                }
+                undecided &= !newly_silent;
+                if undecided == 0 {
+                    return;
+                }
+            }
+        }
+        for (lane, &fi) in chunk.iter().enumerate() {
+            if undecided >> lane & 1 == 1 {
+                outcomes[fi] = FaultOutcome::latent();
+            }
+        }
+    }
+
+    /// Multi-threaded bit-parallel grading: injection cycles are
+    /// distributed over `threads` workers, each with its own simulator
+    /// state. Outcomes are returned in the order of `faults` regardless
+    /// of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn run_parallel_threaded(&self, faults: &[Fault], threads: usize) -> Vec<FaultOutcome> {
+        assert!(threads > 0, "need at least one thread");
+        if threads == 1 || faults.len() < 128 {
+            return self.run_parallel(faults);
+        }
+        // Partition fault indices by cycle, then deal cycles round-robin
+        // to balance early (long-tail) and late (short-tail) injections.
+        let mut by_cycle: Vec<Vec<usize>> = vec![Vec::new(); self.tb.num_cycles()];
+        for (i, f) in faults.iter().enumerate() {
+            by_cycle[f.cycle as usize].push(i);
+        }
+        let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        for (c, group) in by_cycle.into_iter().enumerate() {
+            partitions[c % threads].extend(group);
+        }
+
+        let mut outcomes = vec![FaultOutcome::latent(); faults.len()];
+        let chunks: Vec<(Vec<usize>, Vec<FaultOutcome>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .map(|part| {
+                    scope.spawn(move || {
+                        let subset: Vec<Fault> =
+                            part.iter().map(|&i| faults[i]).collect();
+                        let sub_outcomes = self.run_parallel(&subset);
+                        (part, sub_outcomes)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for (part, sub) in chunks {
+            for (i, o) in part.into_iter().zip(sub) {
+                outcomes[i] = o;
+            }
+        }
+        outcomes
+    }
+
+    /// Per-flip-flop failure counts (a weak-area map, the re-design aid
+    /// the paper's introduction motivates).
+    #[must_use]
+    pub fn failure_map(&self, faults: &[Fault], outcomes: &[FaultOutcome]) -> Vec<usize> {
+        let mut map = vec![0usize; self.sim.num_ffs()];
+        for (f, o) in faults.iter().zip(outcomes) {
+            if o.class == FaultClass::Failure {
+                map[f.ff.index()] += 1;
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::generators::{self, RandomCircuitConfig};
+    use seugrade_netlist::{FfIndex, NetlistBuilder};
+    use seugrade_sim::Testbench;
+
+    use crate::FaultList;
+    use super::*;
+
+    #[test]
+    fn counter_faults_fail_immediately() {
+        // Every counter bit is a primary output: any flip is visible at
+        // its own injection cycle.
+        let n = generators::counter(4);
+        let tb = Testbench::constant_low(0, 10);
+        let g = Grader::new(&n, &tb);
+        for f in FaultList::exhaustive(4, 10).iter() {
+            let o = g.classify_serial(f);
+            assert_eq!(o.class, FaultClass::Failure, "{f}");
+            assert_eq!(o.detect_cycle, Some(f.cycle), "{f}");
+        }
+    }
+
+    #[test]
+    fn shift_register_detection_latency() {
+        // Flip bit i at cycle t; dout is bit w-1; the corrupted bit
+        // reaches the output after (w-1-i) further cycles.
+        let w = 6;
+        let n = generators::shift_register(w);
+        let cycles = 20;
+        let tb = Testbench::random(1, cycles, 3);
+        let g = Grader::new(&n, &tb);
+        for i in 0..w {
+            for t in 0..cycles as u32 {
+                let o = g.classify_serial(Fault::new(FfIndex::new(i), t));
+                let arrival = t + (w - 1 - i) as u32;
+                if arrival < cycles as u32 {
+                    assert_eq!(o.class, FaultClass::Failure, "ff{i}@{t}");
+                    assert_eq!(o.detect_cycle, Some(arrival), "ff{i}@{t}");
+                } else {
+                    assert_eq!(o.class, FaultClass::Latent, "ff{i}@{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overwritten_ff_is_silent() {
+        // q <= input every cycle; output independent of q.
+        let mut b = NetlistBuilder::new("overwrite");
+        let a = b.input("a");
+        let q = b.dff(false);
+        b.connect_dff(q, a).unwrap();
+        b.output("y", a);
+        let n = b.finish().unwrap();
+        let tb = Testbench::random(1, 8, 5);
+        let g = Grader::new(&n, &tb);
+        for t in 0..8 {
+            let o = g.classify_serial(Fault::new(FfIndex::new(0), t));
+            assert_eq!(o.class, FaultClass::Silent, "cycle {t}");
+            assert_eq!(o.converge_cycle, Some(t), "overwritten next cycle");
+        }
+    }
+
+    #[test]
+    fn unobserved_self_loop_is_latent() {
+        let mut b = NetlistBuilder::new("latent");
+        let a = b.input("a");
+        let q = b.dff(false);
+        b.connect_dff(q, q).unwrap(); // holds forever
+        b.output("y", a); // q unobservable
+        let n = b.finish().unwrap();
+        let tb = Testbench::random(1, 8, 5);
+        let g = Grader::new(&n, &tb);
+        for t in 0..8 {
+            let o = g.classify_serial(Fault::new(FfIndex::new(0), t));
+            assert_eq!(o.class, FaultClass::Latent, "cycle {t}");
+        }
+    }
+
+    #[test]
+    fn masking_produces_silent_later() {
+        // q <= q AND a: once `a` goes low, both golden and faulty collapse
+        // to 0 -> convergence strictly after injection.
+        let mut b = NetlistBuilder::new("mask");
+        let a = b.input("a");
+        let q = b.dff(true);
+        let g1 = b.and2(q, a);
+        b.connect_dff(q, g1).unwrap();
+        b.output("y", a);
+        let n = b.finish().unwrap();
+        // a = 1,1,0,...
+        let tb = Testbench::new(vec![
+            vec![true],
+            vec![true],
+            vec![false],
+            vec![false],
+        ]);
+        let g = Grader::new(&n, &tb);
+        let o = g.classify_serial(Fault::new(FfIndex::new(0), 0));
+        assert_eq!(o.class, FaultClass::Silent);
+        assert_eq!(o.converge_cycle, Some(2), "converges when a drops");
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_small_circuits() {
+        for name in ["b01s", "b02s", "b06s"] {
+            let n = seugrade_circuits::registry::build(name).unwrap();
+            let tb = Testbench::random(n.num_inputs(), 25, 11);
+            let g = Grader::new(&n, &tb);
+            let faults = FaultList::exhaustive(n.num_ffs(), 25);
+            let serial = g.run_serial(faults.as_slice());
+            let parallel = g.run_parallel(faults.as_slice());
+            assert_eq!(serial, parallel, "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_random_circuits() {
+        for seed in 0..8 {
+            let cfg = RandomCircuitConfig {
+                num_ffs: 10,
+                num_gates: 60,
+                ..Default::default()
+            };
+            let n = generators::random_sequential(&cfg, seed);
+            let tb = Testbench::random(n.num_inputs(), 30, seed + 100);
+            let g = Grader::new(&n, &tb);
+            let faults = FaultList::exhaustive(n.num_ffs(), 30);
+            let serial = g.run_serial(faults.as_slice());
+            let parallel = g.run_parallel(faults.as_slice());
+            assert_eq!(serial, parallel, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_single_thread() {
+        let n = seugrade_circuits::registry::build("b03s").unwrap();
+        let tb = Testbench::random(n.num_inputs(), 40, 13);
+        let g = Grader::new(&n, &tb);
+        let faults = FaultList::exhaustive(n.num_ffs(), 40);
+        let one = g.run_parallel(faults.as_slice());
+        let four = g.run_parallel_threaded(faults.as_slice(), 4);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn sampled_subset_consistent_with_exhaustive() {
+        let n = seugrade_circuits::registry::build("b06s").unwrap();
+        let tb = Testbench::random(n.num_inputs(), 30, 17);
+        let g = Grader::new(&n, &tb);
+        let full = FaultList::exhaustive(n.num_ffs(), 30);
+        let all = g.run_parallel(full.as_slice());
+        let sample = FaultList::sampled(n.num_ffs(), 30, 50, 23);
+        let sampled = g.run_parallel(sample.as_slice());
+        for (f, o) in sample.iter().zip(&sampled) {
+            let idx = f.cycle as usize * n.num_ffs() + f.ff.index();
+            assert_eq!(*o, all[idx], "{f}");
+        }
+    }
+
+    #[test]
+    fn failure_map_localizes_weak_ffs() {
+        // Shift register: earlier bits (closer to input) have fewer
+        // detected faults? Actually later bits detect sooner; with a long
+        // bench every bit's faults all arrive. Use a short bench so the
+        // *early* bits' faults stay latent.
+        let n = generators::shift_register(8);
+        let tb = Testbench::random(1, 6, 29);
+        let g = Grader::new(&n, &tb);
+        let faults = FaultList::exhaustive(8, 6);
+        let outcomes = g.run_parallel(faults.as_slice());
+        let map = g.failure_map(faults.as_slice(), &outcomes);
+        // bit 7 (output) always fails; bit 0 needs 7 cycles to surface,
+        // impossible within 6 cycles.
+        assert_eq!(map[7], 6);
+        assert_eq!(map[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_cycle_out_of_range_panics() {
+        let n = generators::counter(2);
+        let tb = Testbench::constant_low(0, 4);
+        let g = Grader::new(&n, &tb);
+        let _ = g.classify_serial(Fault::new(FfIndex::new(0), 99));
+    }
+}

@@ -1,0 +1,221 @@
+//! Fault classification results and aggregation.
+
+use std::fmt;
+
+/// How a fault manifested (the paper's three grading classes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A primary output diverged from the golden run.
+    Failure,
+    /// Outputs never diverged but the corrupted state survived to the end
+    /// of the test bench.
+    Latent,
+    /// The fault effect disappeared: the faulty state re-converged to the
+    /// golden state with no output divergence.
+    Silent,
+}
+
+impl FaultClass {
+    /// All classes in report order.
+    pub const ALL: [FaultClass; 3] = [FaultClass::Failure, FaultClass::Latent, FaultClass::Silent];
+
+    /// Lower-case label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Failure => "failure",
+            FaultClass::Latent => "latent",
+            FaultClass::Silent => "silent",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full grading verdict for one fault.
+///
+/// Besides the class, the outcome records *when* the classification
+/// became known — exactly the quantity the emulation-technique timing
+/// models need (a time-multiplexed campaign stops emulating a fault at
+/// its detection/convergence cycle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The grading class.
+    pub class: FaultClass,
+    /// For failures: first cycle `u ≥ t` with an output mismatch.
+    pub detect_cycle: Option<u32>,
+    /// For silent faults: first cycle `u` after which the states are
+    /// equal (`S'_{u+1} = S_{u+1}`).
+    pub converge_cycle: Option<u32>,
+}
+
+impl FaultOutcome {
+    /// A failure detected at cycle `u`.
+    #[must_use]
+    pub fn failure(u: u32) -> Self {
+        FaultOutcome { class: FaultClass::Failure, detect_cycle: Some(u), converge_cycle: None }
+    }
+
+    /// A silent fault converged at cycle `u`.
+    #[must_use]
+    pub fn silent(u: u32) -> Self {
+        FaultOutcome { class: FaultClass::Silent, detect_cycle: None, converge_cycle: Some(u) }
+    }
+
+    /// A latent fault (survived to the end untouched by the outputs).
+    #[must_use]
+    pub fn latent() -> Self {
+        FaultOutcome { class: FaultClass::Latent, detect_cycle: None, converge_cycle: None }
+    }
+
+    /// The cycle at which the verdict became known, given the test-bench
+    /// length: detection cycle, convergence cycle, or the last cycle for
+    /// latent faults. This is what early-terminating emulation runs until.
+    #[must_use]
+    pub fn classify_cycle(&self, num_cycles: usize) -> u32 {
+        self.detect_cycle
+            .or(self.converge_cycle)
+            .unwrap_or(num_cycles.saturating_sub(1) as u32)
+    }
+}
+
+/// Aggregated grading result (the paper's "49.2 % failure, 4.4 % latent,
+/// 46.4 % silent" line).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GradingSummary {
+    failures: usize,
+    latents: usize,
+    silents: usize,
+}
+
+impl GradingSummary {
+    /// Empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tallies a batch of outcomes.
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[FaultOutcome]) -> Self {
+        let mut s = Self::new();
+        for o in outcomes {
+            s.add(o.class);
+        }
+        s
+    }
+
+    /// Adds one classified fault.
+    pub fn add(&mut self, class: FaultClass) {
+        match class {
+            FaultClass::Failure => self.failures += 1,
+            FaultClass::Latent => self.latents += 1,
+            FaultClass::Silent => self.silents += 1,
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &GradingSummary) {
+        self.failures += other.failures;
+        self.latents += other.latents;
+        self.silents += other.silents;
+    }
+
+    /// Count for one class.
+    #[must_use]
+    pub fn count(&self, class: FaultClass) -> usize {
+        match class {
+            FaultClass::Failure => self.failures,
+            FaultClass::Latent => self.latents,
+            FaultClass::Silent => self.silents,
+        }
+    }
+
+    /// Total classified faults.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.failures + self.latents + self.silents
+    }
+
+    /// Percentage (0–100) for one class; 0 when empty.
+    #[must_use]
+    pub fn percent(&self, class: FaultClass) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 * 100.0 / self.total() as f64
+        }
+    }
+}
+
+impl fmt::Display for GradingSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} faults: {:.1}% failure, {:.1}% latent, {:.1}% silent",
+            self.total(),
+            self.percent(FaultClass::Failure),
+            self.percent(FaultClass::Latent),
+            self.percent(FaultClass::Silent)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_constructors() {
+        let f = FaultOutcome::failure(7);
+        assert_eq!(f.class, FaultClass::Failure);
+        assert_eq!(f.detect_cycle, Some(7));
+        let s = FaultOutcome::silent(3);
+        assert_eq!(s.converge_cycle, Some(3));
+        let l = FaultOutcome::latent();
+        assert_eq!(l.detect_cycle, None);
+        assert_eq!(l.converge_cycle, None);
+    }
+
+    #[test]
+    fn classify_cycle_for_each_class() {
+        assert_eq!(FaultOutcome::failure(7).classify_cycle(100), 7);
+        assert_eq!(FaultOutcome::silent(3).classify_cycle(100), 3);
+        assert_eq!(FaultOutcome::latent().classify_cycle(100), 99);
+    }
+
+    #[test]
+    fn summary_counts_and_percentages() {
+        let outcomes = [
+            FaultOutcome::failure(0),
+            FaultOutcome::failure(1),
+            FaultOutcome::silent(0),
+            FaultOutcome::latent(),
+        ];
+        let s = GradingSummary::from_outcomes(&outcomes);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.count(FaultClass::Failure), 2);
+        assert_eq!(s.percent(FaultClass::Failure), 50.0);
+        assert_eq!(s.percent(FaultClass::Latent), 25.0);
+        let text = s.to_string();
+        assert!(text.contains("50.0% failure"));
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = GradingSummary::from_outcomes(&[FaultOutcome::failure(0)]);
+        let b = GradingSummary::from_outcomes(&[FaultOutcome::latent(), FaultOutcome::silent(1)]);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn empty_summary_percent_is_zero() {
+        let s = GradingSummary::new();
+        assert_eq!(s.percent(FaultClass::Failure), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-fault report export and campaign analytics.
+//!
+//! The aggregate [`GradingSummary`](crate::GradingSummary) answers "how
+//! robust is the circuit"; re-design work (the paper's motivation) needs
+//! the *per-fault dictionary* and its projections: which flip-flop,
+//! which cycle, how fast faults surface.
+
+use std::fmt::Write as _;
+
+use crate::{Fault, FaultClass, FaultOutcome};
+
+/// Serializes a graded fault list as CSV
+/// (`ff,cycle,class,detect_cycle,converge_cycle`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn to_csv(faults: &[Fault], outcomes: &[FaultOutcome]) -> String {
+    assert_eq!(faults.len(), outcomes.len(), "faults/outcomes length");
+    let mut out = String::from("ff,cycle,class,detect_cycle,converge_cycle\n");
+    for (f, o) in faults.iter().zip(outcomes) {
+        let detect = o.detect_cycle.map_or(String::new(), |u| u.to_string());
+        let converge = o.converge_cycle.map_or(String::new(), |u| u.to_string());
+        writeln!(
+            out,
+            "{},{},{},{detect},{converge}",
+            f.ff.index(),
+            f.cycle,
+            o.class.label()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Histogram of failure *latency* (detection cycle − injection cycle):
+/// `hist[d]` counts failures detected `d` cycles after injection.
+///
+/// Latency is the quantity that decides how much the early-terminating
+/// emulation techniques save; time-mux's per-fault cost is
+/// `2 × (latency + 1) + 4`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn detection_latency_histogram(faults: &[Fault], outcomes: &[FaultOutcome]) -> Vec<usize> {
+    assert_eq!(faults.len(), outcomes.len(), "faults/outcomes length");
+    let mut hist = Vec::new();
+    for (f, o) in faults.iter().zip(outcomes) {
+        if let Some(u) = o.detect_cycle {
+            let d = (u - f.cycle) as usize;
+            if hist.len() <= d {
+                hist.resize(d + 1, 0);
+            }
+            hist[d] += 1;
+        }
+    }
+    hist
+}
+
+/// Per-flip-flop class tallies: `rows[ff][class as usize]`.
+///
+/// The failure column is the "weak area" map the paper's introduction
+/// says is hard to obtain from prototype-based injection.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn per_ff_breakdown(
+    num_ffs: usize,
+    faults: &[Fault],
+    outcomes: &[FaultOutcome],
+) -> Vec<[usize; 3]> {
+    assert_eq!(faults.len(), outcomes.len(), "faults/outcomes length");
+    let mut rows = vec![[0usize; 3]; num_ffs];
+    for (f, o) in faults.iter().zip(outcomes) {
+        let col = match o.class {
+            FaultClass::Failure => 0,
+            FaultClass::Latent => 1,
+            FaultClass::Silent => 2,
+        };
+        rows[f.ff.index()][col] += 1;
+    }
+    rows
+}
+
+/// Mean cycles from injection to classification (the early-termination
+/// quantity) over all faults, given the bench length.
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty or the slices differ in length.
+#[must_use]
+pub fn mean_classify_latency(
+    faults: &[Fault],
+    outcomes: &[FaultOutcome],
+    num_cycles: usize,
+) -> f64 {
+    assert_eq!(faults.len(), outcomes.len(), "faults/outcomes length");
+    assert!(!outcomes.is_empty(), "mean over zero faults");
+    let total: u64 = faults
+        .iter()
+        .zip(outcomes)
+        .map(|(f, o)| u64::from(o.classify_cycle(num_cycles) - f.cycle))
+        .sum();
+    total as f64 / outcomes.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_netlist::FfIndex;
+
+    use super::*;
+
+    fn fixture() -> (Vec<Fault>, Vec<FaultOutcome>) {
+        (
+            vec![
+                Fault::new(FfIndex::new(0), 0),
+                Fault::new(FfIndex::new(1), 2),
+                Fault::new(FfIndex::new(0), 5),
+            ],
+            vec![
+                FaultOutcome::failure(3),
+                FaultOutcome::silent(2),
+                FaultOutcome::latent(),
+            ],
+        )
+    }
+
+    #[test]
+    fn csv_rows() {
+        let (f, o) = fixture();
+        let csv = to_csv(&f, &o);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "0,0,failure,3,");
+        assert_eq!(lines[2], "1,2,silent,,2");
+        assert_eq!(lines[3], "0,5,latent,,");
+    }
+
+    #[test]
+    fn latency_histogram() {
+        let (f, o) = fixture();
+        let hist = detection_latency_histogram(&f, &o);
+        // one failure with latency 3
+        assert_eq!(hist, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn breakdown_per_ff() {
+        let (f, o) = fixture();
+        let rows = per_ff_breakdown(2, &f, &o);
+        assert_eq!(rows[0], [1, 1, 0]); // failure + latent
+        assert_eq!(rows[1], [0, 0, 1]); // silent
+    }
+
+    #[test]
+    fn mean_latency() {
+        let (f, o) = fixture();
+        // latencies: 3 (failure), 0 (silent), 9-5=4 (latent to end of 10)
+        let mean = mean_classify_latency(&f, &o, 10);
+        assert!((mean - 7.0 / 3.0).abs() < 1e-9, "{mean}");
+    }
+}

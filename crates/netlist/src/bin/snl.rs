@@ -1,0 +1,76 @@
+//! `snl` — inspect seugrade netlist (SNL) files.
+//!
+//! ```text
+//! snl stats  circuit.snl     # cell inventory, depth, ports
+//! snl check  circuit.snl     # validate (parse + structural checks)
+//! snl dot    circuit.snl     # Graphviz to stdout
+//! snl prune  circuit.snl     # dead-logic report + pruned SNL to stdout
+//! ```
+
+use std::process::ExitCode;
+
+use seugrade_netlist::{text, Netlist};
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    text::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: snl <stats|check|dot|prune> <file.snl>");
+            return ExitCode::from(2);
+        }
+    };
+    let netlist = match load(path) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "stats" => {
+            println!("{netlist}");
+            print!("{}", netlist.stats());
+            println!("inputs:");
+            for name in netlist.input_names() {
+                println!("  {name}");
+            }
+            println!("outputs:");
+            for (name, sig) in netlist.outputs() {
+                println!("  {name} <- {}", netlist.signal_label(*sig));
+            }
+        }
+        "check" => {
+            // Parsing already validated structure; report and exit 0.
+            println!(
+                "{}: ok ({} cells, {} FFs, depth {})",
+                netlist.name(),
+                netlist.num_cells(),
+                netlist.num_ffs(),
+                netlist.stats().comb_depth()
+            );
+        }
+        "dot" => print!("{}", netlist.to_dot()),
+        "prune" => {
+            let pruned = netlist.pruned();
+            eprintln!(
+                "{}: removed {} dead cells ({} -> {})",
+                netlist.name(),
+                pruned.removed_cells(),
+                netlist.num_cells(),
+                pruned.netlist().num_cells()
+            );
+            print!("{}", text::emit(pruned.netlist()));
+        }
+        other => {
+            eprintln!("unknown command `{other}`; expected stats|check|dot|prune");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,269 @@
+//! Cell and gate definitions.
+
+use std::fmt;
+
+use crate::SigId;
+
+/// The combinational gate functions supported by the IR.
+///
+/// Gates other than [`Not`](GateKind::Not), [`Buf`](GateKind::Buf) and
+/// [`Mux`](GateKind::Mux) are *n*-ary with at least two inputs; wide gates
+/// are decomposed into bounded-fanin trees by the technology mapper, not by
+/// the IR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GateKind {
+    /// Identity. Exactly one input.
+    Buf,
+    /// Inversion. Exactly one input.
+    Not,
+    /// N-ary conjunction.
+    And,
+    /// N-ary disjunction.
+    Or,
+    /// N-ary NAND.
+    Nand,
+    /// N-ary NOR.
+    Nor,
+    /// N-ary exclusive-or (odd parity).
+    Xor,
+    /// N-ary XNOR (even parity).
+    Xnor,
+    /// 2:1 multiplexer; pins are ordered `[sel, d0, d1]` and the output is
+    /// `d1` when `sel` is true, `d0` otherwise.
+    Mux,
+}
+
+impl GateKind {
+    /// All gate kinds, in a stable order (used by statistics tables).
+    pub const ALL: [GateKind; 9] = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux,
+    ];
+
+    /// Lower-case mnemonic used by the text format.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and",
+            GateKind::Or => "or",
+            GateKind::Nand => "nand",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Mux => "mux",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`mnemonic`](Self::mnemonic).
+    #[must_use]
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.mnemonic() == s)
+    }
+
+    /// Inclusive range of pin counts accepted by this gate.
+    #[must_use]
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Buf | GateKind::Not => (1, 1),
+            GateKind::Mux => (3, 3),
+            _ => (2, usize::MAX),
+        }
+    }
+
+    /// Evaluates the gate over 64 parallel boolean lanes.
+    ///
+    /// Every bit position of the `u64` words is an independent simulation
+    /// context; this is the primitive on which both the scalar and the
+    /// bit-parallel fault simulators are built.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `pins` violates [`arity`](Self::arity).
+    #[must_use]
+    pub fn eval_u64(self, pins: &[u64]) -> u64 {
+        debug_assert!(
+            pins.len() >= self.arity().0 && pins.len() <= self.arity().1,
+            "gate {self:?} evaluated with {} pins",
+            pins.len()
+        );
+        match self {
+            GateKind::Buf => pins[0],
+            GateKind::Not => !pins[0],
+            GateKind::And => pins.iter().fold(!0u64, |acc, &p| acc & p),
+            GateKind::Or => pins.iter().fold(0u64, |acc, &p| acc | p),
+            GateKind::Nand => !pins.iter().fold(!0u64, |acc, &p| acc & p),
+            GateKind::Nor => !pins.iter().fold(0u64, |acc, &p| acc | p),
+            GateKind::Xor => pins.iter().fold(0u64, |acc, &p| acc ^ p),
+            GateKind::Xnor => !pins.iter().fold(0u64, |acc, &p| acc ^ p),
+            GateKind::Mux => {
+                let (sel, d0, d1) = (pins[0], pins[1], pins[2]);
+                (sel & d1) | (!sel & d0)
+            }
+        }
+    }
+
+    /// Evaluates the gate over plain booleans.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `pins` violates [`arity`](Self::arity).
+    #[must_use]
+    pub fn eval_bool(self, pins: &[bool]) -> bool {
+        let words: Vec<u64> = pins.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.eval_u64(&words) & 1 == 1
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// What a [`Cell`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Primary input. No pins; its name lives in
+    /// [`Netlist::input_names`](crate::Netlist::input_names).
+    Input,
+    /// Constant driver. No pins.
+    Const(bool),
+    /// Combinational gate.
+    Gate(GateKind),
+    /// D flip-flop with the given power-on/reset value. One pin (`d`).
+    ///
+    /// All flip-flops share one implicit clock (the test-bench cycle); this
+    /// matches the single-clock synchronous circuits used for SEU emulation
+    /// in the reproduced paper.
+    Dff {
+        /// Value the flip-flop holds at cycle 0.
+        init: bool,
+    },
+}
+
+impl CellKind {
+    /// True for cells whose output is a pure function of their pins within
+    /// one cycle (gates and constants); false for inputs and flip-flops.
+    #[must_use]
+    pub fn is_combinational(self) -> bool {
+        matches!(self, CellKind::Gate(_) | CellKind::Const(_))
+    }
+
+    /// True for flip-flops.
+    #[must_use]
+    pub fn is_ff(self) -> bool {
+        matches!(self, CellKind::Dff { .. })
+    }
+}
+
+/// A single-output netlist node.
+///
+/// Obtained from [`Netlist::cell`](crate::Netlist::cell); constructed only
+/// through [`NetlistBuilder`](crate::NetlistBuilder).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    kind: CellKind,
+    pins: Vec<SigId>,
+}
+
+impl Cell {
+    pub(crate) fn new(kind: CellKind, pins: Vec<SigId>) -> Self {
+        Cell { kind, pins }
+    }
+
+    /// The cell's kind.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input pins, in positional order (see [`GateKind::Mux`] for the mux
+    /// pin convention; a flip-flop's single pin is its `d` input).
+    #[must_use]
+    pub fn pins(&self) -> &[SigId] {
+        &self.pins
+    }
+
+    pub(crate) fn pins_mut(&mut self) -> &mut Vec<SigId> {
+        &mut self.pins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::from_mnemonic(kind.mnemonic()), Some(kind));
+        }
+        assert_eq!(GateKind::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn eval_basic_gates() {
+        assert!(GateKind::And.eval_bool(&[true, true]));
+        assert!(!GateKind::And.eval_bool(&[true, false]));
+        assert!(GateKind::Or.eval_bool(&[false, true]));
+        assert!(GateKind::Nand.eval_bool(&[true, false]));
+        assert!(!GateKind::Nor.eval_bool(&[false, true]));
+        assert!(GateKind::Xor.eval_bool(&[true, false, false]));
+        assert!(!GateKind::Xor.eval_bool(&[true, true, false, false]));
+        assert!(GateKind::Xnor.eval_bool(&[true, true]));
+        assert!(GateKind::Not.eval_bool(&[false]));
+        assert!(GateKind::Buf.eval_bool(&[true]));
+    }
+
+    #[test]
+    fn mux_selects_d1_when_sel_high() {
+        // pins = [sel, d0, d1]
+        assert!(!GateKind::Mux.eval_bool(&[true, true, false]));
+        assert!(GateKind::Mux.eval_bool(&[true, false, true]));
+        assert!(GateKind::Mux.eval_bool(&[false, true, false]));
+        assert!(!GateKind::Mux.eval_bool(&[false, false, true]));
+    }
+
+    #[test]
+    fn eval_u64_is_lanewise() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(GateKind::And.eval_u64(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(GateKind::Or.eval_u64(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(GateKind::Xor.eval_u64(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(GateKind::Nand.eval_u64(&[a, b]) & 0xF, 0b0111);
+    }
+
+    #[test]
+    fn wide_gates() {
+        assert!(GateKind::And.eval_bool(&[true; 8]));
+        assert!(!GateKind::And.eval_bool(&[true, true, false, true]));
+        assert_eq!(GateKind::Xor.eval_u64(&[1, 1, 1]) & 1, 1);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(CellKind::Gate(GateKind::And).is_combinational());
+        assert!(CellKind::Const(true).is_combinational());
+        assert!(!CellKind::Input.is_combinational());
+        assert!(!CellKind::Dff { init: false }.is_combinational());
+        assert!(CellKind::Dff { init: true }.is_ff());
+        assert!(!CellKind::Input.is_ff());
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert_eq!(GateKind::Not.arity(), (1, 1));
+        assert_eq!(GateKind::Mux.arity(), (3, 3));
+        assert_eq!(GateKind::And.arity().0, 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Graphviz DOT export.
+
+use std::fmt::Write as _;
+
+use crate::{CellKind, Netlist};
+
+impl Netlist {
+    /// Renders the netlist as a Graphviz `digraph`.
+    ///
+    /// Inputs are drawn as triangles, flip-flops as boxes, gates as
+    /// ellipses labelled with their mnemonic. Intended for small circuits
+    /// and debugging; the output is deterministic so it can be used in
+    /// golden-file tests.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use seugrade_netlist::NetlistBuilder;
+    /// # fn main() -> Result<(), seugrade_netlist::NetlistError> {
+    /// let mut b = NetlistBuilder::new("dotty");
+    /// let a = b.input("a");
+    /// let g = b.not(a);
+    /// b.output("y", g);
+    /// let n = b.finish()?;
+    /// let dot = n.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "digraph \"{}\" {{", self.name()).unwrap();
+        writeln!(out, "  rankdir=LR;").unwrap();
+        for (id, cell) in self.iter_cells() {
+            let label = self.signal_label(id);
+            let (shape, text) = match cell.kind() {
+                CellKind::Input => ("triangle", label),
+                CellKind::Const(v) => ("plaintext", format!("{}", u8::from(v))),
+                CellKind::Gate(kind) => ("ellipse", format!("{}\\n{label}", kind.mnemonic())),
+                CellKind::Dff { init } => ("box", format!("DFF({})\\n{label}", u8::from(init))),
+            };
+            writeln!(out, "  {id} [shape={shape}, label=\"{text}\"];").unwrap();
+        }
+        for (id, cell) in self.iter_cells() {
+            for &pin in cell.pins() {
+                writeln!(out, "  {pin} -> {id};").unwrap();
+            }
+        }
+        for (name, sig) in self.outputs() {
+            writeln!(out, "  out_{name} [shape=doublecircle, label=\"{name}\"];").unwrap();
+            writeln!(out, "  {sig} -> out_{name};").unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn dot_contains_all_cells_and_edges() {
+        let mut b = NetlistBuilder::new("d");
+        let a = b.input("a");
+        let q = b.dff(false);
+        let g = b.xor2(a, q);
+        b.connect_dff(q, g).unwrap();
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let dot = n.to_dot();
+        assert!(dot.contains("digraph \"d\""));
+        assert!(dot.contains("triangle")); // input
+        assert!(dot.contains("DFF(0)"));
+        assert!(dot.contains("xor"));
+        assert!(dot.contains("out_y"));
+        // edge from xor gate into the dff and into the output
+        assert!(dot.matches(" -> ").count() >= 4);
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let build = || {
+            let mut b = NetlistBuilder::new("d");
+            let a = b.input("a");
+            let g = b.not(a);
+            b.output("y", g);
+            b.finish().unwrap()
+        };
+        assert_eq!(build().to_dot(), build().to_dot());
+    }
+}

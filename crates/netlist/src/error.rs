@@ -1,0 +1,131 @@
+//! Error type for netlist construction, validation and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::SigId;
+
+/// Errors produced by this crate.
+///
+/// All variants carry enough context to point at the offending cell or
+/// source line; the `Display` form is a single lower-case sentence as per
+/// the Rust API guidelines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A flip-flop was created with [`NetlistBuilder::dff`] but its data
+    /// input was never connected before `finish`.
+    ///
+    /// [`NetlistBuilder::dff`]: crate::NetlistBuilder::dff
+    UnconnectedDff {
+        /// The flip-flop cell.
+        cell: SigId,
+    },
+    /// `connect_dff` was called on a cell that is not a flip-flop.
+    NotADff {
+        /// The offending cell.
+        cell: SigId,
+    },
+    /// `connect_dff` was called twice for the same flip-flop.
+    DffAlreadyConnected {
+        /// The flip-flop cell.
+        cell: SigId,
+    },
+    /// A gate was created with a pin count outside its arity range.
+    BadArity {
+        /// Gate mnemonic.
+        gate: &'static str,
+        /// Number of pins supplied.
+        got: usize,
+        /// Minimum accepted pins.
+        min: usize,
+    },
+    /// A referenced signal does not exist in the netlist under construction.
+    DanglingSignal {
+        /// The out-of-range signal.
+        sig: SigId,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalLoop {
+        /// Cells on (or feeding) the cycle, in id order.
+        cells: Vec<SigId>,
+    },
+    /// Two outputs (or two inputs) were declared with the same name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// Text-format parse error.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The text format referenced a net name that is never defined.
+    UnknownNet {
+        /// 1-based source line.
+        line: usize,
+        /// The undefined name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnconnectedDff { cell } => {
+                write!(f, "flip-flop {cell} has no data input connected")
+            }
+            NetlistError::NotADff { cell } => {
+                write!(f, "cell {cell} is not a flip-flop")
+            }
+            NetlistError::DffAlreadyConnected { cell } => {
+                write!(f, "flip-flop {cell} already has a data input")
+            }
+            NetlistError::BadArity { gate, got, min } => {
+                write!(f, "gate `{gate}` given {got} pins, needs at least {min}")
+            }
+            NetlistError::DanglingSignal { sig } => {
+                write!(f, "signal {sig} does not exist in this netlist")
+            }
+            NetlistError::CombinationalLoop { cells } => {
+                write!(f, "combinational loop through {} cell(s)", cells.len())
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "duplicate port name `{name}`")
+            }
+            NetlistError::Parse { line, msg } => {
+                write!(f, "parse error at line {line}: {msg}")
+            }
+            NetlistError::UnknownNet { line, name } => {
+                write!(f, "line {line} references undefined net `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = NetlistError::UnconnectedDff { cell: SigId::new(3) };
+        assert_eq!(e.to_string(), "flip-flop n3 has no data input connected");
+
+        let e = NetlistError::BadArity { gate: "and", got: 1, min: 2 };
+        assert!(e.to_string().contains("`and`"));
+
+        let e = NetlistError::Parse { line: 4, msg: "bad token".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,140 @@
+//! Typed identifiers used throughout the netlist IR.
+
+use std::fmt;
+
+/// Identifier of a signal, i.e. the output net of the cell that drives it.
+///
+/// Every cell in a [`Netlist`](crate::Netlist) has exactly one output, so
+/// cells and signals share the same identifier space: `SigId(n)` names both
+/// the `n`-th cell and the net driven by it.
+///
+/// `SigId` is `Copy` and cheap to pass around; it is only meaningful
+/// relative to the netlist that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SigId(u32);
+
+impl SigId {
+    /// Sentinel for a not-yet-connected pin (used internally by the builder
+    /// for flip-flop data inputs before [`connect_dff`] is called).
+    ///
+    /// [`connect_dff`]: crate::NetlistBuilder::connect_dff
+    pub(crate) const INVALID: SigId = SigId(u32::MAX);
+
+    /// Creates an id from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32` (netlists are limited to
+    /// 2³²−1 cells).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index < u32::MAX as usize, "netlist cell index overflow");
+        SigId(index as u32)
+    }
+
+    /// Returns the raw index of this signal (usable for `Vec` indexing).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+impl fmt::Debug for SigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Self::INVALID {
+            write!(f, "SigId(<unconnected>)")
+        } else {
+            write!(f, "SigId({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for SigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a flip-flop within a netlist's ordered flip-flop list.
+///
+/// The fault model of the whole toolkit is defined over `FfIndex` ×
+/// test-bench cycle, so this ordering is part of a netlist's observable
+/// contract: it is the order in which [`NetlistBuilder::dff`] was called
+/// and is preserved by serialization.
+///
+/// [`NetlistBuilder::dff`]: crate::NetlistBuilder::dff
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FfIndex(u32);
+
+impl FfIndex {
+    /// Creates a flip-flop index from a raw position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(index < u32::MAX as usize, "flip-flop index overflow");
+        FfIndex(index as u32)
+    }
+
+    /// Returns the raw position of this flip-flop.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FfIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FfIndex({})", self.0)
+    }
+}
+
+impl fmt::Display for FfIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ff{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigid_roundtrip() {
+        let id = SigId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+        assert!(id.is_valid());
+    }
+
+    #[test]
+    fn sigid_invalid_is_not_valid() {
+        assert!(!SigId::INVALID.is_valid());
+        assert_eq!(format!("{:?}", SigId::INVALID), "SigId(<unconnected>)");
+    }
+
+    #[test]
+    fn ffindex_roundtrip() {
+        let ff = FfIndex::new(7);
+        assert_eq!(ff.index(), 7);
+        assert_eq!(ff.to_string(), "ff7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(SigId::new(1) < SigId::new(2));
+        assert!(FfIndex::new(0) < FfIndex::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn sigid_overflow_panics() {
+        let _ = SigId::new(u32::MAX as usize);
+    }
+}

@@ -1,0 +1,64 @@
+//! Gate-level netlist intermediate representation for the `seugrade`
+//! fault-grading toolkit.
+//!
+//! A [`Netlist`] is a flat directed graph of single-output cells
+//! ([`Cell`]): primary inputs, constants, combinational gates and D
+//! flip-flops. Because every cell drives exactly one signal, a signal is
+//! identified by the [`SigId`] of its driving cell.
+//!
+//! The crate provides:
+//!
+//! - [`NetlistBuilder`] — safe, validated construction (including the
+//!   sequential feedback loops required by flip-flops);
+//! - [`levelize`](Netlist::levelize) — topological ordering of the
+//!   combinational cells with cycle detection;
+//! - [`NetlistStats`] — cell inventories, depth and size metrics;
+//! - a line-based [text format](text) with a parser and an emitter;
+//! - [DOT export](Netlist::to_dot) for visualisation;
+//! - [cone pruning](Netlist::pruned) that removes logic not observable at
+//!   any primary output.
+//!
+//! # Example
+//!
+//! Build a 1-bit toggle counter with an enable input and inspect it:
+//!
+//! ```
+//! use seugrade_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), seugrade_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("toggle");
+//! let en = b.input("en");
+//! let q = b.dff(false);
+//! let next = b.xor2(q, en);
+//! b.connect_dff(q, next)?;
+//! b.output("q", q);
+//! let netlist = b.finish()?;
+//!
+//! assert_eq!(netlist.num_ffs(), 1);
+//! assert_eq!(netlist.stats().gate_count(GateKind::Xor), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod cell;
+mod dot;
+mod error;
+mod id;
+mod levelize;
+mod netlist;
+mod prune;
+mod stats;
+pub mod text;
+
+pub use builder::NetlistBuilder;
+pub use cell::{Cell, CellKind, GateKind};
+pub use error::NetlistError;
+pub use id::{FfIndex, SigId};
+pub use levelize::Levelization;
+pub use netlist::Netlist;
+pub use prune::PruneResult;
+pub use stats::NetlistStats;

@@ -1,0 +1,275 @@
+//! The [`Netlist`] container.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Cell, CellKind, FfIndex, SigId};
+
+/// A flat, validated, single-clock gate-level netlist.
+///
+/// Construct with [`NetlistBuilder`](crate::NetlistBuilder) (or parse the
+/// [text format](crate::text)); a value of this type is guaranteed to be
+/// well-formed: all pins resolve, all flip-flops are driven, and the
+/// combinational part is acyclic.
+///
+/// The netlist fixes three orderings that the rest of the toolkit relies
+/// on:
+///
+/// - **input order** — the order inputs were declared; test-bench vectors
+///   are indexed by it;
+/// - **output order** — the order outputs were declared; golden/faulty
+///   output comparison is performed position-wise;
+/// - **flip-flop order** ([`FfIndex`]) — the order flip-flops were created;
+///   the SEU fault space is `FfIndex × cycle`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) inputs: Vec<SigId>,
+    pub(crate) input_names: Vec<String>,
+    pub(crate) outputs: Vec<(String, SigId)>,
+    pub(crate) ffs: Vec<SigId>,
+    pub(crate) cell_names: HashMap<SigId, String>,
+}
+
+impl Netlist {
+    /// The netlist's (module) name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of cells, including inputs, constants and flip-flops.
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn num_ffs(&self) -> usize {
+        self.ffs.len()
+    }
+
+    /// Looks up a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` did not come from this netlist.
+    #[must_use]
+    pub fn cell(&self, sig: SigId) -> &Cell {
+        &self.cells[sig.index()]
+    }
+
+    /// Iterates over all `(SigId, &Cell)` pairs in id order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (SigId, &Cell)> + '_ {
+        self.cells.iter().enumerate().map(|(i, c)| (SigId::new(i), c))
+    }
+
+    /// Primary input signals, in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[SigId] {
+        &self.inputs
+    }
+
+    /// Primary input names, parallel to [`inputs`](Self::inputs).
+    #[must_use]
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// `(name, signal)` pairs of the primary outputs, in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, SigId)] {
+        &self.outputs
+    }
+
+    /// Flip-flop cells, in [`FfIndex`] order.
+    #[must_use]
+    pub fn ffs(&self) -> &[SigId] {
+        &self.ffs
+    }
+
+    /// The signal driven by the flip-flop with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff` is out of range.
+    #[must_use]
+    pub fn ff_signal(&self, ff: FfIndex) -> SigId {
+        self.ffs[ff.index()]
+    }
+
+    /// The flip-flop index of `sig`, if `sig` is a flip-flop.
+    #[must_use]
+    pub fn ff_index(&self, sig: SigId) -> Option<FfIndex> {
+        if !self.cell(sig).kind().is_ff() {
+            return None;
+        }
+        self.ffs
+            .iter()
+            .position(|&f| f == sig)
+            .map(FfIndex::new)
+    }
+
+    /// Initial (cycle-0) values of all flip-flops, in [`FfIndex`] order.
+    #[must_use]
+    pub fn ff_init_values(&self) -> Vec<bool> {
+        self.ffs
+            .iter()
+            .map(|&f| match self.cell(f).kind() {
+                CellKind::Dff { init } => init,
+                _ => unreachable!("ff list contains non-dff"),
+            })
+            .collect()
+    }
+
+    /// The debug name attached to a cell, if any.
+    #[must_use]
+    pub fn cell_name(&self, sig: SigId) -> Option<&str> {
+        self.cell_names.get(&sig).map(String::as_str)
+    }
+
+    /// A printable name for a signal: its debug name, its input name, or
+    /// `n<id>` as a fallback.
+    #[must_use]
+    pub fn signal_label(&self, sig: SigId) -> String {
+        if let Some(n) = self.cell_name(sig) {
+            return n.to_owned();
+        }
+        if let Some(pos) = self.inputs.iter().position(|&i| i == sig) {
+            return self.input_names[pos].clone();
+        }
+        sig.to_string()
+    }
+
+    /// Builds the fan-out adjacency: for every signal, the list of cells
+    /// that consume it. Output positions are not included.
+    #[must_use]
+    pub fn fanout_map(&self) -> Vec<Vec<SigId>> {
+        let mut fanout = vec![Vec::new(); self.cells.len()];
+        for (id, cell) in self.iter_cells() {
+            for &pin in cell.pins() {
+                fanout[pin.index()].push(id);
+            }
+        }
+        fanout
+    }
+
+    /// Number of combinational gate cells (excludes inputs, constants and
+    /// flip-flops).
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind(), CellKind::Gate(_)))
+            .count()
+    }
+}
+
+impl fmt::Debug for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Netlist")
+            .field("name", &self.name)
+            .field("cells", &self.cells.len())
+            .field("inputs", &self.inputs.len())
+            .field("outputs", &self.outputs.len())
+            .field("ffs", &self.ffs.len())
+            .finish()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cells ({} gates, {} FFs), {} inputs, {} outputs",
+            self.name,
+            self.num_cells(),
+            self.num_gates(),
+            self.num_ffs(),
+            self.num_inputs(),
+            self.num_outputs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetlistBuilder;
+    use super::*;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let c = b.input("b");
+        let q = b.dff(true);
+        let g = b.and2(a, c);
+        let n = b.xor2(g, q);
+        b.connect_dff(q, n).unwrap();
+        b.output("y", n);
+        b.name_signal(g, "g_and");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let n = tiny();
+        assert_eq!(n.name(), "tiny");
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.num_ffs(), 1);
+        assert_eq!(n.num_gates(), 2);
+        assert_eq!(n.input_names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(n.outputs()[0].0, "y");
+    }
+
+    #[test]
+    fn ff_index_mapping() {
+        let n = tiny();
+        let ff_sig = n.ff_signal(FfIndex::new(0));
+        assert_eq!(n.ff_index(ff_sig), Some(FfIndex::new(0)));
+        assert_eq!(n.ff_index(n.inputs()[0]), None);
+        assert_eq!(n.ff_init_values(), vec![true]);
+    }
+
+    #[test]
+    fn signal_labels() {
+        let n = tiny();
+        assert_eq!(n.signal_label(n.inputs()[0]), "a");
+        let and_sig = n
+            .iter_cells()
+            .find(|(_, c)| matches!(c.kind(), CellKind::Gate(crate::GateKind::And)))
+            .unwrap()
+            .0;
+        assert_eq!(n.signal_label(and_sig), "g_and");
+    }
+
+    #[test]
+    fn fanout_map_contains_consumers() {
+        let n = tiny();
+        let fan = n.fanout_map();
+        let a = n.inputs()[0];
+        assert_eq!(fan[a.index()].len(), 1);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let n = tiny();
+        let s = n.to_string();
+        assert!(s.contains("tiny"));
+        assert!(s.contains("1 FFs"));
+    }
+}

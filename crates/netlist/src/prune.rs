@@ -1,0 +1,261 @@
+//! Observable-cone pruning (dead logic removal).
+
+use std::collections::HashMap;
+
+use crate::{Cell, FfIndex, Netlist, SigId};
+
+/// Result of [`Netlist::pruned`]: the reduced netlist plus mappings from
+/// old ids to new ids.
+///
+/// Pruning changes [`FfIndex`] assignments (flip-flop order is preserved
+/// among the survivors); campaigns that already generated fault lists
+/// against the original netlist can translate them through
+/// [`ff_map`](Self::ff_map).
+#[derive(Clone, Debug)]
+pub struct PruneResult {
+    netlist: Netlist,
+    sig_map: HashMap<SigId, SigId>,
+    ff_map: HashMap<FfIndex, FfIndex>,
+    removed_cells: usize,
+}
+
+impl PruneResult {
+    /// The pruned netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Consumes the result, returning the pruned netlist.
+    #[must_use]
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+
+    /// Maps an original signal to its surviving counterpart, if any.
+    #[must_use]
+    pub fn map_signal(&self, old: SigId) -> Option<SigId> {
+        self.sig_map.get(&old).copied()
+    }
+
+    /// Old-to-new flip-flop index mapping (dropped flip-flops are absent).
+    #[must_use]
+    pub fn ff_map(&self) -> &HashMap<FfIndex, FfIndex> {
+        &self.ff_map
+    }
+
+    /// Number of cells removed by pruning.
+    #[must_use]
+    pub fn removed_cells(&self) -> usize {
+        self.removed_cells
+    }
+}
+
+impl Netlist {
+    /// Removes every cell that cannot influence any primary output.
+    ///
+    /// The live set is the transitive fan-in of the outputs, where reaching
+    /// a flip-flop additionally pulls in the fan-in of its data input
+    /// (computed to a fixed point). Primary inputs are always kept so the
+    /// interface of the circuit is unchanged.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use seugrade_netlist::NetlistBuilder;
+    /// # fn main() -> Result<(), seugrade_netlist::NetlistError> {
+    /// let mut b = NetlistBuilder::new("dead");
+    /// let a = b.input("a");
+    /// let used = b.not(a);
+    /// let _unused = b.and2(a, used);
+    /// b.output("y", used);
+    /// let n = b.finish()?;
+    /// let pruned = n.pruned();
+    /// assert_eq!(pruned.removed_cells(), 1);
+    /// assert_eq!(pruned.netlist().num_inputs(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn pruned(&self) -> PruneResult {
+        let n = self.cells.len();
+        let mut live = vec![false; n];
+
+        // Seeds: outputs and all primary inputs (interface preservation).
+        let mut stack: Vec<SigId> = self.outputs.iter().map(|(_, s)| *s).collect();
+        for &i in &self.inputs {
+            stack.push(i);
+        }
+        while let Some(sig) = stack.pop() {
+            if live[sig.index()] {
+                continue;
+            }
+            live[sig.index()] = true;
+            for &pin in self.cell(sig).pins() {
+                if !live[pin.index()] {
+                    stack.push(pin);
+                }
+            }
+        }
+
+        // Rebuild with survivors in original id order.
+        let mut sig_map: HashMap<SigId, SigId> = HashMap::new();
+        let mut cells: Vec<Cell> = Vec::new();
+        for (id, cell) in self.iter_cells() {
+            if !live[id.index()] {
+                continue;
+            }
+            let new_id = SigId::new(cells.len());
+            sig_map.insert(id, new_id);
+            cells.push(cell.clone());
+        }
+        for cell in &mut cells {
+            for pin in cell.pins_mut() {
+                *pin = sig_map[pin];
+            }
+        }
+
+        let inputs: Vec<SigId> = self.inputs.iter().map(|i| sig_map[i]).collect();
+        let outputs: Vec<(String, SigId)> = self
+            .outputs
+            .iter()
+            .map(|(name, s)| (name.clone(), sig_map[s]))
+            .collect();
+
+        let mut ff_map = HashMap::new();
+        let mut ffs = Vec::new();
+        for (old_idx, old_sig) in self.ffs.iter().enumerate() {
+            if let Some(&new_sig) = sig_map.get(old_sig) {
+                ff_map.insert(FfIndex::new(old_idx), FfIndex::new(ffs.len()));
+                ffs.push(new_sig);
+            }
+        }
+
+        let cell_names = self
+            .cell_names
+            .iter()
+            .filter_map(|(old, name)| sig_map.get(old).map(|&new| (new, name.clone())))
+            .collect();
+
+        let netlist = Netlist {
+            name: self.name.clone(),
+            cells,
+            inputs,
+            input_names: self.input_names.clone(),
+            outputs,
+            ffs,
+            cell_names,
+        };
+        let removed = n - netlist.cells.len();
+        PruneResult {
+            netlist,
+            sig_map,
+            ff_map,
+            removed_cells: removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CellKind, NetlistBuilder};
+    use super::*;
+
+    #[test]
+    fn keeps_everything_when_all_observable() {
+        let mut b = NetlistBuilder::new("full");
+        let a = b.input("a");
+        let g = b.not(a);
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let p = n.pruned();
+        assert_eq!(p.removed_cells(), 0);
+        assert_eq!(p.netlist().num_cells(), n.num_cells());
+    }
+
+    #[test]
+    fn removes_dead_gate() {
+        let mut b = NetlistBuilder::new("dead");
+        let a = b.input("a");
+        let used = b.not(a);
+        let _dead = b.and2(a, used);
+        b.output("y", used);
+        let n = b.finish().unwrap();
+        let p = n.pruned();
+        assert_eq!(p.removed_cells(), 1);
+        assert_eq!(p.netlist().num_gates(), 1);
+    }
+
+    #[test]
+    fn removes_dead_ff_chain_and_remaps_indices() {
+        let mut b = NetlistBuilder::new("ffdead");
+        let a = b.input("a");
+        // ff0 is dead (feeds nothing observable), ff1 is live.
+        let ff0 = b.dff(false);
+        let ff1 = b.dff(true);
+        b.connect_dff(ff0, a).unwrap();
+        let g = b.xor2(ff1, a);
+        b.connect_dff(ff1, g).unwrap();
+        b.output("y", ff1);
+        let n = b.finish().unwrap();
+        assert_eq!(n.num_ffs(), 2);
+
+        let p = n.pruned();
+        assert_eq!(p.netlist().num_ffs(), 1);
+        assert_eq!(
+            p.ff_map().get(&FfIndex::new(1)),
+            Some(&FfIndex::new(0))
+        );
+        assert!(p.ff_map().get(&FfIndex::new(0)).is_none());
+        assert_eq!(p.netlist().ff_init_values(), vec![true]);
+    }
+
+    #[test]
+    fn live_ff_keeps_its_fanin() {
+        let mut b = NetlistBuilder::new("fanin");
+        let a = b.input("a");
+        let inv = b.not(a);
+        let ff = b.dff(false);
+        b.connect_dff(ff, inv).unwrap();
+        b.output("y", ff);
+        let n = b.finish().unwrap();
+        let p = n.pruned();
+        assert_eq!(p.removed_cells(), 0);
+        // The NOT gate feeding the flip-flop survived.
+        assert_eq!(p.netlist().num_gates(), 1);
+    }
+
+    #[test]
+    fn inputs_always_survive() {
+        let mut b = NetlistBuilder::new("iface");
+        let _a = b.input("a");
+        let _b2 = b.input("b");
+        let c = b.constant(true);
+        b.output("y", c);
+        let n = b.finish().unwrap();
+        let p = n.pruned();
+        assert_eq!(p.netlist().num_inputs(), 2);
+        assert_eq!(p.netlist().input_names().len(), 2);
+    }
+
+    #[test]
+    fn pruned_netlist_is_valid() {
+        let mut b = NetlistBuilder::new("valid");
+        let a = b.input("a");
+        let dead_ff = b.dff(false);
+        let dead_g = b.not(dead_ff);
+        b.connect_dff(dead_ff, dead_g).unwrap();
+        let live = b.buf(a);
+        b.output("y", live);
+        let n = b.finish().unwrap();
+        let p = n.pruned();
+        // levelize (re-validation) must succeed and all pins resolve.
+        assert!(p.netlist().levelize().is_ok());
+        for (_, cell) in p.netlist().iter_cells() {
+            for pin in cell.pins() {
+                assert!(pin.index() < p.netlist().num_cells());
+            }
+            assert!(!matches!(cell.kind(), CellKind::Dff { .. }) || cell.pins().len() == 1);
+        }
+    }
+}

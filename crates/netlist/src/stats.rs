@@ -1,0 +1,194 @@
+//! Netlist size and shape metrics.
+
+use std::fmt;
+
+use crate::{CellKind, GateKind, Netlist};
+
+/// Aggregate statistics of a [`Netlist`].
+///
+/// Produced by [`Netlist::stats`]; used throughout the benchmark harness
+/// to report circuit inventories (the paper's Table 1 relies on gate and
+/// flip-flop counts before and after instrumentation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetlistStats {
+    name: String,
+    inputs: usize,
+    outputs: usize,
+    ffs: usize,
+    constants: usize,
+    gate_counts: [usize; GateKind::ALL.len()],
+    comb_depth: u32,
+    literals: usize,
+}
+
+impl NetlistStats {
+    /// Name of the measured netlist.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn num_ffs(&self) -> usize {
+        self.ffs
+    }
+
+    /// Number of constant cells.
+    #[must_use]
+    pub fn num_constants(&self) -> usize {
+        self.constants
+    }
+
+    /// Number of gates of a specific kind.
+    #[must_use]
+    pub fn gate_count(&self, kind: GateKind) -> usize {
+        let idx = GateKind::ALL.iter().position(|&k| k == kind).unwrap();
+        self.gate_counts[idx]
+    }
+
+    /// Total number of combinational gates.
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.gate_counts.iter().sum()
+    }
+
+    /// Longest combinational path, in gate levels.
+    #[must_use]
+    pub fn comb_depth(&self) -> u32 {
+        self.comb_depth
+    }
+
+    /// Total number of gate input pins ("literals"), a classic synthesis
+    /// size proxy.
+    #[must_use]
+    pub fn num_literals(&self) -> usize {
+        self.literals
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} in, {} out, {} FF, {} gates ({} literals), depth {}",
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.ffs,
+            self.num_gates(),
+            self.literals,
+            self.comb_depth
+        )?;
+        for (kind, &count) in GateKind::ALL.iter().zip(&self.gate_counts) {
+            if count > 0 {
+                writeln!(f, "  {:<5} {count}", kind.mnemonic())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Netlist {
+    /// Computes aggregate statistics.
+    ///
+    /// # Panics
+    ///
+    /// Never panics on a netlist produced by
+    /// [`NetlistBuilder::finish`](crate::NetlistBuilder::finish) (which
+    /// guarantees acyclicity).
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut gate_counts = [0usize; GateKind::ALL.len()];
+        let mut constants = 0;
+        let mut literals = 0;
+        for (_, cell) in self.iter_cells() {
+            match cell.kind() {
+                CellKind::Gate(kind) => {
+                    let idx = GateKind::ALL.iter().position(|&k| k == kind).unwrap();
+                    gate_counts[idx] += 1;
+                    literals += cell.pins().len();
+                }
+                CellKind::Const(_) => constants += 1,
+                _ => {}
+            }
+        }
+        let depth = self
+            .levelize()
+            .expect("stats on validated netlist")
+            .depth();
+        NetlistStats {
+            name: self.name.clone(),
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            ffs: self.ffs.len(),
+            constants,
+            gate_counts,
+            comb_depth: depth,
+            literals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn counts_by_kind() {
+        let mut b = NetlistBuilder::new("s");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g1 = b.and2(a, c);
+        let g2 = b.xor2(g1, a);
+        let g3 = b.not(g2);
+        let q = b.dff(false);
+        b.connect_dff(q, g3).unwrap();
+        b.output("y", q);
+        let n = b.finish().unwrap();
+        let s = n.stats();
+        assert_eq!(s.num_inputs(), 2);
+        assert_eq!(s.num_outputs(), 1);
+        assert_eq!(s.num_ffs(), 1);
+        assert_eq!(s.gate_count(crate::GateKind::And), 1);
+        assert_eq!(s.gate_count(crate::GateKind::Xor), 1);
+        assert_eq!(s.gate_count(crate::GateKind::Not), 1);
+        assert_eq!(s.num_gates(), 3);
+        assert_eq!(s.num_literals(), 2 + 2 + 1);
+        assert_eq!(s.comb_depth(), 3);
+    }
+
+    #[test]
+    fn display_contains_inventory() {
+        let mut b = NetlistBuilder::new("disp");
+        let a = b.input("a");
+        let g = b.not(a);
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let text = n.stats().to_string();
+        assert!(text.contains("disp"));
+        assert!(text.contains("not"));
+    }
+
+    #[test]
+    fn empty_netlist_stats() {
+        let b = NetlistBuilder::new("empty");
+        let n = b.finish().unwrap();
+        let s = n.stats();
+        assert_eq!(s.num_gates(), 0);
+        assert_eq!(s.comb_depth(), 0);
+        assert_eq!(s.num_constants(), 0);
+    }
+}

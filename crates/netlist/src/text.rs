@@ -1,0 +1,533 @@
+//! Line-based textual netlist format ("SNL").
+//!
+//! The format is deliberately close to structural BLIF so that netlists can
+//! be diffed, checked into test fixtures and inspected by hand:
+//!
+//! ```text
+//! model <name>
+//! input <port>                # one per line, in order
+//! const <net> <0|1>
+//! gate <kind> <net> <in>...   # kind: buf not and or nand nor xor xnor mux
+//! dff <net> <0|1> <d-net>     # init value, then data input
+//! output <port> <net>
+//! end
+//! ```
+//!
+//! Net names may be any whitespace-free token. Forward references are
+//! allowed (a `dff` may name a `d-net` defined later), which is how
+//! sequential feedback loops are expressed. `#` starts a comment.
+//!
+//! # Example
+//!
+//! ```
+//! let src = "\
+//! model t
+//! input a
+//! dff q 0 nx
+//! gate xor nx a q
+//! output y q
+//! end
+//! ";
+//! let n = seugrade_netlist::text::parse(src)?;
+//! assert_eq!(n.num_ffs(), 1);
+//! let emitted = seugrade_netlist::text::emit(&n);
+//! let n2 = seugrade_netlist::text::parse(&emitted)?;
+//! assert_eq!(n2.num_cells(), n.num_cells());
+//! # Ok::<(), seugrade_netlist::NetlistError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{CellKind, GateKind, Netlist, NetlistBuilder, NetlistError, SigId};
+
+/// Serializes a netlist to the SNL text format.
+///
+/// The emitted text parses back ([`parse`]) to a netlist with identical
+/// structure: same cell/flip-flop/port ordering, same initial values.
+/// Debug names are emitted as the net tokens when present.
+#[must_use]
+pub fn emit(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let token = |sig: SigId| -> String {
+        // Inputs are referenced by their port name (that is the net the
+        // parser declares); all other nets use stable `n<i>` ids, with
+        // debug names kept as trailing comments for readability.
+        if let Some(pos) = netlist.inputs().iter().position(|&i| i == sig) {
+            netlist.input_names()[pos].clone()
+        } else {
+            sig.to_string()
+        }
+    };
+    writeln!(out, "model {}", netlist.name()).unwrap();
+    for name in netlist.input_names() {
+        writeln!(out, "input {name}").unwrap();
+    }
+    for (id, cell) in netlist.iter_cells() {
+        let comment = netlist
+            .cell_name(id)
+            .map(|n| format!("  # {n}"))
+            .unwrap_or_default();
+        match cell.kind() {
+            CellKind::Input => {}
+            CellKind::Const(v) => {
+                writeln!(out, "const {} {}{comment}", token(id), u8::from(v)).unwrap();
+            }
+            CellKind::Gate(kind) => {
+                let pins: Vec<String> = cell.pins().iter().map(|&p| token(p)).collect();
+                writeln!(
+                    out,
+                    "gate {} {} {}{comment}",
+                    kind.mnemonic(),
+                    token(id),
+                    pins.join(" ")
+                )
+                .unwrap();
+            }
+            CellKind::Dff { init } => {
+                writeln!(
+                    out,
+                    "dff {} {} {}{comment}",
+                    token(id),
+                    u8::from(init),
+                    token(cell.pins()[0])
+                )
+                .unwrap();
+            }
+        }
+    }
+    for (name, sig) in netlist.outputs() {
+        writeln!(out, "output {name} {}", token(*sig)).unwrap();
+    }
+    writeln!(out, "end").unwrap();
+    out
+}
+
+/// Input lines keyed for the two-pass parse.
+enum Stmt<'a> {
+    Input { name: &'a str },
+    Const { net: &'a str, value: bool },
+    Gate { kind: GateKind, net: &'a str, pins: Vec<&'a str> },
+    Dff { net: &'a str, init: bool, d: &'a str },
+    Output { name: &'a str, net: &'a str },
+}
+
+/// Parses SNL text into a validated [`Netlist`].
+///
+/// Statements may reference nets defined later in the file (two-pass
+/// resolution), so any topological order — including none — is accepted.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::UnknownNet`] for references to nets never defined, and
+/// any validation error from
+/// [`NetlistBuilder::finish`](crate::NetlistBuilder::finish) (e.g.
+/// combinational loops).
+pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
+    let mut model_name = String::from("unnamed");
+    let mut stmts: Vec<(usize, Stmt<'_>)> = Vec::new();
+    let mut saw_end = false;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if saw_end {
+            return Err(NetlistError::Parse {
+                line,
+                msg: "content after `end`".into(),
+            });
+        }
+        let mut toks = text.split_whitespace();
+        let head = toks.next().unwrap();
+        let rest: Vec<&str> = toks.collect();
+        let parse_bit = |s: &str| -> Result<bool, NetlistError> {
+            match s {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(NetlistError::Parse {
+                    line,
+                    msg: format!("expected 0 or 1, found `{other}`"),
+                }),
+            }
+        };
+        match head {
+            "model" => {
+                if rest.len() != 1 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: "model takes exactly one name".into(),
+                    });
+                }
+                model_name = rest[0].to_owned();
+            }
+            "input" => {
+                if rest.len() != 1 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: "input takes exactly one name".into(),
+                    });
+                }
+                stmts.push((line, Stmt::Input { name: rest[0] }));
+            }
+            "const" => {
+                if rest.len() != 2 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: "const takes <net> <0|1>".into(),
+                    });
+                }
+                stmts.push((line, Stmt::Const { net: rest[0], value: parse_bit(rest[1])? }));
+            }
+            "gate" => {
+                if rest.len() < 3 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: "gate takes <kind> <net> <in>...".into(),
+                    });
+                }
+                let kind = GateKind::from_mnemonic(rest[0]).ok_or_else(|| NetlistError::Parse {
+                    line,
+                    msg: format!("unknown gate kind `{}`", rest[0]),
+                })?;
+                stmts.push((
+                    line,
+                    Stmt::Gate { kind, net: rest[1], pins: rest[2..].to_vec() },
+                ));
+            }
+            "dff" => {
+                if rest.len() != 3 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: "dff takes <net> <init> <d-net>".into(),
+                    });
+                }
+                stmts.push((
+                    line,
+                    Stmt::Dff { net: rest[0], init: parse_bit(rest[1])?, d: rest[2] },
+                ));
+            }
+            "output" => {
+                if rest.len() != 2 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: "output takes <port> <net>".into(),
+                    });
+                }
+                stmts.push((line, Stmt::Output { name: rest[0], net: rest[1] }));
+            }
+            "end" => {
+                if !rest.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: "end takes no arguments".into(),
+                    });
+                }
+                saw_end = true;
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: format!("unknown statement `{other}`"),
+                });
+            }
+        }
+    }
+
+    // Pass 1: declare every net so forward references resolve.
+    //
+    // Gate pins must exist before `NetlistBuilder::gate` is called, so
+    // gates and constants are materialized as placeholder dffs first and
+    // rewritten in pass 2. Simpler: do full manual construction through a
+    // second builder pass ordering gates topologically is overkill;
+    // instead we create all cells in file order but route gate pins
+    // through "forward" dff placeholders... To keep the builder's
+    // invariants intact we instead topologically defer: create inputs,
+    // consts and dffs first (they can be referenced freely), then create
+    // gates in dependency order among themselves.
+    let mut b = NetlistBuilder::new(model_name);
+    let mut nets: HashMap<&str, SigId> = HashMap::new();
+
+    // Reject duplicate net definitions up front (covers gates too, which
+    // are materialized lazily below).
+    {
+        let mut defined: HashMap<&str, usize> = HashMap::new();
+        for (line, stmt) in &stmts {
+            let name = match stmt {
+                Stmt::Input { name } => Some(*name),
+                Stmt::Const { net, .. } | Stmt::Dff { net, .. } | Stmt::Gate { net, .. } => {
+                    Some(*net)
+                }
+                Stmt::Output { .. } => None,
+            };
+            if let Some(name) = name {
+                if defined.insert(name, *line).is_some() {
+                    return Err(NetlistError::Parse {
+                        line: *line,
+                        msg: format!("net `{name}` defined twice"),
+                    });
+                }
+            }
+        }
+    }
+
+    // inputs / consts / dffs first
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Input { name } => {
+                let id = b.input(*name);
+                if nets.insert(name, id).is_some() {
+                    return Err(NetlistError::Parse {
+                        line: *line,
+                        msg: format!("net `{name}` defined twice"),
+                    });
+                }
+            }
+            Stmt::Const { net, value } => {
+                // Constants are deduplicated by the builder: several
+                // const nets of the same value alias one cell (and the
+                // emitter writes one `const` line per cell, so
+                // round-trips preserve cell counts).
+                let id = b.constant(*value);
+                if nets.insert(net, id).is_some() {
+                    return Err(NetlistError::Parse {
+                        line: *line,
+                        msg: format!("net `{net}` defined twice"),
+                    });
+                }
+            }
+            Stmt::Dff { net, init, .. } => {
+                let id = b.dff(*init);
+                if nets.insert(net, id).is_some() {
+                    return Err(NetlistError::Parse {
+                        line: *line,
+                        msg: format!("net `{net}` defined twice"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Gates: iterate until fixpoint (file order is usually already
+    // topological, so this loop normally runs once or twice). Gates whose
+    // pins are not all resolved are deferred.
+    let mut pending: Vec<(usize, &Stmt<'_>)> = stmts
+        .iter()
+        .filter(|(_, s)| matches!(s, Stmt::Gate { .. }))
+        .map(|(l, s)| (*l, s))
+        .collect();
+    loop {
+        let before = pending.len();
+        pending.retain(|(line, stmt)| {
+            let Stmt::Gate { kind, net, pins } = stmt else { unreachable!() };
+            let resolved: Option<Vec<SigId>> =
+                pins.iter().map(|p| nets.get(p).copied()).collect();
+            match resolved {
+                Some(pin_ids) => {
+                    let id = b.gate(*kind, &pin_ids);
+                    nets.insert(net, id);
+                    let _ = line;
+                    false
+                }
+                None => true,
+            }
+        });
+        if pending.is_empty() || pending.len() == before {
+            break;
+        }
+    }
+    if let Some((line, Stmt::Gate { pins, .. })) = pending.first() {
+        // Either a reference to a never-defined net, or a combinational
+        // loop among gates; distinguish by checking whether the name is
+        // defined anywhere in the file.
+        let all_defined: std::collections::HashSet<&str> = stmts
+            .iter()
+            .filter_map(|(_, s)| match s {
+                Stmt::Input { name } => Some(*name),
+                Stmt::Const { net, .. } | Stmt::Dff { net, .. } => Some(*net),
+                Stmt::Gate { net, .. } => Some(*net),
+                Stmt::Output { .. } => None,
+            })
+            .collect();
+        for p in pins {
+            if !all_defined.contains(p) {
+                return Err(NetlistError::UnknownNet {
+                    line: *line,
+                    name: (*p).to_owned(),
+                });
+            }
+        }
+        // All names exist but the gates never became ready: cycle.
+        let mut cells: Vec<SigId> = Vec::new();
+        for (_, s) in &pending {
+            let Stmt::Gate { net, .. } = s else { unreachable!() };
+            // Cells were never created; report via placeholder ids in
+            // file order.
+            let _ = net;
+            cells.push(SigId::new(cells.len()));
+        }
+        return Err(NetlistError::CombinationalLoop { cells });
+    }
+
+    // Pass 2: connect dff data pins and outputs.
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Dff { net, d, .. } => {
+                let ff = nets[net];
+                let d_id = *nets.get(d).ok_or_else(|| NetlistError::UnknownNet {
+                    line: *line,
+                    name: (*d).to_owned(),
+                })?;
+                b.connect_dff(ff, d_id)?;
+            }
+            Stmt::Output { name, net } => {
+                let sig = *nets.get(net).ok_or_else(|| NetlistError::UnknownNet {
+                    line: *line,
+                    name: (*net).to_owned(),
+                })?;
+                b.output(*name, sig);
+            }
+            _ => {}
+        }
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("sample");
+        let a = b.input("a");
+        let c = b.input("b");
+        let q = b.dff(true);
+        let g1 = b.and2(a, c);
+        let g2 = b.xor2(g1, q);
+        let m = b.mux(a, g2, q);
+        b.connect_dff(q, m).unwrap();
+        b.output("y", g2);
+        b.output("z", q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_preserves_structure() {
+        let n = sample();
+        let text = emit(&n);
+        let n2 = parse(&text).unwrap();
+        assert_eq!(n2.name(), n.name());
+        assert_eq!(n2.num_cells(), n.num_cells());
+        assert_eq!(n2.num_ffs(), n.num_ffs());
+        assert_eq!(n2.num_inputs(), n.num_inputs());
+        assert_eq!(n2.num_outputs(), n.num_outputs());
+        assert_eq!(n2.ff_init_values(), n.ff_init_values());
+        // Cell-by-cell equality of kinds.
+        for ((_, c1), (_, c2)) in n.iter_cells().zip(n2.iter_cells()) {
+            assert_eq!(c1.kind(), c2.kind());
+        }
+    }
+
+    #[test]
+    fn forward_reference_dff() {
+        let src = "\
+model fwd
+input a
+dff q 1 nx
+gate xor nx a q
+output y q
+end
+";
+        let n = parse(src).unwrap();
+        assert_eq!(n.num_ffs(), 1);
+        assert_eq!(n.ff_init_values(), vec![true]);
+    }
+
+    #[test]
+    fn out_of_order_gates() {
+        let src = "\
+model ooo
+input a
+gate not g2 g1
+gate not g1 a
+output y g2
+end
+";
+        let n = parse(src).unwrap();
+        assert_eq!(n.num_gates(), 2);
+    }
+
+    #[test]
+    fn unknown_net_reported() {
+        let src = "\
+model bad
+input a
+gate and g a missing
+output y g
+end
+";
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownNet { name, .. } if name == "missing"));
+    }
+
+    #[test]
+    fn unknown_statement_reported() {
+        let err = parse("bogus x y\nend\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_net_rejected() {
+        let src = "\
+model dup
+input a
+input a2
+gate not a2dup a
+gate not a2dup a2
+output y a2dup
+end
+";
+        // second definition of `a2dup`
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. } | NetlistError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# a comment\nmodel c   # trailing\ninput a\noutput y a\n\nend\n";
+        let n = parse(src).unwrap();
+        assert_eq!(n.name(), "c");
+    }
+
+    #[test]
+    fn const_nets() {
+        let src = "\
+model k
+const one 1
+const zero 0
+gate or both one zero
+output y both
+end
+";
+        let n = parse(src).unwrap();
+        assert_eq!(n.num_outputs(), 1);
+    }
+
+    #[test]
+    fn content_after_end_rejected() {
+        let err = parse("model m\nend\ninput a\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn bad_init_bit_rejected() {
+        let err = parse("model m\ninput a\ndff q 2 a\nend\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }));
+    }
+}

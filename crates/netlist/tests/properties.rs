@@ -1,0 +1,167 @@
+//! Property-based structural invariants of the netlist IR.
+
+use proptest::prelude::*;
+use seugrade_netlist::{CellKind, GateKind, Netlist, NetlistBuilder, SigId};
+
+/// A recipe for a random but always-valid netlist (gates reference only
+/// earlier signals; flip-flops close their loops at the end).
+#[derive(Clone, Debug)]
+struct Recipe {
+    num_inputs: usize,
+    ff_inits: Vec<bool>,
+    gates: Vec<(u8, Vec<usize>)>,
+    outputs: Vec<usize>,
+    ff_d: Vec<usize>,
+}
+
+fn arb_recipe() -> impl Strategy<Value = Recipe> {
+    (1usize..5, proptest::collection::vec(any::<bool>(), 1..6), 1usize..40).prop_flat_map(
+        |(num_inputs, ff_inits, num_gates)| {
+            let base = num_inputs + ff_inits.len();
+            let gates = proptest::collection::vec(
+                (0u8..9, proptest::collection::vec(0usize..1000, 1..4)),
+                num_gates..=num_gates,
+            );
+            let outputs = proptest::collection::vec(0usize..1000, 1..5);
+            let ff_d = proptest::collection::vec(0usize..1000, ff_inits.len()..=ff_inits.len());
+            (
+                Just(num_inputs),
+                Just(ff_inits),
+                gates,
+                outputs,
+                ff_d,
+                Just(base),
+            )
+                .prop_map(|(num_inputs, ff_inits, gates, outputs, ff_d, _)| Recipe {
+                    num_inputs,
+                    ff_inits,
+                    gates,
+                    outputs,
+                    ff_d,
+                })
+        },
+    )
+}
+
+fn build(recipe: &Recipe) -> Netlist {
+    let mut b = NetlistBuilder::new("prop");
+    let mut sigs: Vec<SigId> = Vec::new();
+    for i in 0..recipe.num_inputs {
+        sigs.push(b.input(format!("i{i}")));
+    }
+    let mut ffs = Vec::new();
+    for &init in &recipe.ff_inits {
+        let q = b.dff(init);
+        ffs.push(q);
+        sigs.push(q);
+    }
+    for (kind_idx, pins) in &recipe.gates {
+        use GateKind::*;
+        let kind = [Buf, Not, And, Or, Nand, Nor, Xor, Xnor, Mux][*kind_idx as usize];
+        let pick = |i: usize| sigs[i % sigs.len()];
+        let g = match kind {
+            Buf | Not => b.gate(kind, &[pick(pins[0])]),
+            Mux => {
+                let s = pick(pins[0]);
+                let d0 = pick(*pins.get(1).unwrap_or(&0));
+                let d1 = pick(*pins.get(2).unwrap_or(&1));
+                b.mux(s, d0, d1)
+            }
+            _ => {
+                let x = pick(pins[0]);
+                let y = pick(*pins.get(1).unwrap_or(&0));
+                b.gate(kind, &[x, y])
+            }
+        };
+        sigs.push(g);
+    }
+    for (i, &o) in recipe.outputs.iter().enumerate() {
+        b.output(format!("o{i}"), sigs[o % sigs.len()]);
+    }
+    for (q, &d) in ffs.iter().zip(&recipe.ff_d) {
+        b.connect_dff(*q, sigs[d % sigs.len()]).expect("connects");
+    }
+    b.finish().expect("recipe builds a valid netlist")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Levelization is a valid topological order over the gates.
+    #[test]
+    fn levelize_is_topological(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let lv = n.levelize().expect("acyclic by construction");
+        let mut pos = vec![usize::MAX; n.num_cells()];
+        for (i, &sig) in lv.order().iter().enumerate() {
+            pos[sig.index()] = i;
+        }
+        for &sig in lv.order() {
+            for &pin in n.cell(sig).pins() {
+                if matches!(n.cell(pin).kind(), CellKind::Gate(_)) {
+                    prop_assert!(pos[pin.index()] < pos[sig.index()]);
+                    prop_assert!(lv.level(pin) < lv.level(sig));
+                }
+            }
+        }
+        prop_assert_eq!(lv.order().len(), n.num_gates());
+    }
+
+    /// Text round-trips reach a fixpoint after one emit/parse cycle.
+    #[test]
+    fn emit_parse_emit_fixpoint(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let text1 = seugrade_netlist::text::emit(&n);
+        let back = seugrade_netlist::text::parse(&text1).expect("own output parses");
+        let text2 = seugrade_netlist::text::emit(&back);
+        prop_assert_eq!(&text1, &text2, "emit is stable after one roundtrip");
+        prop_assert_eq!(back.num_cells(), n.num_cells());
+        prop_assert_eq!(back.num_ffs(), n.num_ffs());
+        prop_assert_eq!(back.ff_init_values(), n.ff_init_values());
+    }
+
+    /// Pruning keeps the interface, only ever shrinks, and is idempotent.
+    #[test]
+    fn prune_is_sound_and_idempotent(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let p1 = n.pruned();
+        prop_assert_eq!(p1.netlist().num_inputs(), n.num_inputs());
+        prop_assert_eq!(p1.netlist().num_outputs(), n.num_outputs());
+        prop_assert!(p1.netlist().num_cells() <= n.num_cells());
+        prop_assert!(p1.netlist().levelize().is_ok());
+        let p2 = p1.netlist().pruned();
+        prop_assert_eq!(p2.removed_cells(), 0, "second prune finds nothing");
+    }
+
+    /// Stats are internally consistent.
+    #[test]
+    fn stats_are_consistent(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let s = n.stats();
+        prop_assert_eq!(s.num_gates(), n.num_gates());
+        prop_assert_eq!(s.num_ffs(), n.num_ffs());
+        prop_assert_eq!(s.num_inputs(), n.num_inputs());
+        // literals >= gates (every gate has at least one pin).
+        prop_assert!(s.num_literals() >= s.num_gates());
+        // depth is 0 iff there are no gates on any observable path; it
+        // never exceeds the gate count.
+        prop_assert!(s.comb_depth() as usize <= s.num_gates());
+    }
+
+    /// Fanout map is the exact inverse of the pin relation.
+    #[test]
+    fn fanout_inverts_pins(recipe in arb_recipe()) {
+        let n = build(&recipe);
+        let fan = n.fanout_map();
+        for (sig, cell) in n.iter_cells() {
+            for &pin in cell.pins() {
+                prop_assert!(fan[pin.index()].contains(&sig));
+            }
+        }
+        let total_pins: usize = (0..n.num_cells())
+            .map(|i| n.cell(SigId::new(i)).pins().len())
+            .sum();
+        let total_fanout: usize = fan.iter().map(Vec::len).sum();
+        prop_assert_eq!(total_pins, total_fanout);
+    }
+}

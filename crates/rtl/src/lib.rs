@@ -1,0 +1,45 @@
+//! Word-level RTL construction on top of `seugrade-netlist`.
+//!
+//! This crate is the "HDL front-end" of the workspace: circuits such as
+//! the Viper/b14-like processor are described with multi-bit words,
+//! registers, adders and multiplexers, and elaborated on the fly into the
+//! gate-level [`Netlist`](seugrade_netlist::Netlist) consumed by the
+//! simulators, the instrumentation transforms and the technology mapper.
+//!
+//! Key types:
+//!
+//! - [`RtlBuilder`] — wraps a [`NetlistBuilder`](seugrade_netlist::NetlistBuilder)
+//!   with word-level operations (LSB-first [`Word`]s);
+//! - [`Reg`] — a named bank of flip-flops with deferred next-state
+//!   connection (and an optional write-enable).
+//!
+//! # Example — a saturating 4-bit up-counter
+//!
+//! ```
+//! use seugrade_rtl::RtlBuilder;
+//!
+//! # fn main() -> Result<(), seugrade_netlist::NetlistError> {
+//! let mut r = RtlBuilder::new("satcnt");
+//! let en = r.input_bit("en");
+//! let cnt = r.register("cnt", 4, 0);
+//! let one = r.constant_word(4, 1);
+//! let (next, _carry) = r.add(&cnt.q(), &one);
+//! let at_max = r.eq_const(&cnt.q(), 0xF);
+//! let hold = r.mux_word(at_max, &next, &cnt.q());
+//! let gated = r.mux_word(en, &cnt.q(), &hold);
+//! r.connect(&cnt, &gated);
+//! r.output_word("count", &cnt.q());
+//! let netlist = r.finish()?;
+//! assert_eq!(netlist.num_ffs(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod word;
+
+pub use builder::{Reg, RtlBuilder};
+pub use word::Word;

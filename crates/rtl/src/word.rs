@@ -1,0 +1,119 @@
+//! Multi-bit signal bundles.
+
+use seugrade_netlist::SigId;
+
+/// An ordered bundle of 1-bit signals forming a machine word, **LSB
+/// first** (`bits()[0]` is bit 0).
+///
+/// `Word`s are cheap handles into the netlist under construction; all
+/// arithmetic and logic on them happens through
+/// [`RtlBuilder`](crate::RtlBuilder) methods, which elaborate gates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Word {
+    bits: Vec<SigId>,
+}
+
+impl Word {
+    /// Wraps existing signals (LSB first).
+    #[must_use]
+    pub fn from_bits(bits: Vec<SigId>) -> Self {
+        Word { bits }
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The underlying signals, LSB first.
+    #[must_use]
+    pub fn bits(&self) -> &[SigId] {
+        &self.bits
+    }
+
+    /// Bit `i` (0 = LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> SigId {
+        self.bits[i]
+    }
+
+    /// The most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is empty.
+    #[must_use]
+    pub fn msb(&self) -> SigId {
+        *self.bits.last().expect("msb of empty word")
+    }
+
+    /// Bits `lo..hi` (half-open) as a new word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    #[must_use]
+    pub fn slice(&self, lo: usize, hi: usize) -> Word {
+        assert!(lo <= hi && hi <= self.bits.len(), "bad slice {lo}..{hi}");
+        Word { bits: self.bits[lo..hi].to_vec() }
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    #[must_use]
+    pub fn concat(&self, high: &Word) -> Word {
+        let mut bits = self.bits.clone();
+        bits.extend_from_slice(&high.bits);
+        Word { bits }
+    }
+}
+
+impl From<SigId> for Word {
+    fn from(sig: SigId) -> Self {
+        Word { bits: vec![sig] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(n: usize) -> Word {
+        Word::from_bits((0..n).map(SigId::new).collect())
+    }
+
+    #[test]
+    fn accessors() {
+        let word = w(8);
+        assert_eq!(word.width(), 8);
+        assert_eq!(word.bit(0), SigId::new(0));
+        assert_eq!(word.msb(), SigId::new(7));
+    }
+
+    #[test]
+    fn slicing_and_concat() {
+        let word = w(8);
+        let lo = word.slice(0, 4);
+        let hi = word.slice(4, 8);
+        assert_eq!(lo.width(), 4);
+        assert_eq!(hi.bit(0), SigId::new(4));
+        let back = lo.concat(&hi);
+        assert_eq!(back, word);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slice")]
+    fn bad_slice_panics() {
+        let _ = w(4).slice(3, 9);
+    }
+
+    #[test]
+    fn from_single_signal() {
+        let word: Word = SigId::new(5).into();
+        assert_eq!(word.width(), 1);
+    }
+}

@@ -1,0 +1,521 @@
+//! Compiled, levelized, 64-lane logic simulator.
+
+use seugrade_netlist::{CellKind, FfIndex, GateKind, Netlist, SigId};
+
+use crate::{broadcast, GoldenTrace, Testbench};
+
+/// One evaluation step of the compiled tape.
+#[derive(Clone, Debug)]
+struct Instr {
+    kind: GateKind,
+    out: u32,
+    /// Range into the pin pool.
+    pin_start: u32,
+    pin_len: u32,
+}
+
+/// A netlist compiled into a linear evaluation tape.
+///
+/// Signal values live in a separate [`SimState`], so one compiled program
+/// can drive many concurrent machine states (golden vs faulty, or pools of
+/// 64-lane fault groups). Every value is a `u64` of 64 independent lanes.
+///
+/// The tape is produced by levelization, so a single forward pass
+/// ([`eval`](Self::eval)) settles all combinational logic; [`step`]
+/// (Self::step) then latches flip-flops.
+#[derive(Clone, Debug)]
+pub struct CompiledSim {
+    num_cells: usize,
+    instrs: Vec<Instr>,
+    pin_pool: Vec<u32>,
+    inputs: Vec<u32>,
+    outputs: Vec<u32>,
+    /// Flip-flop output slot per [`FfIndex`].
+    ffs: Vec<u32>,
+    /// Flip-flop data-input slot per [`FfIndex`].
+    ff_d: Vec<u32>,
+    ff_init: Vec<bool>,
+    consts: Vec<(u32, bool)>,
+}
+
+/// The mutable value store for a [`CompiledSim`]: one 64-lane word per
+/// signal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimState {
+    values: Vec<u64>,
+    /// Scratch buffer for the two-phase flip-flop latch in
+    /// [`CompiledSim::step`].
+    ff_next: Vec<u64>,
+}
+
+impl SimState {
+    /// Raw access to a signal word (all 64 lanes).
+    #[must_use]
+    pub fn raw(&self, sig: SigId) -> u64 {
+        self.values[sig.index()]
+    }
+}
+
+impl CompiledSim {
+    /// Compiles a netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains a combinational loop — impossible
+    /// for netlists produced by
+    /// [`NetlistBuilder::finish`](seugrade_netlist::NetlistBuilder::finish),
+    /// which validates acyclicity.
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let lv = netlist
+            .levelize()
+            .expect("compiled simulation requires an acyclic netlist");
+        let mut instrs = Vec::with_capacity(lv.order().len());
+        let mut pin_pool = Vec::new();
+        for &id in lv.order() {
+            let cell = netlist.cell(id);
+            let CellKind::Gate(kind) = cell.kind() else {
+                unreachable!("levelize order contains only gates")
+            };
+            let pin_start = pin_pool.len() as u32;
+            pin_pool.extend(cell.pins().iter().map(|p| p.index() as u32));
+            instrs.push(Instr {
+                kind,
+                out: id.index() as u32,
+                pin_start,
+                pin_len: cell.pins().len() as u32,
+            });
+        }
+        let mut consts = Vec::new();
+        for (id, cell) in netlist.iter_cells() {
+            if let CellKind::Const(v) = cell.kind() {
+                consts.push((id.index() as u32, v));
+            }
+        }
+        let ffs: Vec<u32> = netlist.ffs().iter().map(|f| f.index() as u32).collect();
+        let ff_d: Vec<u32> = netlist
+            .ffs()
+            .iter()
+            .map(|&f| netlist.cell(f).pins()[0].index() as u32)
+            .collect();
+        CompiledSim {
+            num_cells: netlist.num_cells(),
+            instrs,
+            pin_pool,
+            inputs: netlist.inputs().iter().map(|i| i.index() as u32).collect(),
+            outputs: netlist
+                .outputs()
+                .iter()
+                .map(|(_, s)| s.index() as u32)
+                .collect(),
+            ffs,
+            ff_d,
+            ff_init: netlist.ff_init_values(),
+            consts,
+        }
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn num_ffs(&self) -> usize {
+        self.ffs.len()
+    }
+
+    /// Number of compiled gate instructions.
+    #[must_use]
+    pub fn num_instrs(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Creates a state with flip-flops at their initial values (broadcast
+    /// to all lanes), constants driven, and inputs low.
+    #[must_use]
+    pub fn new_state(&self) -> SimState {
+        let mut st = SimState {
+            values: vec![0u64; self.num_cells],
+            ff_next: vec![0u64; self.ffs.len()],
+        };
+        self.reset(&mut st);
+        st
+    }
+
+    /// Resets a state in place: flip-flops to their initial values on all
+    /// lanes, inputs low, constants re-driven.
+    pub fn reset(&self, state: &mut SimState) {
+        for v in &mut state.values {
+            *v = 0;
+        }
+        for &(slot, v) in &self.consts {
+            state.values[slot as usize] = broadcast(v);
+        }
+        for (i, &slot) in self.ffs.iter().enumerate() {
+            state.values[slot as usize] = broadcast(self.ff_init[i]);
+        }
+    }
+
+    /// Applies one input vector to all 64 lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector` length differs from the input count.
+    pub fn set_inputs(&self, state: &mut SimState, vector: &[bool]) {
+        assert_eq!(vector.len(), self.inputs.len(), "input vector width");
+        for (&slot, &bit) in self.inputs.iter().zip(vector) {
+            state.values[slot as usize] = broadcast(bit);
+        }
+    }
+
+    /// Applies raw 64-lane words to the inputs (lane-varying stimuli).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` length differs from the input count.
+    pub fn set_inputs_raw(&self, state: &mut SimState, words: &[u64]) {
+        assert_eq!(words.len(), self.inputs.len(), "input word width");
+        for (&slot, &w) in self.inputs.iter().zip(words) {
+            state.values[slot as usize] = w;
+        }
+    }
+
+    /// Propagates all combinational logic (one levelized pass).
+    pub fn eval(&self, state: &mut SimState) {
+        let values = &mut state.values;
+        for instr in &self.instrs {
+            let pins = &self.pin_pool
+                [instr.pin_start as usize..(instr.pin_start + instr.pin_len) as usize];
+            let v = match (instr.kind, pins) {
+                (GateKind::Buf, [a]) => values[*a as usize],
+                (GateKind::Not, [a]) => !values[*a as usize],
+                (GateKind::And, [a, b]) => values[*a as usize] & values[*b as usize],
+                (GateKind::Or, [a, b]) => values[*a as usize] | values[*b as usize],
+                (GateKind::Nand, [a, b]) => !(values[*a as usize] & values[*b as usize]),
+                (GateKind::Nor, [a, b]) => !(values[*a as usize] | values[*b as usize]),
+                (GateKind::Xor, [a, b]) => values[*a as usize] ^ values[*b as usize],
+                (GateKind::Xnor, [a, b]) => !(values[*a as usize] ^ values[*b as usize]),
+                (GateKind::Mux, [s, d0, d1]) => {
+                    let sel = values[*s as usize];
+                    (sel & values[*d1 as usize]) | (!sel & values[*d0 as usize])
+                }
+                (kind, pins) => {
+                    let mut acc = values[pins[0] as usize];
+                    for &p in &pins[1..] {
+                        let v = values[p as usize];
+                        acc = match kind {
+                            GateKind::And | GateKind::Nand => acc & v,
+                            GateKind::Or | GateKind::Nor => acc | v,
+                            GateKind::Xor | GateKind::Xnor => acc ^ v,
+                            _ => unreachable!("wide {kind} impossible"),
+                        };
+                    }
+                    match kind {
+                        GateKind::Nand | GateKind::Nor | GateKind::Xnor => !acc,
+                        _ => acc,
+                    }
+                }
+            };
+            values[instr.out as usize] = v;
+        }
+    }
+
+    /// Latches every flip-flop: `Q <= D`. Call after [`eval`](Self::eval).
+    ///
+    /// The latch is two-phase (all `D` values are sampled before any `Q`
+    /// is written) so flip-flops feeding flip-flops directly — shift
+    /// chains, scan chains — behave like real edge-triggered registers.
+    pub fn step(&self, state: &mut SimState) {
+        for (i, &d) in self.ff_d.iter().enumerate() {
+            state.ff_next[i] = state.values[d as usize];
+        }
+        for (i, &slot) in self.ffs.iter().enumerate() {
+            state.values[slot as usize] = state.ff_next[i];
+        }
+    }
+
+    /// Convenience: `set_inputs` + `eval` + `step` for one cycle.
+    pub fn cycle(&self, state: &mut SimState, vector: &[bool]) {
+        self.set_inputs(state, vector);
+        self.eval(state);
+        self.step(state);
+    }
+
+    /// Reads the outputs of lane `lane` (after [`eval`](Self::eval)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    #[must_use]
+    pub fn outputs_lane(&self, state: &SimState, lane: u32) -> Vec<bool> {
+        assert!(lane < 64);
+        self.outputs
+            .iter()
+            .map(|&slot| state.values[slot as usize] >> lane & 1 == 1)
+            .collect()
+    }
+
+    /// Reads the raw 64-lane output words (after [`eval`](Self::eval)).
+    #[must_use]
+    pub fn outputs_raw(&self, state: &SimState) -> Vec<u64> {
+        self.outputs
+            .iter()
+            .map(|&slot| state.values[slot as usize])
+            .collect()
+    }
+
+    /// Reads the flip-flop vector of lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    #[must_use]
+    pub fn state_lane(&self, state: &SimState, lane: u32) -> Vec<bool> {
+        assert!(lane < 64);
+        self.ffs
+            .iter()
+            .map(|&slot| state.values[slot as usize] >> lane & 1 == 1)
+            .collect()
+    }
+
+    /// Overwrites a flip-flop's 64-lane word.
+    pub fn set_ff_raw(&self, state: &mut SimState, ff: FfIndex, word: u64) {
+        state.values[self.ffs[ff.index()] as usize] = word;
+    }
+
+    /// Reads a flip-flop's 64-lane word.
+    #[must_use]
+    pub fn ff_raw(&self, state: &SimState, ff: FfIndex) -> u64 {
+        state.values[self.ffs[ff.index()] as usize]
+    }
+
+    /// Loads a scalar state vector, broadcast to all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` length differs from the flip-flop count.
+    pub fn load_state(&self, state: &mut SimState, bits: &[bool]) {
+        assert_eq!(bits.len(), self.ffs.len(), "state vector width");
+        for (&slot, &bit) in self.ffs.iter().zip(bits) {
+            state.values[slot as usize] = broadcast(bit);
+        }
+    }
+
+    /// Flips flip-flop `ff` in exactly one lane — the SEU bit-flip
+    /// primitive of the whole toolkit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= 64`.
+    pub fn flip_ff_lane(&self, state: &mut SimState, ff: FfIndex, lane: u32) {
+        assert!(lane < 64);
+        state.values[self.ffs[ff.index()] as usize] ^= 1u64 << lane;
+    }
+
+    /// Runs the full test bench from reset, capturing outputs and the
+    /// state trajectory — the golden reference run.
+    #[must_use]
+    pub fn run_golden(&self, tb: &Testbench) -> GoldenTrace {
+        let mut state = self.new_state();
+        let mut outputs = Vec::with_capacity(tb.num_cycles());
+        let mut states = Vec::with_capacity(tb.num_cycles() + 1);
+        states.push(self.state_lane(&state, 0));
+        for vector in tb.iter() {
+            self.set_inputs(&mut state, vector);
+            self.eval(&mut state);
+            outputs.push(self.outputs_lane(&state, 0));
+            self.step(&mut state);
+            states.push(self.state_lane(&state, 0));
+        }
+        GoldenTrace::new(outputs, states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_netlist::NetlistBuilder;
+
+    use super::*;
+
+    /// Full adder with registered sum: s = a^b^cin, latched each cycle.
+    fn adder_netlist() -> Netlist {
+        let mut b = NetlistBuilder::new("fa");
+        let a = b.input("a");
+        let x = b.input("b");
+        let cin = b.input("cin");
+        let t = b.xor2(a, x);
+        let s = b.xor2(t, cin);
+        let c1 = b.and2(a, x);
+        let c2 = b.and2(t, cin);
+        let cout = b.or2(c1, c2);
+        let sr = b.dff(false);
+        b.connect_dff(sr, s).unwrap();
+        b.output("s_comb", s);
+        b.output("cout", cout);
+        b.output("s_reg", sr);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn combinational_truth_table() {
+        let n = adder_netlist();
+        let sim = CompiledSim::new(&n);
+        let mut st = sim.new_state();
+        for a in [false, true] {
+            for x in [false, true] {
+                for c in [false, true] {
+                    sim.set_inputs(&mut st, &[a, x, c]);
+                    sim.eval(&mut st);
+                    let o = sim.outputs_lane(&st, 0);
+                    let sum = (a as u8 + x as u8 + c as u8) & 1 == 1;
+                    let carry = (a as u8 + x as u8 + c as u8) >= 2;
+                    assert_eq!(o[0], sum, "sum({a},{x},{c})");
+                    assert_eq!(o[1], carry, "carry({a},{x},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn register_latches_on_step() {
+        let n = adder_netlist();
+        let sim = CompiledSim::new(&n);
+        let mut st = sim.new_state();
+        sim.set_inputs(&mut st, &[true, false, false]);
+        sim.eval(&mut st);
+        assert!(!sim.outputs_lane(&st, 0)[2], "s_reg still reset");
+        sim.step(&mut st);
+        sim.eval(&mut st);
+        assert!(sim.outputs_lane(&st, 0)[2], "s_reg latched 1");
+    }
+
+    #[test]
+    fn golden_trace_counter() {
+        let mut b = NetlistBuilder::new("cnt");
+        let q0 = b.dff(false);
+        let q1 = b.dff(false);
+        let n0 = b.not(q0);
+        let n1 = b.xor2(q1, q0);
+        b.connect_dff(q0, n0).unwrap();
+        b.connect_dff(q1, n1).unwrap();
+        b.output("b0", q0);
+        b.output("b1", q1);
+        let n = b.finish().unwrap();
+        let sim = CompiledSim::new(&n);
+        let tb = Testbench::constant_low(0, 6);
+        let trace = sim.run_golden(&tb);
+        for t in 0..6 {
+            let expect0 = t & 1 == 1;
+            let expect1 = t >> 1 & 1 == 1;
+            assert_eq!(trace.output_at(t), &[expect0, expect1], "cycle {t}");
+            assert_eq!(trace.state_at(t), &[expect0, expect1]);
+        }
+        assert_eq!(trace.final_state(), &[false, true]); // 6 mod 4 = 2
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // A single dff fed by its inversion; flip lane 3 and verify only
+        // lane 3 diverges, and re-converges never (toggle keeps distance).
+        let mut b = NetlistBuilder::new("t");
+        let q = b.dff(false);
+        let inv = b.not(q);
+        b.connect_dff(q, inv).unwrap();
+        b.output("q", q);
+        let n = b.finish().unwrap();
+        let sim = CompiledSim::new(&n);
+        let mut st = sim.new_state();
+        sim.flip_ff_lane(&mut st, FfIndex::new(0), 3);
+        for _ in 0..5 {
+            sim.eval(&mut st);
+            let word = sim.outputs_raw(&st)[0];
+            let lane0 = word & 1;
+            let lane3 = word >> 3 & 1;
+            assert_ne!(lane0, lane3, "faulty lane must stay inverted");
+            sim.step(&mut st);
+        }
+    }
+
+    #[test]
+    fn load_state_roundtrip() {
+        let mut b = NetlistBuilder::new("r");
+        let q0 = b.dff(false);
+        let q1 = b.dff(false);
+        let c = b.constant(false);
+        b.connect_dff(q0, c).unwrap();
+        b.connect_dff(q1, c).unwrap();
+        b.output("q0", q0);
+        b.output("q1", q1);
+        let n = b.finish().unwrap();
+        let sim = CompiledSim::new(&n);
+        let mut st = sim.new_state();
+        sim.load_state(&mut st, &[true, false]);
+        assert_eq!(sim.state_lane(&st, 0), vec![true, false]);
+        assert_eq!(sim.state_lane(&st, 17), vec![true, false]);
+    }
+
+    #[test]
+    fn reset_restores_init_values() {
+        let mut b = NetlistBuilder::new("init");
+        let q0 = b.dff(true);
+        let q1 = b.dff(false);
+        let c = b.constant(false);
+        b.connect_dff(q0, c).unwrap();
+        b.connect_dff(q1, c).unwrap();
+        b.output("q0", q0);
+        let n = b.finish().unwrap();
+        let sim = CompiledSim::new(&n);
+        let mut st = sim.new_state();
+        sim.eval(&mut st);
+        sim.step(&mut st);
+        assert_eq!(sim.state_lane(&st, 0), vec![false, false]);
+        sim.reset(&mut st);
+        assert_eq!(sim.state_lane(&st, 0), vec![true, false]);
+    }
+
+    #[test]
+    fn wide_gate_instruction() {
+        let mut b = NetlistBuilder::new("wide");
+        let i0 = b.input("i0");
+        let i1 = b.input("i1");
+        let i2 = b.input("i2");
+        let i3 = b.input("i3");
+        let g = b.gate(GateKind::And, &[i0, i1, i2, i3]);
+        let g2 = b.gate(GateKind::Nor, &[i0, i1, i2]);
+        b.output("and4", g);
+        b.output("nor3", g2);
+        let n = b.finish().unwrap();
+        let sim = CompiledSim::new(&n);
+        let mut st = sim.new_state();
+        sim.set_inputs(&mut st, &[true, true, true, true]);
+        sim.eval(&mut st);
+        assert_eq!(sim.outputs_lane(&st, 0), vec![true, false]);
+        sim.set_inputs(&mut st, &[false, false, false, true]);
+        sim.eval(&mut st);
+        assert_eq!(sim.outputs_lane(&st, 0), vec![false, true]);
+    }
+
+    #[test]
+    fn set_inputs_raw_lane_varying() {
+        let mut b = NetlistBuilder::new("raw");
+        let a = b.input("a");
+        b.output("y", a);
+        let n = b.finish().unwrap();
+        let sim = CompiledSim::new(&n);
+        let mut st = sim.new_state();
+        sim.set_inputs_raw(&mut st, &[0b1010]);
+        sim.eval(&mut st);
+        assert!(!sim.outputs_lane(&st, 0)[0]);
+        assert!(sim.outputs_lane(&st, 1)[0]);
+        assert!(sim.outputs_lane(&st, 3)[0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Logic simulation engines for `seugrade` netlists.
+//!
+//! Two engines with identical cycle semantics:
+//!
+//! - [`CompiledSim`] — a levelized, compiled simulator whose signal values
+//!   are `u64` words of **64 independent boolean lanes**. Lane 0 alone
+//!   gives a fast scalar simulator; all 64 lanes give the bit-parallel
+//!   engine used by the fault simulator (64 faulty machines per pass).
+//! - [`EventSim`] — a straightforward activity-driven simulator used as a
+//!   cross-check oracle in tests.
+//!
+//! Shared infrastructure:
+//!
+//! - [`Testbench`] — per-cycle input vectors (with seeded random
+//!   generation via [`SplitMix64`]);
+//! - [`GoldenTrace`] — the fault-free reference run: outputs per cycle and
+//!   the state trajectory, as consumed by fault classification and by the
+//!   emulation-technique timing models;
+//! - [`vcd`] — value-change-dump export for waveform debugging.
+//!
+//! # Cycle semantics
+//!
+//! State `S_t` is the flip-flop vector at the *start* of cycle `t`
+//! (`S_0` = the flip-flops' initial values). During cycle `t` the inputs
+//! `I_t` are applied, outputs `O_t = f_o(S_t, I_t)` are observed, and
+//! [`CompiledSim::step`] latches `S_{t+1} = f_s(S_t, I_t)`. Every engine
+//! and every emulation model in the workspace uses this convention.
+//!
+//! # Example
+//!
+//! ```
+//! use seugrade_netlist::NetlistBuilder;
+//! use seugrade_sim::{CompiledSim, Testbench};
+//!
+//! # fn main() -> Result<(), seugrade_netlist::NetlistError> {
+//! // 2-bit counter.
+//! let mut b = NetlistBuilder::new("cnt");
+//! let b0 = b.dff(false);
+//! let b1 = b.dff(false);
+//! let n0 = b.not(b0);
+//! let n1 = b.xor2(b1, b0);
+//! b.connect_dff(b0, n0)?;
+//! b.connect_dff(b1, n1)?;
+//! b.output("msb", b1);
+//! let n = b.finish()?;
+//!
+//! let sim = CompiledSim::new(&n);
+//! let tb = Testbench::constant_low(0, 8);
+//! let trace = sim.run_golden(&tb);
+//! // msb = floor(t / 2) mod 2
+//! assert_eq!(trace.output_at(0), &[false]);
+//! assert_eq!(trace.output_at(2), &[true]);
+//! assert_eq!(trace.output_at(5), &[false]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiled;
+pub mod equiv;
+mod event;
+mod rng;
+mod testbench;
+mod trace;
+pub mod vcd;
+
+pub use compiled::{CompiledSim, SimState};
+pub use equiv::{equiv_check, Counterexample};
+pub use event::EventSim;
+pub use rng::SplitMix64;
+pub use testbench::Testbench;
+pub use trace::GoldenTrace;
+
+/// All 64 lanes set: the broadcast form of `true`.
+pub const ALL_LANES: u64 = !0u64;
+
+/// Broadcasts a boolean to all 64 lanes.
+#[must_use]
+pub fn broadcast(b: bool) -> u64 {
+    if b {
+        ALL_LANES
+    } else {
+        0
+    }
+}

@@ -1,0 +1,193 @@
+//! Test-bench stimulus vectors.
+
+use std::fmt;
+
+use crate::SplitMix64;
+
+/// A sequence of input vectors, one per test-bench cycle.
+///
+/// Vector `t` holds the value of every primary input during cycle `t`, in
+/// the netlist's input order. The paper's b14 experiment uses 160 vectors;
+/// [`Testbench::random`] regenerates equivalent stimuli from a seed.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Testbench {
+    num_inputs: usize,
+    vectors: Vec<Vec<bool>>,
+}
+
+impl Testbench {
+    /// Wraps explicit vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not all have the same length.
+    #[must_use]
+    pub fn new(vectors: Vec<Vec<bool>>) -> Self {
+        let num_inputs = vectors.first().map_or(0, Vec::len);
+        assert!(
+            vectors.iter().all(|v| v.len() == num_inputs),
+            "ragged test-bench vectors"
+        );
+        Testbench { num_inputs, vectors }
+    }
+
+    /// Uniformly random stimuli (seeded, deterministic).
+    #[must_use]
+    pub fn random(num_inputs: usize, num_cycles: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let vectors = (0..num_cycles)
+            .map(|_| (0..num_inputs).map(|_| rng.next_bool()).collect())
+            .collect();
+        Testbench { num_inputs, vectors }
+    }
+
+    /// Stimuli with a given probability of each bit being high.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero or `num > den`.
+    #[must_use]
+    pub fn random_biased(
+        num_inputs: usize,
+        num_cycles: usize,
+        seed: u64,
+        num: u32,
+        den: u32,
+    ) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let vectors = (0..num_cycles)
+            .map(|_| {
+                (0..num_inputs)
+                    .map(|_| rng.next_bool_ratio(num, den))
+                    .collect()
+            })
+            .collect();
+        Testbench { num_inputs, vectors }
+    }
+
+    /// All inputs low for the whole run (useful for autonomous circuits
+    /// such as counters).
+    #[must_use]
+    pub fn constant_low(num_inputs: usize, num_cycles: usize) -> Self {
+        Testbench {
+            num_inputs,
+            vectors: vec![vec![false; num_inputs]; num_cycles],
+        }
+    }
+
+    /// Number of primary inputs each vector drives.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of cycles (vectors).
+    #[must_use]
+    pub fn num_cycles(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// The input vector applied during cycle `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= num_cycles()`.
+    #[must_use]
+    pub fn cycle(&self, t: usize) -> &[bool] {
+        &self.vectors[t]
+    }
+
+    /// Iterates over the vectors in cycle order.
+    pub fn iter(&self) -> impl Iterator<Item = &[bool]> + '_ {
+        self.vectors.iter().map(Vec::as_slice)
+    }
+
+    /// Truncates the test bench to the first `n` cycles (no-op if already
+    /// shorter).
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Testbench {
+        Testbench {
+            num_inputs: self.num_inputs,
+            vectors: self.vectors.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Total stimulus storage in bits: `num_inputs × num_cycles`.
+    ///
+    /// This is the quantity the autonomous emulator keeps in on-FPGA block
+    /// RAM (Table 1's "FPGA RAM" column for the stimuli region).
+    #[must_use]
+    pub fn stimuli_bits(&self) -> u64 {
+        self.num_inputs as u64 * self.vectors.len() as u64
+    }
+}
+
+impl fmt::Debug for Testbench {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Testbench")
+            .field("num_inputs", &self.num_inputs)
+            .field("num_cycles", &self.vectors.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Testbench::random(8, 20, 99);
+        let b = Testbench::random(8, 20, 99);
+        assert_eq!(a, b);
+        let c = Testbench::random(8, 20, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes() {
+        let tb = Testbench::random(5, 7, 1);
+        assert_eq!(tb.num_inputs(), 5);
+        assert_eq!(tb.num_cycles(), 7);
+        assert_eq!(tb.cycle(3).len(), 5);
+        assert_eq!(tb.iter().count(), 7);
+        assert_eq!(tb.stimuli_bits(), 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_vectors_rejected() {
+        let _ = Testbench::new(vec![vec![true], vec![true, false]]);
+    }
+
+    #[test]
+    fn constant_low_is_all_false() {
+        let tb = Testbench::constant_low(3, 4);
+        assert!(tb.iter().all(|v| v.iter().all(|&b| !b)));
+    }
+
+    #[test]
+    fn truncation() {
+        let tb = Testbench::random(2, 10, 5);
+        let t = tb.truncated(4);
+        assert_eq!(t.num_cycles(), 4);
+        assert_eq!(t.cycle(0), tb.cycle(0));
+        assert_eq!(tb.truncated(100).num_cycles(), 10);
+    }
+
+    #[test]
+    fn biased_extremes() {
+        let hi = Testbench::random_biased(4, 10, 1, 1, 1);
+        assert!(hi.iter().all(|v| v.iter().all(|&b| b)));
+        let lo = Testbench::random_biased(4, 10, 1, 0, 1);
+        assert!(lo.iter().all(|v| v.iter().all(|&b| !b)));
+    }
+
+    #[test]
+    fn paper_scale_testbench() {
+        // b14: 32 inputs, 160 vectors -> 5,120 stimulus bits (the paper's
+        // 5.3 kbit time-mux FPGA RAM figure is this region).
+        let tb = Testbench::random(32, 160, 2005);
+        assert_eq!(tb.stimuli_bits(), 5_120);
+    }
+}

@@ -1,0 +1,134 @@
+//! The fault-free reference ("golden") run.
+
+use std::fmt;
+
+/// Captured golden run: outputs at every cycle and the full state
+/// trajectory.
+///
+/// Produced by [`CompiledSim::run_golden`](crate::CompiledSim::run_golden).
+/// This is the reference against which every faulty run is compared, and
+/// it is also what the autonomous emulator stores in its campaign RAM
+/// (golden outputs for mask-scan/state-scan, golden states for
+/// state-scan's scan-in vectors).
+#[derive(Clone, PartialEq, Eq)]
+pub struct GoldenTrace {
+    num_outputs: usize,
+    num_ffs: usize,
+    /// `outputs[t]` = outputs observed during cycle `t`.
+    outputs: Vec<Vec<bool>>,
+    /// `states[t]` = flip-flop vector at the *start* of cycle `t`;
+    /// has `num_cycles + 1` entries, the last being the end state.
+    states: Vec<Vec<bool>>,
+}
+
+impl GoldenTrace {
+    pub(crate) fn new(outputs: Vec<Vec<bool>>, states: Vec<Vec<bool>>) -> Self {
+        assert_eq!(states.len(), outputs.len() + 1, "trace shape mismatch");
+        GoldenTrace {
+            num_outputs: outputs.first().map_or(0, Vec::len),
+            num_ffs: states.first().map_or(0, Vec::len),
+            outputs,
+            states,
+        }
+    }
+
+    /// Number of test-bench cycles in the trace.
+    #[must_use]
+    pub fn num_cycles(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of flip-flops.
+    #[must_use]
+    pub fn num_ffs(&self) -> usize {
+        self.num_ffs
+    }
+
+    /// Outputs observed during cycle `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= num_cycles()`.
+    #[must_use]
+    pub fn output_at(&self, t: usize) -> &[bool] {
+        &self.outputs[t]
+    }
+
+    /// Flip-flop state at the start of cycle `t`; `t = num_cycles()` gives
+    /// the end-of-run state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > num_cycles()`.
+    #[must_use]
+    pub fn state_at(&self, t: usize) -> &[bool] {
+        &self.states[t]
+    }
+
+    /// The state after the last cycle.
+    #[must_use]
+    pub fn final_state(&self) -> &[bool] {
+        self.states.last().expect("trace has at least the initial state")
+    }
+
+    /// Golden-output storage in bits: `num_outputs × num_cycles` (the
+    /// emulator's on-FPGA golden-response region for mask- and state-scan).
+    #[must_use]
+    pub fn golden_output_bits(&self) -> u64 {
+        self.num_outputs as u64 * self.outputs.len() as u64
+    }
+
+    /// Golden-state storage in bits: `num_ffs × num_cycles` (what
+    /// state-scan needs to derive its per-fault scan-in vectors).
+    #[must_use]
+    pub fn golden_state_bits(&self) -> u64 {
+        self.num_ffs as u64 * self.outputs.len() as u64
+    }
+}
+
+impl fmt::Debug for GoldenTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GoldenTrace")
+            .field("num_cycles", &self.num_cycles())
+            .field("num_outputs", &self.num_outputs)
+            .field("num_ffs", &self.num_ffs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> GoldenTrace {
+        GoldenTrace::new(
+            vec![vec![false, true], vec![true, true]],
+            vec![vec![false], vec![true], vec![false]],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let t = toy_trace();
+        assert_eq!(t.num_cycles(), 2);
+        assert_eq!(t.num_outputs(), 2);
+        assert_eq!(t.num_ffs(), 1);
+        assert_eq!(t.output_at(1), &[true, true]);
+        assert_eq!(t.state_at(0), &[false]);
+        assert_eq!(t.final_state(), &[false]);
+        assert_eq!(t.golden_output_bits(), 4);
+        assert_eq!(t.golden_state_bits(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = GoldenTrace::new(vec![vec![true]], vec![vec![false]]);
+    }
+}

@@ -1,0 +1,361 @@
+//! K-feasible cut enumeration and LUT covering.
+
+use seugrade_netlist::Netlist;
+
+use crate::graph::{decompose, MapGraph, NodeId};
+
+/// Mapper parameters.
+#[derive(Clone, Debug)]
+pub struct MapperConfig {
+    /// LUT input count (K). Virtex-E uses 4.
+    pub lut_inputs: usize,
+    /// Cuts kept per node during enumeration (quality/runtime knob).
+    pub max_cuts: usize,
+}
+
+impl MapperConfig {
+    /// The paper's device: Xilinx Virtex-E (4-input LUTs).
+    #[must_use]
+    pub fn virtex_e() -> Self {
+        MapperConfig { lut_inputs: 4, max_cuts: 8 }
+    }
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        Self::virtex_e()
+    }
+}
+
+/// One mapped LUT: a root node and the (≤ K) leaf signals it reads.
+#[derive(Clone, Debug)]
+pub struct Lut {
+    pub(crate) root: NodeId,
+    pub(crate) leaves: Vec<NodeId>,
+}
+
+impl Lut {
+    /// Number of inputs this LUT actually uses.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Index of the mapping-graph node this LUT computes (diagnostic).
+    #[must_use]
+    pub fn root_index(&self) -> usize {
+        self.root as usize
+    }
+}
+
+/// Result of LUT covering.
+#[derive(Clone, Debug)]
+pub struct Mapping {
+    luts: Vec<Lut>,
+    depth: u32,
+}
+
+impl Mapping {
+    /// Number of LUTs in the cover (Table 1's "LUTs" column).
+    #[must_use]
+    pub fn num_luts(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// LUT-level depth of the mapped network.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The individual LUTs.
+    #[must_use]
+    pub fn luts(&self) -> &[Lut] {
+        &self.luts
+    }
+
+    /// Histogram of LUT input usage: `hist[i]` = LUTs with `i` inputs.
+    #[must_use]
+    pub fn input_histogram(&self, k: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; k + 1];
+        for lut in &self.luts {
+            hist[lut.num_inputs().min(k)] += 1;
+        }
+        hist
+    }
+}
+
+/// A cut: sorted leaf set (≤ K nodes) plus its mapped depth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Cut {
+    leaves: Vec<NodeId>,
+    depth: u32,
+}
+
+/// Maps a netlist onto K-input LUTs.
+///
+/// FlowMap-flavoured heuristic: per node, enumerate up to
+/// `config.max_cuts` K-feasible cuts (children's cut sets merged, plus
+/// the trivial cut), keep the depth-best; cover from the roots downward
+/// selecting each root's best cut and recursing into its leaves.
+///
+/// # Panics
+///
+/// Panics if `config.lut_inputs < 2` (no useful LUT has fewer inputs).
+#[must_use]
+pub fn map_luts(netlist: &Netlist, config: &MapperConfig) -> Mapping {
+    assert!(config.lut_inputs >= 2, "LUTs need at least 2 inputs");
+    let graph = decompose(netlist);
+    map_graph(&graph, config)
+}
+
+/// Maps a pre-decomposed graph (exposed for reuse by resource reports).
+#[must_use]
+pub(crate) fn map_graph(graph: &MapGraph, config: &MapperConfig) -> Mapping {
+    let k = config.lut_inputs;
+    let n = graph.nodes.len();
+
+    // Per-node best cut (for covering) and per-node arrival depth.
+    let mut best: Vec<Option<Cut>> = vec![None; n];
+    let mut arrival: Vec<u32> = vec![0; n];
+    // Cut sets per node, bounded by max_cuts.
+    let mut cut_sets: Vec<Vec<Cut>> = vec![Vec::new(); n];
+
+    // Nodes are created in topological order by `decompose` (sources
+    // first, then logic following levelization), so a forward sweep works.
+    for id in 0..n as NodeId {
+        let node = &graph.nodes[id as usize];
+        if node.is_source {
+            cut_sets[id as usize] = vec![Cut { leaves: vec![id], depth: 0 }];
+            continue;
+        }
+        let mut cuts: Vec<Cut> = Vec::new();
+        // Merge children's cut sets (cross product, bounded).
+        let child_sets: Vec<&[Cut]> = node
+            .inputs
+            .iter()
+            .map(|&c| cut_sets[c as usize].as_slice())
+            .collect();
+        merge_cuts(&child_sets, k, &mut cuts);
+        // Depth of each merged cut = 1 + max leaf arrival.
+        for cut in &mut cuts {
+            let d = cut
+                .leaves
+                .iter()
+                .map(|&l| arrival[l as usize])
+                .max()
+                .unwrap_or(0);
+            cut.depth = d + 1;
+        }
+        cuts.sort_by(|a, b| {
+            a.depth
+                .cmp(&b.depth)
+                .then(a.leaves.len().cmp(&b.leaves.len()))
+        });
+        cuts.dedup_by(|a, b| a.leaves == b.leaves);
+        cuts.truncate(config.max_cuts);
+        let chosen = cuts.first().cloned().unwrap_or(Cut {
+            leaves: node.inputs.clone(),
+            depth: 1 + node
+                .inputs
+                .iter()
+                .map(|&l| arrival[l as usize])
+                .max()
+                .unwrap_or(0),
+        });
+        arrival[id as usize] = chosen.depth;
+        best[id as usize] = Some(chosen);
+        // The trivial cut lets parents treat this node as a leaf.
+        cuts.push(Cut { leaves: vec![id], depth: arrival[id as usize] });
+        cut_sets[id as usize] = cuts;
+    }
+
+    // Covering phase.
+    let mut selected: Vec<Lut> = Vec::new();
+    let mut visited = vec![false; n];
+    let mut stack: Vec<NodeId> = graph.roots.clone();
+    let mut max_depth = 0;
+    while let Some(root) = stack.pop() {
+        if visited[root as usize] || graph.nodes[root as usize].is_source {
+            continue;
+        }
+        visited[root as usize] = true;
+        let cut = best[root as usize]
+            .clone()
+            .expect("logic node has a best cut");
+        max_depth = max_depth.max(cut.depth);
+        for &leaf in &cut.leaves {
+            if !graph.nodes[leaf as usize].is_source {
+                stack.push(leaf);
+            }
+        }
+        selected.push(Lut { root, leaves: cut.leaves });
+    }
+
+    Mapping { luts: selected, depth: max_depth }
+}
+
+/// Merges child cut sets into K-feasible cuts of the parent.
+fn merge_cuts(child_sets: &[&[Cut]], k: usize, out: &mut Vec<Cut>) {
+    fn rec(
+        child_sets: &[&[Cut]],
+        k: usize,
+        idx: usize,
+        acc: &mut Vec<NodeId>,
+        out: &mut Vec<Cut>,
+        budget: &mut usize,
+    ) {
+        if *budget == 0 {
+            return;
+        }
+        if idx == child_sets.len() {
+            let mut leaves = acc.clone();
+            leaves.sort_unstable();
+            leaves.dedup();
+            if leaves.len() <= k {
+                out.push(Cut { leaves, depth: 0 });
+                *budget -= 1;
+            }
+            return;
+        }
+        for cut in child_sets[idx] {
+            // Quick bound: merged size can only grow.
+            let mut merged = acc.clone();
+            merged.extend_from_slice(&cut.leaves);
+            merged.sort_unstable();
+            merged.dedup();
+            if merged.len() > k {
+                continue;
+            }
+            let mut next = merged;
+            std::mem::swap(acc, &mut next);
+            rec(child_sets, k, idx + 1, acc, out, budget);
+            std::mem::swap(acc, &mut next);
+        }
+    }
+    let mut acc = Vec::new();
+    // Explore a bounded number of combinations; the sets are already
+    // quality-ordered so early combinations are the good ones.
+    let mut budget = 64usize;
+    rec(child_sets, k, 0, &mut acc, out, &mut budget);
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_netlist::{GateKind, NetlistBuilder};
+    use seugrade_rtl::RtlBuilder;
+
+    use super::*;
+
+    #[test]
+    fn single_gate_is_one_lut() {
+        let mut b = NetlistBuilder::new("g");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.and2(x, y);
+        b.output("o", g);
+        let n = b.finish().unwrap();
+        let m = map_luts(&n, &MapperConfig::virtex_e());
+        assert_eq!(m.num_luts(), 1);
+        assert_eq!(m.depth(), 1);
+    }
+
+    #[test]
+    fn chain_of_gates_packs_into_lut() {
+        // f = ((a&b)|c)^d : 4 distinct inputs, fits one 4-LUT.
+        let mut b = NetlistBuilder::new("pack");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let c = b.input("c");
+        let d = b.input("d");
+        let g1 = b.and2(a, bb);
+        let g2 = b.or2(g1, c);
+        let g3 = b.xor2(g2, d);
+        b.output("o", g3);
+        let n = b.finish().unwrap();
+        let m = map_luts(&n, &MapperConfig::virtex_e());
+        assert_eq!(m.num_luts(), 1, "three gates over 4 inputs = one 4-LUT");
+        assert_eq!(m.depth(), 1);
+    }
+
+    #[test]
+    fn five_input_function_needs_two_luts() {
+        let mut b = NetlistBuilder::new("five");
+        let ins: Vec<_> = (0..5).map(|i| b.input(format!("i{i}"))).collect();
+        let g = b.gate(GateKind::Xor, &ins);
+        b.output("o", g);
+        let n = b.finish().unwrap();
+        let m = map_luts(&n, &MapperConfig::virtex_e());
+        assert_eq!(m.num_luts(), 2);
+        assert_eq!(m.depth(), 2);
+    }
+
+    #[test]
+    fn wide_xor_lut_count_scales_logarithmically_in_depth() {
+        let mut b = NetlistBuilder::new("xor32");
+        let ins: Vec<_> = (0..32).map(|i| b.input(format!("i{i}"))).collect();
+        let g = b.gate(GateKind::Xor, &ins);
+        b.output("o", g);
+        let n = b.finish().unwrap();
+        let m = map_luts(&n, &MapperConfig::virtex_e());
+        // 32 inputs / 4-LUTs: ideal = 11 LUTs (8+2+1), depth 3.
+        assert!(m.num_luts() <= 12, "got {}", m.num_luts());
+        assert!(m.depth() <= 3, "depth {}", m.depth());
+    }
+
+    #[test]
+    fn adder_mapping_is_reasonable() {
+        // 8-bit ripple adder: classic result is ~2 LUTs/bit or less.
+        let mut r = RtlBuilder::new("add8");
+        let a = r.input_word("a", 8);
+        let b = r.input_word("b", 8);
+        let (s, c) = r.add(&a, &b);
+        r.output_word("s", &s);
+        r.output_bit("c", c);
+        let n = r.finish().unwrap();
+        let m = map_luts(&n, &MapperConfig::virtex_e());
+        assert!(
+            (8..=24).contains(&m.num_luts()),
+            "8-bit adder mapped to {} LUTs",
+            m.num_luts()
+        );
+    }
+
+    #[test]
+    fn registered_logic_roots_at_ff_inputs() {
+        let mut b = NetlistBuilder::new("reg");
+        let a = b.input("a");
+        let q = b.dff(false);
+        let g = b.xor2(a, q);
+        b.connect_dff(q, g).unwrap();
+        b.output("q", q);
+        let n = b.finish().unwrap();
+        let m = map_luts(&n, &MapperConfig::virtex_e());
+        assert_eq!(m.num_luts(), 1, "one LUT feeding the flip-flop");
+    }
+
+    #[test]
+    fn histogram_counts_inputs() {
+        let mut b = NetlistBuilder::new("h");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g1 = b.and2(x, y);
+        let g2 = b.not(x);
+        b.output("a", g1);
+        b.output("b", g2);
+        let n = b.finish().unwrap();
+        let m = map_luts(&n, &MapperConfig::virtex_e());
+        let hist = m.input_histogram(4);
+        assert_eq!(hist[1], 1); // the NOT
+        assert_eq!(hist[2], 1); // the AND
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let n = seugrade_circuits::registry::build("b03s").unwrap();
+        let a = map_luts(&n, &MapperConfig::virtex_e());
+        let b = map_luts(&n, &MapperConfig::virtex_e());
+        assert_eq!(a.num_luts(), b.num_luts());
+        assert_eq!(a.depth(), b.depth());
+    }
+}

@@ -1,0 +1,211 @@
+//! Bounded-fanin mapping graph.
+
+use seugrade_netlist::{CellKind, GateKind, Netlist, SigId};
+
+/// Node index inside a [`MapGraph`].
+pub(crate) type NodeId = u32;
+
+/// A node in the decomposed graph: either a *source* (primary input,
+/// constant or flip-flop output — free for mapping) or a logic node with
+/// at most 3 bounded-fanin operands (2 for gates, 3 for muxes).
+#[derive(Clone, Debug)]
+pub(crate) struct MapNode {
+    pub inputs: Vec<NodeId>,
+    pub is_source: bool,
+}
+
+/// The decomposition of a netlist into a bounded-fanin DAG.
+///
+/// Wide n-ary gates are split into balanced binary trees; every original
+/// signal keeps a representative node, so mapping roots (primary outputs
+/// and flip-flop data inputs) can be located after decomposition.
+#[derive(Clone, Debug)]
+pub struct MapGraph {
+    pub(crate) nodes: Vec<MapNode>,
+    /// Representative node for each original signal.
+    pub(crate) rep: Vec<NodeId>,
+    /// Mapping roots: nodes that must be implemented (primary outputs and
+    /// flip-flop `d` inputs that are logic).
+    pub(crate) roots: Vec<NodeId>,
+}
+
+impl MapGraph {
+    /// Number of nodes (sources + logic) after decomposition.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of logic (non-source) nodes.
+    #[must_use]
+    pub fn num_logic_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_source).count()
+    }
+
+    /// Index of the graph node representing an original signal
+    /// (diagnostic aid for inspecting decompositions).
+    #[must_use]
+    pub fn representative(&self, sig: SigId) -> usize {
+        self.rep[sig.index()] as usize
+    }
+}
+
+/// Decomposes `netlist` into a bounded-fanin mapping graph.
+///
+/// Gates with more than two pins become balanced trees of 2-input nodes
+/// (a 32-input XOR becomes 31 nodes in 5 levels); muxes stay 3-input;
+/// `Buf` nodes collapse onto their operand (zero cost, like synthesis).
+#[must_use]
+pub fn decompose(netlist: &Netlist) -> MapGraph {
+    let mut nodes: Vec<MapNode> = Vec::with_capacity(netlist.num_cells() * 2);
+    let mut rep: Vec<NodeId> = vec![0; netlist.num_cells()];
+
+    let order = netlist
+        .levelize()
+        .expect("mapping requires an acyclic netlist");
+
+    // Sources first: inputs, constants, flip-flops.
+    for (id, cell) in netlist.iter_cells() {
+        match cell.kind() {
+            CellKind::Input | CellKind::Const(_) | CellKind::Dff { .. } => {
+                rep[id.index()] = nodes.len() as NodeId;
+                nodes.push(MapNode { inputs: Vec::new(), is_source: true });
+            }
+            CellKind::Gate(_) => {}
+        }
+    }
+
+    // Gates in topological order; operands' representatives exist by the
+    // time each gate is visited.
+    for &id in order.order() {
+        let cell = netlist.cell(id);
+        let CellKind::Gate(kind) = cell.kind() else { unreachable!() };
+        let operands: Vec<NodeId> = cell.pins().iter().map(|p| rep[p.index()]).collect();
+        let node = match kind {
+            GateKind::Buf => {
+                // Zero-cost alias.
+                rep[id.index()] = operands[0];
+                continue;
+            }
+            GateKind::Not => push(&mut nodes, vec![operands[0]]),
+            GateKind::Mux => push(&mut nodes, operands),
+            _ => balanced_tree(&mut nodes, &operands),
+        };
+        rep[id.index()] = node;
+    }
+
+    // Roots: primary outputs + flip-flop data inputs, deduplicated, and
+    // only when they are logic nodes (a source is free).
+    let mut roots = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut add_root = |n: NodeId, nodes: &Vec<MapNode>| {
+        if !nodes[n as usize].is_source && seen.insert(n) {
+            roots.push(n);
+        }
+    };
+    for (_, sig) in netlist.outputs() {
+        add_root(rep[sig.index()], &nodes);
+    }
+    for &ff in netlist.ffs() {
+        let d: SigId = netlist.cell(ff).pins()[0];
+        add_root(rep[d.index()], &nodes);
+    }
+
+    MapGraph { nodes, rep, roots }
+}
+
+fn push(nodes: &mut Vec<MapNode>, inputs: Vec<NodeId>) -> NodeId {
+    let id = nodes.len() as NodeId;
+    nodes.push(MapNode { inputs, is_source: false });
+    id
+}
+
+/// Builds a balanced binary tree over `operands`, returning the root.
+fn balanced_tree(nodes: &mut Vec<MapNode>, operands: &[NodeId]) -> NodeId {
+    debug_assert!(!operands.is_empty());
+    let mut layer: Vec<NodeId> = operands.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(push(nodes, vec![pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_netlist::{GateKind, NetlistBuilder};
+
+    use super::*;
+
+    #[test]
+    fn wide_gate_becomes_balanced_tree() {
+        let mut b = NetlistBuilder::new("wide");
+        let ins: Vec<_> = (0..8).map(|i| b.input(format!("i{i}"))).collect();
+        let g = b.gate(GateKind::Xor, &ins);
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let graph = decompose(&n);
+        // 8 sources + 7 tree nodes.
+        assert_eq!(graph.num_nodes(), 15);
+        assert_eq!(graph.num_logic_nodes(), 7);
+        assert_eq!(graph.roots.len(), 1);
+    }
+
+    #[test]
+    fn buf_is_free() {
+        let mut b = NetlistBuilder::new("buf");
+        let a = b.input("a");
+        let buf = b.buf(a);
+        b.output("y", buf);
+        let n = b.finish().unwrap();
+        let graph = decompose(&n);
+        assert_eq!(graph.num_logic_nodes(), 0);
+        assert!(graph.roots.is_empty(), "output is a source alias");
+    }
+
+    #[test]
+    fn ff_d_inputs_are_roots() {
+        let mut b = NetlistBuilder::new("ffroot");
+        let q = b.dff(false);
+        let inv = b.not(q);
+        b.connect_dff(q, inv).unwrap();
+        b.output("q", q);
+        let n = b.finish().unwrap();
+        let graph = decompose(&n);
+        assert_eq!(graph.roots.len(), 1, "the NOT feeding the ff");
+    }
+
+    #[test]
+    fn shared_root_deduplicated() {
+        let mut b = NetlistBuilder::new("shared");
+        let a = b.input("a");
+        let g = b.not(a);
+        b.output("y1", g);
+        b.output("y2", g);
+        let n = b.finish().unwrap();
+        let graph = decompose(&n);
+        assert_eq!(graph.roots.len(), 1);
+    }
+
+    #[test]
+    fn mux_keeps_three_inputs() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.input("s");
+        let x = b.input("x");
+        let y = b.input("y");
+        let m = b.mux(s, x, y);
+        b.output("o", m);
+        let n = b.finish().unwrap();
+        let graph = decompose(&n);
+        assert_eq!(graph.num_logic_nodes(), 1);
+        let logic = graph.nodes.iter().find(|n| !n.is_source).unwrap();
+        assert_eq!(logic.inputs.len(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! K-input LUT technology mapping and FPGA resource estimation.
+//!
+//! The paper's Table 1 reports Leonardo Spectrum synthesis results
+//! (4-input LUTs and flip-flops on a Xilinx Virtex-E 2000) for the
+//! original b14, the three instrumented versions and the three complete
+//! emulator systems. This crate reproduces that pipeline in software:
+//!
+//! 1. [`decompose`] — rewrite the gate network into a bounded-fanin
+//!    (≤ 2-input gates, 3-input muxes) mapping graph;
+//! 2. [`map_luts`] — enumerate K-feasible cuts per node (FlowMap-style,
+//!    depth-optimal with area tie-break) and cover the graph with LUTs;
+//! 3. [`ResourceReport`] — LUT/FF/BRAM tallies and overhead percentages
+//!    against a baseline circuit, the exact shape of Table 1's rows.
+//!
+//! Absolute LUT counts from a 2026 Rust reimplementation will not equal
+//! Leonardo Spectrum 2003's, but the *ratios* between instrumented and
+//! original circuits — what Table 1 is about — carry over, because both
+//! mappers see the same structural overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use seugrade_circuits::generators;
+//! use seugrade_techmap::{map_luts, MapperConfig};
+//!
+//! let circuit = generators::counter(8);
+//! let mapping = map_luts(&circuit, &MapperConfig::virtex_e());
+//! assert!(mapping.num_luts() >= 4); // 8-bit increment needs LUTs
+//! assert!(mapping.depth() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cuts;
+mod graph;
+mod report;
+
+pub use cuts::{map_luts, Lut, MapperConfig, Mapping};
+pub use graph::{decompose, MapGraph};
+pub use report::{BramEstimate, ResourceReport};

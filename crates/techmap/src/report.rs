@@ -1,0 +1,223 @@
+//! Resource accounting (Table 1's row format).
+
+use std::fmt;
+
+use seugrade_netlist::Netlist;
+
+use crate::{map_luts, MapperConfig};
+
+/// Block-RAM sizing on the target device.
+///
+/// The Virtex-E family provides 4,096-bit block select RAMs; the Celoxica
+/// RC1000 board used in the paper adds 8 MB of external SRAM. Campaign
+/// memory regions are placed on-FPGA when they are read every cycle
+/// (stimuli, golden outputs) and on the board RAM otherwise (bulk state
+/// vectors, result logs) — exactly the split visible in Table 1's
+/// "Board / FPGA RAM" column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BramEstimate {
+    /// Bits required in on-FPGA block RAM.
+    pub fpga_bits: u64,
+    /// Bits required in on-board (external) RAM.
+    pub board_bits: u64,
+}
+
+impl BramEstimate {
+    /// Virtex-E block select RAM capacity in bits.
+    pub const BLOCK_BITS: u64 = 4096;
+
+    /// No memory at all.
+    #[must_use]
+    pub fn zero() -> Self {
+        BramEstimate { fpga_bits: 0, board_bits: 0 }
+    }
+
+    /// Number of 4-kbit blocks needed on the FPGA.
+    #[must_use]
+    pub fn fpga_blocks(&self) -> u64 {
+        self.fpga_bits.div_ceil(Self::BLOCK_BITS)
+    }
+
+    /// Kilobits (1 kbit = 1024 bits) on the FPGA, as printed in Table 1.
+    #[must_use]
+    pub fn fpga_kbits(&self) -> f64 {
+        self.fpga_bits as f64 / 1024.0
+    }
+
+    /// Kilobits on the board RAM, as printed in Table 1.
+    #[must_use]
+    pub fn board_kbits(&self) -> f64 {
+        self.board_bits as f64 / 1024.0
+    }
+}
+
+/// LUT/FF/RAM usage of one circuit, with optional overhead percentages
+/// against a baseline — one row of the paper's Table 1.
+#[derive(Clone, Debug)]
+pub struct ResourceReport {
+    name: String,
+    luts: usize,
+    ffs: usize,
+    depth: u32,
+    ram: BramEstimate,
+}
+
+impl ResourceReport {
+    /// Maps `netlist` and tallies resources. `ram` carries the campaign
+    /// memory attributed to this circuit (zero for bare circuits).
+    #[must_use]
+    pub fn measure(netlist: &Netlist, config: &MapperConfig, ram: BramEstimate) -> Self {
+        let mapping = map_luts(netlist, config);
+        ResourceReport {
+            name: netlist.name().to_owned(),
+            luts: mapping.num_luts(),
+            ffs: netlist.num_ffs(),
+            depth: mapping.depth(),
+            ram,
+        }
+    }
+
+    /// Builds a report from precomputed numbers (used for controller
+    /// estimates assembled from parts).
+    #[must_use]
+    pub fn from_parts(name: impl Into<String>, luts: usize, ffs: usize, depth: u32, ram: BramEstimate) -> Self {
+        ResourceReport { name: name.into(), luts, ffs, depth, ram }
+    }
+
+    /// Circuit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mapped LUT count.
+    #[must_use]
+    pub fn luts(&self) -> usize {
+        self.luts
+    }
+
+    /// Flip-flop count.
+    #[must_use]
+    pub fn ffs(&self) -> usize {
+        self.ffs
+    }
+
+    /// LUT-level depth.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Campaign RAM attributed to this circuit.
+    #[must_use]
+    pub fn ram(&self) -> BramEstimate {
+        self.ram
+    }
+
+    /// Returns a report representing `self + other` (used to combine a
+    /// modified circuit with its emulation controller).
+    #[must_use]
+    pub fn combined(&self, other: &ResourceReport, name: impl Into<String>) -> ResourceReport {
+        ResourceReport {
+            name: name.into(),
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            depth: self.depth.max(other.depth),
+            ram: BramEstimate {
+                fpga_bits: self.ram.fpga_bits + other.ram.fpga_bits,
+                board_bits: self.ram.board_bits + other.ram.board_bits,
+            },
+        }
+    }
+
+    /// LUT overhead versus a baseline, in percent (Table 1's
+    /// parenthesised numbers).
+    #[must_use]
+    pub fn lut_overhead_pct(&self, base: &ResourceReport) -> f64 {
+        overhead_pct(self.luts, base.luts)
+    }
+
+    /// Flip-flop overhead versus a baseline, in percent.
+    #[must_use]
+    pub fn ff_overhead_pct(&self, base: &ResourceReport) -> f64 {
+        overhead_pct(self.ffs, base.ffs)
+    }
+}
+
+fn overhead_pct(value: usize, base: usize) -> f64 {
+    if base == 0 {
+        return 0.0;
+    }
+    (value as f64 - base as f64) * 100.0 / base as f64
+}
+
+impl fmt::Display for ResourceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} LUTs, {} FFs, depth {}, RAM {:.1}/{:.1} kbit (board/FPGA)",
+            self.name,
+            self.luts,
+            self.ffs,
+            self.depth,
+            self.ram.board_kbits(),
+            self.ram.fpga_kbits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bram_blocks_round_up() {
+        let b = BramEstimate { fpga_bits: 4097, board_bits: 0 };
+        assert_eq!(b.fpga_blocks(), 2);
+        assert_eq!(BramEstimate::zero().fpga_blocks(), 0);
+    }
+
+    #[test]
+    fn kbit_conversion_matches_paper_convention() {
+        // 13,760 stimulus+golden bits for b14/160 print as 13.4 kbit.
+        let b = BramEstimate { fpga_bits: 13_760, board_bits: 34_400 };
+        assert!((b.fpga_kbits() - 13.4375).abs() < 1e-9);
+        assert!((b.board_kbits() - 33.59375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_percentages() {
+        let base = ResourceReport::from_parts("base", 1000, 200, 10, BramEstimate::zero());
+        let big = ResourceReport::from_parts("big", 1410, 404, 12, BramEstimate::zero());
+        assert!((big.lut_overhead_pct(&base) - 41.0).abs() < 1e-9);
+        assert!((big.ff_overhead_pct(&base) - 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combine_adds_resources() {
+        let a = ResourceReport::from_parts("a", 100, 10, 5, BramEstimate { fpga_bits: 100, board_bits: 0 });
+        let b = ResourceReport::from_parts("b", 50, 20, 7, BramEstimate { fpga_bits: 28, board_bits: 64 });
+        let c = a.combined(&b, "a+b");
+        assert_eq!(c.luts(), 150);
+        assert_eq!(c.ffs(), 30);
+        assert_eq!(c.depth(), 7);
+        assert_eq!(c.ram().fpga_bits, 128);
+        assert_eq!(c.ram().board_bits, 64);
+    }
+
+    #[test]
+    fn measure_counts_circuit() {
+        let n = seugrade_circuits::generators::counter(8);
+        let r = ResourceReport::measure(&n, &MapperConfig::virtex_e(), BramEstimate::zero());
+        assert_eq!(r.ffs(), 8);
+        assert!(r.luts() > 0);
+        assert!(r.to_string().contains("LUTs"));
+    }
+
+    #[test]
+    fn zero_base_overhead_is_zero() {
+        let a = ResourceReport::from_parts("a", 5, 5, 1, BramEstimate::zero());
+        let zero = ResourceReport::from_parts("z", 0, 0, 0, BramEstimate::zero());
+        assert_eq!(a.lut_overhead_pct(&zero), 0.0);
+    }
+}

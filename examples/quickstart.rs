@@ -1,0 +1,40 @@
+//! Quickstart: grade a small circuit with all three autonomous
+//! techniques.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use seugrade::prelude::*;
+
+fn main() {
+    // 1. A circuit under test: a 16-bit LFSR from the generator library.
+    //    (Any `Netlist` works — build your own with `NetlistBuilder` or
+    //    `RtlBuilder`, or parse the SNL text format.)
+    let circuit = registry::build("lfsr16").expect("registered circuit");
+    println!("circuit: {circuit}");
+
+    // 2. A test bench: the LFSR free-runs, so 200 empty input vectors.
+    let tb = Testbench::constant_low(circuit.num_inputs(), 200);
+
+    // 3. Grade the exhaustive SEU fault list (every flip-flop x every
+    //    cycle) once; the campaign is shared by all technique reports.
+    let campaign = AutonomousCampaign::new(&circuit, &tb);
+    println!(
+        "graded {} faults: {}\n",
+        campaign.faults().len(),
+        campaign.summary()
+    );
+
+    // 4. Compare the three DATE'05 techniques on time and memory.
+    for technique in Technique::ALL {
+        let report = campaign.run(technique);
+        println!("{report}");
+        println!(
+            "    cycles/fault {:.1}, RAM {:.1} kbit board / {:.1} kbit FPGA",
+            report.timing.cycles_per_fault(),
+            report.ram.board_kbits(),
+            report.ram.fpga_kbits(),
+        );
+    }
+}

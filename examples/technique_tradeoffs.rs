@@ -1,0 +1,57 @@
+//! Explore the paper's central trade-off: which autonomous technique
+//! wins as a function of test-bench length vs flip-flop count (§III's
+//! crossover observation), including the hardware price of each.
+//!
+//! ```text
+//! cargo run --release --example technique_tradeoffs
+//! ```
+
+use seugrade::experiments::crossover_for;
+use seugrade::prelude::*;
+use seugrade::instrument::{mask_scan, state_scan, time_mux};
+
+fn main() {
+    // A mid-size circuit with buried state so all three classes occur.
+    let circuit = registry::build("b09s").expect("registered circuit");
+    println!(
+        "{} — {} flip-flops\n",
+        circuit.name(),
+        circuit.num_ffs()
+    );
+
+    // Time: sweep the bench length past the flip-flop count.
+    let sweep = crossover_for(&circuit, &[8, 16, 32, 64, 128, 256], 21);
+    println!("{}", sweep.render());
+
+    // Hardware: instrument once, map each variant.
+    let cfg = MapperConfig::virtex_e();
+    let base = map_luts(&circuit, &cfg);
+    println!("hardware cost (4-input LUTs):");
+    println!(
+        "  {:<12} {:>5} LUTs  {:>4} FFs",
+        "original",
+        base.num_luts(),
+        circuit.num_ffs()
+    );
+    let variants = [
+        ("mask-scan", mask_scan::instrument(&circuit)),
+        ("state-scan", state_scan::instrument(&circuit)),
+        ("time-mux", time_mux::instrument(&circuit)),
+    ];
+    for (name, inst) in &variants {
+        let m = map_luts(inst.netlist(), &cfg);
+        println!(
+            "  {:<12} {:>5} LUTs  {:>4} FFs",
+            name,
+            m.num_luts(),
+            inst.netlist().num_ffs()
+        );
+    }
+
+    println!(
+        "\npaper's rule of thumb: time-mux always wins on time; between the\n\
+         scan techniques, state-scan wins once bench cycles exceed the\n\
+         flip-flop count — at the cost of {}x flip-flops and bulk state RAM.",
+        2
+    );
+}

@@ -1,0 +1,50 @@
+//! Dump a golden run and a faulty run of a circuit as VCD waveforms for
+//! inspection in GTKWave or any VCD viewer.
+//!
+//! ```text
+//! cargo run --release --example waveforms
+//! # -> target/golden.vcd
+//! ```
+
+use std::fs;
+
+use seugrade::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = registry::build("b06s").expect("registered circuit");
+    let tb = Testbench::random(circuit.num_inputs(), 64, 3);
+
+    // Golden waveform.
+    let vcd = seugrade_sim::vcd::dump_golden(&circuit, &tb);
+    fs::create_dir_all("target")?;
+    fs::write("target/golden.vcd", &vcd)?;
+    println!(
+        "wrote target/golden.vcd ({} bytes, {} signals)",
+        vcd.len(),
+        circuit.num_inputs() + circuit.num_outputs() + circuit.num_ffs()
+    );
+
+    // Pick an interesting fault (first failure) and print its story.
+    let grader = Grader::new(&circuit, &tb);
+    let faults = FaultList::exhaustive(circuit.num_ffs(), tb.num_cycles());
+    let outcomes = grader.run_parallel(faults.as_slice());
+    if let Some((fault, outcome)) = faults
+        .iter()
+        .zip(&outcomes)
+        .find(|(_, o)| o.class == FaultClass::Failure)
+    {
+        println!(
+            "first failing fault: {fault} -> detected at cycle {}",
+            outcome.detect_cycle.expect("failure has a detection cycle")
+        );
+    }
+    let silent = outcomes
+        .iter()
+        .filter(|o| o.class == FaultClass::Silent)
+        .count();
+    println!(
+        "{silent}/{} faults are silent — their effect vanished before any output saw it",
+        outcomes.len()
+    );
+    Ok(())
+}

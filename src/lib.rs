@@ -1,0 +1,8 @@
+//! `seugrade-repro` — root package of the seugrade workspace.
+//!
+//! This crate exists to host the workspace-wide integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the actual library
+//! lives in the [`seugrade`] facade crate and the `seugrade-*` member
+//! crates. It re-exports the facade so examples can use one import path.
+
+pub use seugrade::*;
