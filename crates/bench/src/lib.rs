@@ -2,9 +2,9 @@
 //!
 //! The interesting artifacts of this crate are:
 //!
-//! - the [`repro`](../repro/index.html) binary
-//!   (`cargo run -p seugrade-bench --release --bin repro -- all`), which
-//!   regenerates every table and figure of the DATE'05 paper;
+//! - the `repro` binary (`cargo run -p seugrade-bench --release --bin
+//!   repro -- all`, source in `src/bin/repro.rs`), which regenerates
+//!   every table and figure of the DATE'05 paper;
 //! - the criterion benches (`cargo bench -p seugrade-bench`), which
 //!   measure the engines themselves (simulator throughput, bit-parallel
 //!   fault-simulation speedup, instrumentation and campaign cost).

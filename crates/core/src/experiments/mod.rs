@@ -3,7 +3,7 @@
 //! | id | paper artifact | function |
 //! |----|----------------|----------|
 //! | T1 | Table 1 (synthesis results) | [`table1`] / [`table1_for`] |
-//! | T2 | Table 2 (time results) | [`table2`] / [`table2_for`] |
+//! | T2 | Table 2 (time results) | [`table2_for`] |
 //! | F1 | Figure 1 (time-mux instrument) | [`figure1`] |
 //! | C1 | §III classification percentages | [`classification_for`] |
 //! | S1 | §III speed comparison | [`speed_for`] |

@@ -8,7 +8,7 @@
 //!
 //! - software fault simulation (serial and 64-way bit-parallel), the
 //!   paper's baseline;
-//! - a host-controlled emulation model (Civera et al. [2]), the paper's
+//! - a host-controlled emulation model (Civera et al. \[2\]), the paper's
 //!   prior art;
 //! - the **autonomous emulation system** with its three instrumentation
 //!   techniques (mask-scan, state-scan, time-multiplexed), including real
@@ -18,6 +18,12 @@
 //! This facade crate re-exports the workspace and adds the
 //! [`experiments`] module, which regenerates every table and figure of
 //! the paper, plus plain-text [`tables`] rendering.
+//!
+//! Six runnable examples under the repository's `examples/` directory
+//! (`quickstart`, `viper_campaign`, `technique_tradeoffs`,
+//! `custom_circuit`, `hardening_loop`, `waveforms`) walk the public API
+//! end to end; start with
+//! `cargo run --release --example quickstart`.
 //!
 //! # Quickstart
 //!

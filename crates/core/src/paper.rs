@@ -100,7 +100,7 @@ pub const CLASSIFICATION_PCT: (f64, f64, f64) = (49.2, 4.4, 46.4);
 /// §III: fault simulation baseline, µs/fault (2005 workstation).
 pub const FAULT_SIM_US_PER_FAULT: f64 = 1_300.0;
 
-/// §III: host-controlled emulation baseline [2], µs/fault.
+/// §III: host-controlled emulation baseline \[2\], µs/fault.
 pub const HOST_EMULATION_US_PER_FAULT: f64 = 100.0;
 
 /// The b14 campaign dimensions.

@@ -1,10 +1,10 @@
-//! Host-controlled emulation baseline (Civera et al. [2]).
+//! Host-controlled emulation baseline (Civera et al. \[2\]).
 //!
 //! Before the autonomous system, FPGA fault injection was driven from a
 //! host computer: per fault, the host configures the injection target,
 //! starts the run, and reads back the verdict — and in the slowest
 //! variants also feeds stimuli cycle by cycle. The paper quotes
-//! ≈100 µs/fault for [2] versus 0.58–11.2 µs/fault autonomous; the
+//! ≈100 µs/fault for \[2\] versus 0.58–11.2 µs/fault autonomous; the
 //! bottleneck is entirely in the host↔board transfers, which this model
 //! makes explicit.
 
@@ -28,7 +28,7 @@ pub struct HostLinkModel {
 }
 
 impl HostLinkModel {
-    /// Calibrated to the ≈100 µs/fault reported for [2] on b14-class
+    /// Calibrated to the ≈100 µs/fault reported for \[2\] on b14-class
     /// circuits: 3 transactions at 32 µs plus the emulation cycles.
     #[must_use]
     pub fn paper_reference() -> Self {
@@ -40,7 +40,7 @@ impl HostLinkModel {
     }
 
     /// Campaign wall-clock time: per fault, the host transactions plus a
-    /// full-prefix replay on the board (the [2] architecture is
+    /// full-prefix replay on the board (the \[2\] architecture is
     /// mask-scan-like: it restarts the test bench per fault and aborts on
     /// detection).
     #[must_use]

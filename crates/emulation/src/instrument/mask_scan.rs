@@ -1,5 +1,5 @@
 //! Mask-scan instrumentation (the paper's first technique, derived from
-//! the host-driven approach of Civera et al. [2], made autonomous).
+//! the host-driven approach of Civera et al. \[2\], made autonomous).
 //!
 //! Every circuit flip-flop gets a companion **mask** flip-flop; the mask
 //! flip-flops form a scan chain. A fault is injected by (a) positioning a

@@ -15,7 +15,7 @@
 //! | [`controller`] | per-technique campaign schedules with exact cycle accounting (Table 2) |
 //! | [`ram`] | campaign memory regions and their board/FPGA placement (Table 1's RAM column) |
 //! | [`controller_netlist`] | synthesizable controller models (Table 1's emulator-system rows) |
-//! | [`hostlink`] | the host-controlled emulation baseline of Civera et al. [2] (≈100 µs/fault) |
+//! | [`hostlink`] | the host-controlled emulation baseline of Civera et al. \[2\] (≈100 µs/fault) |
 //! | [`campaign`] | end-to-end autonomous campaign: grading verdicts + emulation time |
 //! | [`gate_level`] | drives the instrumented netlists cycle by cycle like the FPGA controller would, proving the transforms classify identically to the software oracle |
 //!

@@ -4,7 +4,7 @@
 //! circuits or longer benches, exhaustive campaigns grow quadratically;
 //! sampling with confidence intervals is the standard remedy. This
 //! module adds Wilson-score intervals over sampled
-//! [`GradingSummary`](crate::GradingSummary)s, so a user can grade, say,
+//! [`GradingSummary`]s, so a user can grade, say,
 //! 2,000 of 34,400 faults and bound each class percentage.
 
 use crate::{FaultClass, GradingSummary};

@@ -21,8 +21,8 @@ struct Instr {
 /// 64-lane fault groups). Every value is a `u64` of 64 independent lanes.
 ///
 /// The tape is produced by levelization, so a single forward pass
-/// ([`eval`](Self::eval)) settles all combinational logic; [`step`]
-/// (Self::step) then latches flip-flops.
+/// ([`eval`](Self::eval)) settles all combinational logic;
+/// [`step`](Self::step) then latches flip-flops.
 #[derive(Clone, Debug)]
 pub struct CompiledSim {
     num_cells: usize,

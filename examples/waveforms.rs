@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release --example waveforms
-//! # -> target/golden.vcd
+//! # -> target/golden.vcd, target/faulty.vcd
 //! ```
 
 use std::fs;
@@ -37,6 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "first failing fault: {fault} -> detected at cycle {}",
             outcome.detect_cycle.expect("failure has a detection cycle")
         );
+        // Faulty waveform: golden + faulty + per-output diff scopes.
+        let vcd = seugrade_sim::vcd::dump_fault(&circuit, &tb, fault.ff, fault.cycle as usize);
+        fs::write("target/faulty.vcd", &vcd)?;
+        println!("wrote target/faulty.vcd ({} bytes)", vcd.len());
     }
     let silent = outcomes
         .iter()

@@ -4,5 +4,20 @@
 //! (`tests/`) and the runnable examples (`examples/`); the actual library
 //! lives in the [`seugrade`] facade crate and the `seugrade-*` member
 //! crates. It re-exports the facade so examples can use one import path.
+//!
+//! # Examples
+//!
+//! Run any of these with `cargo run --release --example <name>`:
+//!
+//! - `quickstart` — grade a small circuit with all three autonomous
+//!   techniques;
+//! - `viper_campaign` — the paper's full experiment (Viper, 160 vectors,
+//!   34,400 faults);
+//! - `technique_tradeoffs` — the §III crossover between mask-scan,
+//!   state-scan and time-mux;
+//! - `custom_circuit` — build a circuit with the RTL DSL and grade it;
+//! - `hardening_loop` — grade, apply TMR to weak flip-flops, re-grade;
+//! - `waveforms` — dump golden vs faulty VCD traces.
+#![warn(missing_docs)]
 
 pub use seugrade::*;

@@ -1,0 +1,239 @@
+//! Offline stand-in for the [criterion](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the subset of criterion's API used by the `seugrade-bench` benches:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`] and [`Throughput`].
+//!
+//! It is a *real* (if statistically naive) harness: every
+//! `bench_function` runs a short warm-up, then a fixed measurement loop,
+//! and prints the mean wall-clock time per iteration (plus throughput
+//! when configured). There is no outlier analysis, no HTML report and no
+//! CLI filtering. Swap in the genuine crate by editing
+//! `[workspace.dependencies]` in the root `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after warm-up).
+const DEFAULT_SAMPLES: usize = 12;
+/// Warm-up iterations before measurement starts.
+const WARMUP_ITERS: usize = 3;
+/// Soft wall-clock budget per benchmark; measurement stops early once
+/// exceeded so expensive benches stay tractable.
+const TIME_BUDGET: Duration = Duration::from_millis(1500);
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into().label, None, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the amount of work one iteration represents.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in uses a fixed loop.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().label, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().label, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement handle passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, criterion-style: warm-up, then a bounded measurement
+    /// loop. The return value of `f` is passed through [`black_box`].
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < DEFAULT_SAMPLES as u64 {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies one benchmark, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` with parameter `param` (`name/param`).
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        Self {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// How much work one iteration performs, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+fn run_one<F>(group: &str, label: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let full = if group.is_empty() {
+        label.to_owned()
+    } else {
+        format!("{group}/{label}")
+    };
+    if b.iters == 0 {
+        println!("{full:<44} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let mut line = format!("{full:<44} {:>12.3} ns/iter", per_iter * 1e9);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / per_iter;
+            line.push_str(&format!("  ({:.3} Melem/s)", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / per_iter;
+            line.push_str(&format!("  ({:.3} MiB/s)", rate / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Builds a benchmark-group function from a list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Builds the `main` function running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,450 @@
+//! Offline stand-in for the [proptest](https://docs.rs/proptest) crate.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the subset of proptest's API used by the workspace's property tests:
+//! the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` and
+//! `prop_flat_map`, integer-range and tuple strategies,
+//! [`Just`](strategy::Just), [`any`](arbitrary::any) and
+//! [`collection::vec`].
+//!
+//! Semantics: each property runs `ProptestConfig::cases` times with a
+//! **deterministic** SplitMix64 stream derived from the case index, so
+//! every run (local or CI) explores the same inputs and failures are
+//! always reproducible. There is no shrinking — the first failing case
+//! panics with the ordinary assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic pseudo-random source feeding the strategies.
+pub mod rng {
+    /// SplitMix64: tiny, fast, and good enough to drive test generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A stream that depends only on `seed` (we use the case index).
+        #[must_use]
+        pub fn deterministic(seed: u64) -> Self {
+            // Offset by a fixed golden-ratio constant so seed 0 is not a
+            // degenerate all-zeros stream.
+            Self {
+                state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x1234_5678_9abc_def0,
+            }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0, "empty range handed to TestRng::below");
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// The `Strategy` trait and its combinators.
+pub mod strategy {
+    use crate::rng::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking:
+    /// a strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to pick a follow-up strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (compatibility shim).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            let intermediate = self.inner.new_value(rng);
+            (self.f)(intermediate).new_value(rng)
+        }
+    }
+
+    /// Reference-counted type-erased strategy (compatibility shim).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.inner.new_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // i128 holds every i64/u64 value, so the span is exact
+                    // even for cross-zero signed ranges; two's-complement
+                    // wrapping_add maps the offset back into the range.
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi as i128 - lo as i128 + 1;
+                    if span > u64::MAX as i128 {
+                        // Full-width range (e.g. 0..=u64::MAX): every bit
+                        // pattern is valid, no modulo needed.
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+/// `any::<T>()` and the `Arbitrary` trait.
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        type Strategy: Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T`, like `proptest::arbitrary::any`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Uniform strategy over every value of a primitive type.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive(core::marker::PhantomData)
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrimitive(core::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// An inclusive size window for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            Self { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<E::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<E> {
+        element: E,
+        size: SizeRange,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A vector whose elements come from `element` and whose length is
+    /// drawn from `size` — mirrors `proptest::collection::vec`.
+    pub fn vec<E: Strategy>(element: E, size: impl Into<SizeRange>) -> VecStrategy<E> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Runner configuration and the RNG re-export used by the macros.
+pub mod test_runner {
+    pub use crate::rng::TestRng;
+
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// How many cases each property is exercised with.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+); };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes
+/// an ordinary `#[test]` run for `ProptestConfig::cases` deterministic
+/// cases. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::test_runner::TestRng::deterministic(case);
+                $(let $arg = ($strategy).new_value(&mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod range_strategy_tests {
+    use crate::strategy::Strategy as _;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn cross_zero_signed_ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(0);
+        for _ in 0..1000 {
+            let v = (-10i32..10).new_value(&mut rng);
+            assert!((-10..10).contains(&v));
+            let v = (i64::MIN..i64::MAX).new_value(&mut rng);
+            assert!(v < i64::MAX);
+            let v = (-5i8..=5).new_value(&mut rng);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_ranges_do_not_panic() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let _ = (0u64..=u64::MAX).new_value(&mut rng);
+            let _ = (i64::MIN..=i64::MAX).new_value(&mut rng);
+            let _ = (u8::MIN..=u8::MAX).new_value(&mut rng);
+        }
+    }
+}
