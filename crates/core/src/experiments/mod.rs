@@ -40,8 +40,9 @@ use seugrade_emulation::campaign::AutonomousCampaign;
 /// Builds the paper's reference campaign: the Viper (b14-like) processor,
 /// 160 instruction vectors, the exhaustive 34,400-fault list.
 ///
-/// This greps through every fault with the bit-parallel oracle, which
-/// takes a couple of hundred milliseconds in release builds.
+/// This grades every fault through the sharded `seugrade-engine`
+/// runtime (bit-identical to the serial oracle at any thread count),
+/// which takes a couple of hundred milliseconds in release builds.
 #[must_use]
 pub fn paper_campaign() -> AutonomousCampaign {
     let circuit = viper::viper();

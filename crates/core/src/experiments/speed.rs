@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use seugrade_emulation::campaign::{AutonomousCampaign, Technique};
 use seugrade_emulation::hostlink::HostLinkModel;
+use seugrade_engine::{CampaignPlan, Engine, ShardPolicy};
 use seugrade_faultsim::{FaultList, Grader};
 use seugrade_netlist::Netlist;
 use seugrade_sim::Testbench;
@@ -118,6 +119,18 @@ pub fn speed_for(
         source: Source::Measured,
     });
 
+    // Measured: the sharded multi-threaded engine, exhaustive.
+    let plan = CampaignPlan::builder(circuit, tb)
+        .policy(ShardPolicy { threads: 0, serial_below: 0 })
+        .build();
+    let engine_run = Engine::for_circuit(circuit, tb).run(&plan);
+    let threads = engine_run.stats().threads;
+    rows.push(SpeedRow {
+        label: format!("fault simulation (this host, engine, {threads} threads)"),
+        us_per_fault: engine_run.stats().us_per_fault(),
+        source: Source::Measured,
+    });
+
     // Modelled: host-controlled emulation on this campaign.
     let host = HostLinkModel::paper_reference();
     rows.push(SpeedRow {
@@ -191,8 +204,9 @@ mod tests {
         let tb = Testbench::constant_low(0, 16);
         let campaign = AutonomousCampaign::new(&circuit, &tb);
         let s = speed_for(&circuit, &tb, &campaign, 32);
-        assert!(s.rows.len() >= 7);
+        assert!(s.rows.len() >= 8);
         assert!(s.find("fault simulation (workstation)").is_some());
+        assert!(s.find("fault simulation (this host, engine").is_some());
         assert!(s.find("autonomous Time Multiplex.").is_some());
         // Sorted descending.
         for pair in s.rows.windows(2) {

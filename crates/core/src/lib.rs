@@ -7,7 +7,8 @@
 //! circuits, executed three ways —
 //!
 //! - software fault simulation (serial and 64-way bit-parallel), the
-//!   paper's baseline;
+//!   paper's baseline, scaled out by the sharded multi-threaded
+//!   `seugrade-engine` campaign runtime;
 //! - a host-controlled emulation model (Civera et al. \[2\]), the paper's
 //!   prior art;
 //! - the **autonomous emulation system** with its three instrumentation
@@ -52,6 +53,12 @@ pub mod tables;
 pub mod prelude {
     pub use seugrade_circuits::{generators, registry, small, stimuli, viper};
     pub use seugrade_emulation::campaign::{AutonomousCampaign, EmulationReport, Technique};
+    pub use seugrade_engine::bench as engine_bench;
+    pub use seugrade_engine::{
+        throughput_harness, BenchRecord, BenchReport, CampaignPlan, CampaignPlanBuilder,
+        CampaignRun, Engine, EngineStats, FaultPlan, FaultSource, ProgressCounter, ProgressEvent,
+        ShardPolicy, BENCH_SCHEMA,
+    };
     pub use seugrade_emulation::controller::{CampaignTiming, ClockHz, TimingConfig};
     pub use seugrade_emulation::hostlink::HostLinkModel;
     pub use seugrade_emulation::instrument;

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use seugrade_faultsim::{Fault, FaultList, FaultOutcome, Grader, GradingSummary};
+use seugrade_engine::{CampaignPlan, Engine, ShardPolicy};
+use seugrade_faultsim::{Fault, FaultList, FaultOutcome, GradingSummary};
 use seugrade_netlist::Netlist;
 use seugrade_sim::Testbench;
 
@@ -12,50 +13,10 @@ use crate::controller::{
 use crate::ram::{RamParams, RamPlan};
 
 /// The three autonomous fault-injection techniques of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Technique {
-    /// Mask flip-flop per circuit flip-flop; full test-bench replay per
-    /// fault.
-    MaskScan,
-    /// Shadow scan chain inserting precomputed faulty states.
-    StateScan,
-    /// Figure-1 instruments; golden/faulty time multiplexing with
-    /// checkpointing and early classification.
-    TimeMux,
-}
-
-impl Technique {
-    /// All techniques in the paper's presentation order.
-    pub const ALL: [Technique; 3] =
-        [Technique::MaskScan, Technique::StateScan, Technique::TimeMux];
-
-    /// Table label.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            Technique::MaskScan => "Mask Scan",
-            Technique::StateScan => "State Scan",
-            Technique::TimeMux => "Time Multiplex.",
-        }
-    }
-
-    /// Grading classes the technique can natively distinguish in
-    /// hardware: mask-scan sees only failure/no-failure (1 result bit in
-    /// Table 1), the others all three.
-    #[must_use]
-    pub fn native_classes(self) -> usize {
-        match self {
-            Technique::MaskScan => 2,
-            _ => 3,
-        }
-    }
-}
-
-impl fmt::Display for Technique {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
-    }
-}
+///
+/// The type now lives in [`seugrade_engine`] (campaign plans are
+/// technique-aware); this re-export keeps its historical home valid.
+pub use seugrade_engine::Technique;
 
 /// Result of one autonomous campaign.
 #[derive(Clone, Debug)]
@@ -85,11 +46,13 @@ impl fmt::Display for EmulationReport {
 
 /// A configured autonomous campaign for one circuit and test bench.
 ///
-/// Construction grades the **exhaustive** fault list once with the
-/// bit-parallel oracle; [`run`](Self::run) then derives each technique's
-/// report from the shared outcomes (the techniques classify identically —
-/// a property the gate-level harness verifies — and differ only in time
-/// and resources).
+/// Construction grades the **exhaustive** fault list once through the
+/// sharded [`seugrade_engine`] runtime (bit-identical to the serial
+/// oracle at any thread count); [`run`](Self::run) then derives each
+/// technique's report from the shared outcomes (the techniques classify
+/// identically — a property the gate-level harness verifies — and differ
+/// only in time and resources). Callers that already executed an engine
+/// run can skip re-grading with [`from_graded`](Self::from_graded).
 #[derive(Debug)]
 pub struct AutonomousCampaign {
     faults: FaultList,
@@ -116,10 +79,55 @@ impl AutonomousCampaign {
     /// Like [`new`](Self::new) with explicit timing overheads.
     #[must_use]
     pub fn with_config(circuit: &Netlist, tb: &Testbench, timing_config: TimingConfig) -> Self {
-        let grader = Grader::new(circuit, tb);
-        let faults = FaultList::exhaustive(circuit.num_ffs(), tb.num_cycles());
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-        let outcomes = grader.run_parallel_threaded(faults.as_slice(), threads);
+        let plan = CampaignPlan::builder(circuit, tb)
+            .policy(ShardPolicy::auto())
+            .build();
+        let run = Engine::new(&plan).run(&plan);
+        let (faults, outcomes) = run
+            .into_single()
+            .expect("exhaustive plans grade single faults");
+        Self::from_graded(circuit, tb, faults, outcomes, timing_config)
+    }
+
+    /// Wraps an already-graded exhaustive campaign — typically the result
+    /// of a [`seugrade_engine`] run — without grading anything again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is not parallel to `faults`, the fault list's
+    /// originating fault-space dimensions do not match the circuit and
+    /// test bench, or the test bench width does not match the circuit.
+    #[must_use]
+    pub fn from_graded(
+        circuit: &Netlist,
+        tb: &Testbench,
+        faults: FaultList,
+        outcomes: Vec<FaultOutcome>,
+        timing_config: TimingConfig,
+    ) -> Self {
+        assert_eq!(
+            faults.len(),
+            outcomes.len(),
+            "outcomes must be parallel to the fault list"
+        );
+        assert_eq!(
+            tb.num_inputs(),
+            circuit.num_inputs(),
+            "test bench width does not match circuit"
+        );
+        // The timing models index cycles up to the fault list's horizon;
+        // graded data from a different fault space would silently produce
+        // wrong Table-2 numbers.
+        assert_eq!(
+            faults.num_ffs(),
+            circuit.num_ffs(),
+            "fault list flip-flop space does not match circuit"
+        );
+        assert_eq!(
+            faults.num_cycles(),
+            tb.num_cycles(),
+            "fault list cycle space does not match test bench"
+        );
         let summary = GradingSummary::from_outcomes(&outcomes);
         AutonomousCampaign {
             faults,
@@ -257,6 +265,54 @@ mod tests {
         assert_eq!(Technique::MaskScan.native_classes(), 2);
         assert_eq!(Technique::StateScan.native_classes(), 3);
         assert_eq!(Technique::TimeMux.native_classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle space does not match")]
+    fn from_graded_rejects_foreign_fault_space() {
+        let circuit = generators::lfsr(4, &[3, 2]);
+        let tb_long = Testbench::constant_low(0, 20);
+        let tb_short = Testbench::constant_low(0, 10);
+        let run = seugrade_engine::CampaignPlan::builder(&circuit, &tb_long)
+            .build()
+            .execute();
+        let (faults, outcomes) = run.into_single().unwrap();
+        // Same circuit, same input width, but a 10-cycle bench cannot
+        // host 20-cycle graded data.
+        let _ = AutonomousCampaign::from_graded(
+            &circuit,
+            &tb_short,
+            faults,
+            outcomes,
+            crate::controller::TimingConfig::default(),
+        );
+    }
+
+    #[test]
+    fn from_graded_matches_fresh_campaign() {
+        let circuit = generators::lfsr(10, &[9, 6]);
+        let tb = Testbench::constant_low(0, 30);
+        let fresh = AutonomousCampaign::new(&circuit, &tb);
+        let run = seugrade_engine::CampaignPlan::builder(&circuit, &tb)
+            .build()
+            .execute();
+        let (faults, outcomes) = run.into_single().unwrap();
+        let wrapped = AutonomousCampaign::from_graded(
+            &circuit,
+            &tb,
+            faults,
+            outcomes,
+            crate::controller::TimingConfig::default(),
+        );
+        assert_eq!(wrapped.summary(), fresh.summary());
+        assert_eq!(wrapped.outcomes(), fresh.outcomes());
+        for tech in Technique::ALL {
+            assert_eq!(
+                wrapped.run(tech).timing.total_cycles,
+                fresh.run(tech).timing.total_cycles,
+                "{tech}"
+            );
+        }
     }
 
     #[test]

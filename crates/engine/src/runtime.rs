@@ -1,0 +1,537 @@
+//! The sharded campaign runtime.
+
+use std::time::Instant;
+
+use seugrade_faultsim::{sampling, FaultList, FaultOutcome, Grader, GradingSummary, MultiFault};
+use seugrade_netlist::Netlist;
+use seugrade_sim::Testbench;
+
+use crate::plan::{CampaignPlan, FaultSource, Technique};
+use crate::pool::run_indexed;
+use crate::progress::{EngineStats, ProgressEvent};
+
+/// The materialized faults of one campaign run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Single-bit faults, in submission order.
+    Single(FaultList),
+    /// Multi-bit upsets, in submission order.
+    Multi(Vec<MultiFault>),
+}
+
+impl FaultPlan {
+    /// Number of faults in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            FaultPlan::Single(l) => l.len(),
+            FaultPlan::Multi(v) => v.len(),
+        }
+    }
+
+    /// True when the plan grades nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One finished campaign: the faults, their verdicts (in submission
+/// order), the pooled summary and the runtime statistics.
+#[derive(Clone, Debug)]
+pub struct CampaignRun {
+    faults: FaultPlan,
+    outcomes: Vec<FaultOutcome>,
+    summary: GradingSummary,
+    stats: EngineStats,
+    techniques: Vec<Technique>,
+}
+
+impl CampaignRun {
+    /// The materialized faults.
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The single-fault list, if this was a single-fault campaign.
+    #[must_use]
+    pub fn single(&self) -> Option<&FaultList> {
+        match &self.faults {
+            FaultPlan::Single(l) => Some(l),
+            FaultPlan::Multi(_) => None,
+        }
+    }
+
+    /// The multi-bit faults, if this was an MBU campaign.
+    #[must_use]
+    pub fn multi(&self) -> Option<&[MultiFault]> {
+        match &self.faults {
+            FaultPlan::Single(_) => None,
+            FaultPlan::Multi(v) => Some(v),
+        }
+    }
+
+    /// Per-fault verdicts, parallel to the fault plan's order.
+    #[must_use]
+    pub fn outcomes(&self) -> &[FaultOutcome] {
+        &self.outcomes
+    }
+
+    /// Pooled classification tallies.
+    #[must_use]
+    pub fn summary(&self) -> &GradingSummary {
+        &self.summary
+    }
+
+    /// What the run cost.
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The techniques the plan targeted.
+    #[must_use]
+    pub fn techniques(&self) -> &[Technique] {
+        &self.techniques
+    }
+
+    /// Consumes the run into `(fault list, outcomes)` for single-fault
+    /// campaigns (`None` for MBU campaigns).
+    #[must_use]
+    pub fn into_single(self) -> Option<(FaultList, Vec<FaultOutcome>)> {
+        match self.faults {
+            FaultPlan::Single(l) => Some((l, self.outcomes)),
+            FaultPlan::Multi(_) => None,
+        }
+    }
+}
+
+/// The campaign engine: a compiled simulator plus golden trace, reusable
+/// across many plan executions (each [`run`](Self::run) may use a
+/// different fault source or shard policy).
+///
+/// # Determinism
+///
+/// Shards are same-cycle 64-lane batches dispatched through a chunk
+/// queue; which worker grades which shard varies run to run, but verdicts
+/// depend only on the fault itself, and the engine merges per-shard
+/// results back into submission order. Every `(fault source, seed)` pair
+/// therefore produces **bit-identical outcomes at every thread count**,
+/// equal to the serial reference engine — a property the cross-engine
+/// agreement suite enforces.
+#[derive(Debug)]
+pub struct Engine {
+    grader: Grader,
+    /// Identity of the compiled circuit, kept so [`run`](Self::run) can
+    /// reject plans for a *different* circuit that happens to share
+    /// dimensions with this one.
+    circuit_name: String,
+    num_cells: usize,
+}
+
+impl Engine {
+    /// Builds the runtime for a plan's circuit and test bench (runs the
+    /// golden reference once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test bench width does not match the circuit.
+    #[must_use]
+    pub fn new(plan: &CampaignPlan<'_>) -> Self {
+        Self::for_circuit(plan.circuit(), plan.testbench())
+    }
+
+    /// Builds the runtime directly from a circuit / test-bench pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test bench width does not match the circuit.
+    #[must_use]
+    pub fn for_circuit(circuit: &Netlist, tb: &Testbench) -> Self {
+        Engine {
+            grader: Grader::new(circuit, tb),
+            circuit_name: circuit.name().to_owned(),
+            num_cells: circuit.num_cells(),
+        }
+    }
+
+    /// The underlying grader (compiled simulator + golden trace).
+    #[must_use]
+    pub fn grader(&self) -> &Grader {
+        &self.grader
+    }
+
+    /// Executes a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's dimensions do not match the engine's circuit
+    /// and test bench, or if a fault targets an out-of-range cycle or
+    /// flip-flop.
+    #[must_use]
+    pub fn run(&self, plan: &CampaignPlan<'_>) -> CampaignRun {
+        self.run_with_progress(plan, |_| {})
+    }
+
+    /// Executes a plan, invoking `on_shard` from worker threads as each
+    /// shard completes (see [`ProgressEvent`] for ordering caveats).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run`](Self::run).
+    #[must_use]
+    pub fn run_with_progress(
+        &self,
+        plan: &CampaignPlan<'_>,
+        on_shard: impl Fn(ProgressEvent) + Sync,
+    ) -> CampaignRun {
+        assert_eq!(
+            plan.testbench(),
+            self.grader.testbench(),
+            "plan test bench does not match engine"
+        );
+        assert!(
+            plan.circuit().name() == self.circuit_name
+                && plan.circuit().num_cells() == self.num_cells
+                && plan.circuit().num_ffs() == self.grader.sim().num_ffs(),
+            "plan circuit does not match engine"
+        );
+
+        let num_ffs = self.grader.sim().num_ffs();
+        let num_cycles = self.grader.testbench().num_cycles();
+        let faults = match plan.source() {
+            FaultSource::Exhaustive => FaultPlan::Single(FaultList::exhaustive(num_ffs, num_cycles)),
+            FaultSource::Sampled { count, seed } => {
+                FaultPlan::Single(FaultList::sampled(num_ffs, num_cycles, *count, *seed))
+            }
+            FaultSource::List(list) => FaultPlan::Single(list.clone()),
+            FaultSource::Multi(list) => FaultPlan::Multi(list.clone()),
+        };
+
+        let mut threads = plan.policy().resolved_threads().max(1);
+        if faults.len() < plan.policy().serial_below {
+            threads = 1;
+        }
+
+        let (outcomes, summary, stats) = match &faults {
+            FaultPlan::Single(list) => self.grade_single(list, threads, &on_shard),
+            FaultPlan::Multi(list) => self.grade_multi(list, threads, &on_shard),
+        };
+        CampaignRun {
+            faults,
+            outcomes,
+            summary,
+            stats,
+            techniques: plan.techniques().to_vec(),
+        }
+    }
+
+    /// Single-fault path: counting-sort the list into same-cycle 64-lane
+    /// batches, dispatch the batches through the chunk queue, scatter the
+    /// per-batch verdicts back into submission order and pool the
+    /// per-shard tallies.
+    fn grade_single(
+        &self,
+        list: &FaultList,
+        threads: usize,
+        on_shard: &(impl Fn(ProgressEvent) + Sync),
+    ) -> (Vec<FaultOutcome>, GradingSummary, EngineStats) {
+        let faults = list.as_slice();
+        let num_cycles = self.grader.testbench().num_cycles();
+
+        // Stable counting sort of fault indices by injection cycle.
+        let mut counts = vec![0usize; num_cycles];
+        for f in faults {
+            assert!((f.cycle as usize) < num_cycles, "fault cycle out of range");
+            counts[f.cycle as usize] += 1;
+        }
+        let mut offsets = vec![0usize; num_cycles + 1];
+        for c in 0..num_cycles {
+            offsets[c + 1] = offsets[c] + counts[c];
+        }
+        let mut cursor = offsets.clone();
+        let mut order = vec![0u32; faults.len()];
+        for (i, f) in faults.iter().enumerate() {
+            let c = f.cycle as usize;
+            order[cursor[c]] = i as u32;
+            cursor[c] += 1;
+        }
+
+        // Cut every cycle's run of indices into batches of at most 64.
+        let mut batches: Vec<(usize, usize)> = Vec::new();
+        for c in 0..num_cycles {
+            let (mut start, end) = (offsets[c], offsets[c + 1]);
+            while start < end {
+                let stop = (start + 64).min(end);
+                batches.push((start, stop));
+                start = stop;
+            }
+        }
+
+        let start = Instant::now();
+        let graded: Vec<(Vec<FaultOutcome>, GradingSummary)> = run_indexed(
+            batches.len(),
+            threads,
+            || (self.grader.sim().new_state(), Vec::with_capacity(64)),
+            |(st, buf): &mut _, i| {
+                let (lo, hi) = batches[i];
+                buf.clear();
+                buf.extend(order[lo..hi].iter().map(|&fi| faults[fi as usize]));
+                let mut out = vec![FaultOutcome::latent(); buf.len()];
+                self.grader.grade_cycle_chunk(st, buf, &mut out);
+                let summary = GradingSummary::from_outcomes(&out);
+                on_shard(ProgressEvent {
+                    shard: i,
+                    faults: out.len(),
+                    summary: summary.clone(),
+                });
+                (out, summary)
+            },
+        );
+
+        let mut outcomes = vec![FaultOutcome::latent(); faults.len()];
+        for ((lo, hi), (out, _)) in batches.iter().zip(&graded) {
+            for (&fi, &o) in order[*lo..*hi].iter().zip(out) {
+                outcomes[fi as usize] = o;
+            }
+        }
+        let summaries: Vec<GradingSummary> = graded.into_iter().map(|(_, s)| s).collect();
+        let summary = sampling::pool_summaries(&summaries);
+        let stats = EngineStats {
+            faults: faults.len(),
+            shards: batches.len(),
+            threads: threads.min(batches.len()).max(1),
+            wall_ns: start.elapsed().as_nanos(),
+        };
+        (outcomes, summary, stats)
+    }
+
+    /// MBU path: contiguous slices of the fault vector are the shards;
+    /// each worker grades its slice serially with the multi-bit engine.
+    fn grade_multi(
+        &self,
+        list: &[MultiFault],
+        threads: usize,
+        on_shard: &(impl Fn(ProgressEvent) + Sync),
+    ) -> (Vec<FaultOutcome>, GradingSummary, EngineStats) {
+        // A few shards per thread keeps the queue balanced without
+        // making progress events too chatty.
+        let shard_count = (threads * 4).clamp(1, list.len().max(1));
+        let base = list.len() / shard_count;
+        let extra = list.len() % shard_count;
+        let mut ranges = Vec::with_capacity(shard_count);
+        let mut lo = 0;
+        for i in 0..shard_count {
+            let len = base + usize::from(i < extra);
+            ranges.push((lo, lo + len));
+            lo += len;
+        }
+
+        let start = Instant::now();
+        let graded: Vec<(Vec<FaultOutcome>, GradingSummary)> = run_indexed(
+            ranges.len(),
+            threads,
+            || (),
+            |(), i| {
+                let (lo, hi) = ranges[i];
+                let out: Vec<FaultOutcome> = list[lo..hi]
+                    .iter()
+                    .map(|f| self.grader.classify_multi(f))
+                    .collect();
+                let summary = GradingSummary::from_outcomes(&out);
+                on_shard(ProgressEvent {
+                    shard: i,
+                    faults: out.len(),
+                    summary: summary.clone(),
+                });
+                (out, summary)
+            },
+        );
+        let (outcome_vecs, summaries): (Vec<_>, Vec<_>) = graded.into_iter().unzip();
+        let outcomes: Vec<FaultOutcome> = outcome_vecs.into_iter().flatten().collect();
+        let summary = sampling::pool_summaries(&summaries);
+        let stats = EngineStats {
+            faults: list.len(),
+            shards: ranges.len(),
+            threads: threads.min(ranges.len()).max(1),
+            wall_ns: start.elapsed().as_nanos(),
+        };
+        (outcomes, summary, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_circuits::{generators, registry};
+    use seugrade_faultsim::{Fault, FaultClass};
+
+    use crate::plan::ShardPolicy;
+    use crate::progress::ProgressCounter;
+    use super::*;
+
+    #[test]
+    fn exhaustive_matches_serial_engine_at_every_thread_count() {
+        let circuit = registry::build("b03s").unwrap();
+        let tb = Testbench::random(circuit.num_inputs(), 25, 3);
+        let grader = Grader::new(&circuit, &tb);
+        let faults = FaultList::exhaustive(circuit.num_ffs(), 25);
+        let serial = grader.run_serial(faults.as_slice());
+        for threads in [1, 2, 4, 8] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .policy(ShardPolicy::with_threads(threads))
+                .build();
+            let run = plan.execute();
+            assert_eq!(run.outcomes(), serial.as_slice(), "{threads} threads");
+            assert_eq!(run.summary(), &GradingSummary::from_outcomes(&serial));
+            assert_eq!(run.stats().threads, threads.min(run.stats().shards.max(1)));
+        }
+    }
+
+    #[test]
+    fn worker_count_is_capped_at_shard_count() {
+        let circuit = generators::counter(2);
+        let tb = Testbench::constant_low(0, 4); // 8 faults -> 4 same-cycle shards
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .policy(ShardPolicy::with_threads(8))
+            .build();
+        let run = plan.execute();
+        assert_eq!(run.stats().shards, 4);
+        assert_eq!(run.stats().threads, 4, "stats report actual workers, not the request");
+    }
+
+    #[test]
+    fn sampled_runs_are_seed_deterministic() {
+        let circuit = registry::build("b06s").unwrap();
+        let tb = Testbench::random(circuit.num_inputs(), 30, 11);
+        let engine = Engine::for_circuit(&circuit, &tb);
+        let a = engine.run(
+            &CampaignPlan::builder(&circuit, &tb).sampled(50, 23).threads(4).build(),
+        );
+        let b = engine.run(&CampaignPlan::builder(&circuit, &tb).sampled(50, 23).build());
+        assert_eq!(a.single(), b.single(), "same sample whatever the policy");
+        assert_eq!(a.outcomes(), b.outcomes());
+        assert_eq!(a.single().unwrap().len(), 50);
+    }
+
+    #[test]
+    fn explicit_list_roundtrips_in_submission_order() {
+        let circuit = generators::shift_register(6);
+        let tb = Testbench::random(1, 15, 3);
+        let grader = Grader::new(&circuit, &tb);
+        // A deliberately shuffled (reverse cycle-major) list.
+        let mut faults: Vec<Fault> = FaultList::exhaustive(6, 15).iter().collect();
+        faults.reverse();
+        let list = FaultList::from_faults(faults.clone(), 6, 15);
+        let serial = grader.run_serial(&faults);
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .faults(list)
+            .policy(ShardPolicy::with_threads(3))
+            .build();
+        let run = plan.execute();
+        assert_eq!(run.outcomes(), serial.as_slice());
+    }
+
+    #[test]
+    fn multi_fault_campaign_matches_serial_multi_engine() {
+        let circuit = generators::lfsr(6, &[5, 2]);
+        let tb = Testbench::constant_low(0, 12);
+        let grader = Grader::new(&circuit, &tb);
+        let faults = MultiFault::adjacent_pairs(6, 12, 2);
+        let serial = grader.run_multi(&faults);
+        for threads in [1, 3] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .multi(faults.clone())
+                .policy(ShardPolicy::with_threads(threads))
+                .build();
+            let run = plan.execute();
+            assert_eq!(run.outcomes(), serial.as_slice(), "{threads} threads");
+            assert_eq!(run.multi().unwrap().len(), faults.len());
+            assert!(run.single().is_none());
+        }
+    }
+
+    #[test]
+    fn progress_events_cover_every_fault_exactly_once() {
+        let circuit = registry::build("b06s").unwrap();
+        let tb = Testbench::random(circuit.num_inputs(), 20, 5);
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .policy(ShardPolicy::with_threads(2))
+            .build();
+        let counter = ProgressCounter::new();
+        let run = Engine::new(&plan).run_with_progress(&plan, |e| counter.observe(&e));
+        assert_eq!(counter.faults_done(), run.faults().len());
+        assert_eq!(counter.shards_done(), run.stats().shards);
+    }
+
+    #[test]
+    fn serial_below_forces_inline_execution() {
+        let circuit = generators::counter(3);
+        let tb = Testbench::constant_low(0, 6);
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .policy(ShardPolicy { threads: 8, serial_below: 1_000 })
+            .build();
+        let run = plan.execute();
+        assert_eq!(run.stats().threads, 1, "18 faults < serial_below");
+        assert_eq!(run.summary().count(FaultClass::Failure), run.faults().len());
+    }
+
+    #[test]
+    fn empty_campaign_is_fine() {
+        let circuit = generators::counter(2);
+        let tb = Testbench::constant_low(0, 4);
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .faults(FaultList::from_faults(Vec::new(), 2, 4))
+            .build();
+        let run = plan.execute();
+        assert!(run.outcomes().is_empty());
+        assert_eq!(run.stats().shards, 0);
+        assert_eq!(run.summary().total(), 0);
+    }
+
+    #[test]
+    fn engine_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        assert_send_sync::<CampaignRun>();
+        assert_send_sync::<FaultPlan>();
+        assert_send_sync::<EngineStats>();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match engine")]
+    fn mismatched_plan_rejected() {
+        let c1 = generators::counter(2);
+        let tb1 = Testbench::constant_low(0, 4);
+        let tb2 = Testbench::constant_low(0, 9);
+        let engine = Engine::for_circuit(&c1, &tb1);
+        let plan = CampaignPlan::builder(&c1, &tb2).build();
+        let _ = engine.run(&plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "test bench does not match")]
+    fn same_shape_different_stimuli_rejected() {
+        // Same width and cycle count, different input vectors: grading
+        // against the wrong golden trace must not happen silently.
+        let circuit = generators::shift_register(4);
+        let tb1 = Testbench::random(1, 10, 1);
+        let tb2 = Testbench::random(1, 10, 2);
+        let engine = Engine::for_circuit(&circuit, &tb1);
+        let plan = CampaignPlan::builder(&circuit, &tb2).build();
+        let _ = engine.run(&plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit does not match")]
+    fn different_circuit_with_same_dimensions_rejected() {
+        // Both circuits: 0 inputs, 4 flip-flops — dimensions alone would
+        // not catch the swap.
+        let c1 = generators::counter(4);
+        let c2 = generators::lfsr(4, &[3, 2]);
+        let tb = Testbench::constant_low(0, 8);
+        let engine = Engine::for_circuit(&c1, &tb);
+        let plan = CampaignPlan::builder(&c2, &tb).build();
+        let _ = engine.run(&plan);
+    }
+}

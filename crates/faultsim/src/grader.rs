@@ -112,33 +112,60 @@ impl Grader {
             );
             by_cycle[f.cycle as usize].push(i);
         }
-        for (t, group) in by_cycle.iter().enumerate() {
+        let mut buf = Vec::with_capacity(64);
+        let mut out_buf = [FaultOutcome::latent(); 64];
+        for group in &by_cycle {
             for chunk in group.chunks(64) {
-                self.grade_chunk(&mut st, t, chunk, faults, &mut outcomes);
+                buf.clear();
+                buf.extend(chunk.iter().map(|&i| faults[i]));
+                self.grade_cycle_chunk(&mut st, &buf, &mut out_buf[..chunk.len()]);
+                for (k, &fi) in chunk.iter().enumerate() {
+                    outcomes[fi] = out_buf[k];
+                }
             }
         }
         outcomes
     }
 
-    /// One 64-lane pass: lanes `0..chunk.len()` carry the faults in
-    /// `chunk` (indices into `faults`/`outcomes`), all injected at `t`.
-    fn grade_chunk(
-        &self,
-        st: &mut SimState,
-        t: usize,
-        chunk: &[usize],
-        faults: &[Fault],
-        outcomes: &mut [FaultOutcome],
-    ) {
+    /// Grades up to 64 faults sharing one injection cycle in a single
+    /// bit-parallel pass, reusing `st` as scratch and writing the verdicts
+    /// into `out` (parallel to `chunk`).
+    ///
+    /// This is the shard-sized building block the batching engines are
+    /// made of: an external runtime can cut any fault list into
+    /// same-cycle chunks, grade each chunk on whichever thread with
+    /// whichever scratch state, and the verdicts stay identical to the
+    /// serial engine's — they depend only on the fault, never on lane
+    /// placement or chunk composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is empty, holds more than 64 faults, mixes
+    /// injection cycles, targets an out-of-range cycle, or if `out` has a
+    /// different length than `chunk`.
+    pub fn grade_cycle_chunk(&self, st: &mut SimState, chunk: &[Fault], out: &mut [FaultOutcome]) {
+        assert!(!chunk.is_empty(), "empty chunk");
+        assert!(chunk.len() <= 64, "a chunk holds at most 64 faults");
+        assert_eq!(chunk.len(), out.len(), "outcome slice width");
+        let t = chunk[0].cycle as usize;
+        assert!(
+            chunk.iter().all(|f| f.cycle as usize == t),
+            "chunk mixes injection cycles"
+        );
         let n_cycles = self.tb.num_cycles();
+        assert!(t < n_cycles, "fault cycle out of range");
+
         let lanes_used: u64 = if chunk.len() == 64 {
             !0
         } else {
             (1u64 << chunk.len()) - 1
         };
         self.sim.load_state(st, self.golden.state_at(t));
-        for (lane, &fi) in chunk.iter().enumerate() {
-            self.sim.flip_ff_lane(st, faults[fi].ff, lane as u32);
+        for (lane, f) in chunk.iter().enumerate() {
+            self.sim.flip_ff_lane(st, f.ff, lane as u32);
+        }
+        for o in out.iter_mut() {
+            *o = FaultOutcome::latent();
         }
         let mut undecided = lanes_used;
         for u in t..n_cycles {
@@ -152,9 +179,9 @@ impl Grader {
             }
             let newly_failed = out_diff & undecided;
             if newly_failed != 0 {
-                for (lane, &fi) in chunk.iter().enumerate() {
+                for (lane, o) in out.iter_mut().enumerate() {
                     if newly_failed >> lane & 1 == 1 {
-                        outcomes[fi] = FaultOutcome::failure(u as u32);
+                        *o = FaultOutcome::failure(u as u32);
                     }
                 }
                 undecided &= !newly_failed;
@@ -172,20 +199,15 @@ impl Grader {
             }
             let newly_silent = !state_diff & undecided;
             if newly_silent != 0 {
-                for (lane, &fi) in chunk.iter().enumerate() {
+                for (lane, o) in out.iter_mut().enumerate() {
                     if newly_silent >> lane & 1 == 1 {
-                        outcomes[fi] = FaultOutcome::silent(u as u32);
+                        *o = FaultOutcome::silent(u as u32);
                     }
                 }
                 undecided &= !newly_silent;
                 if undecided == 0 {
                     return;
                 }
-            }
-        }
-        for (lane, &fi) in chunk.iter().enumerate() {
-            if undecided >> lane & 1 == 1 {
-                outcomes[fi] = FaultOutcome::latent();
             }
         }
     }
@@ -429,6 +451,44 @@ mod tests {
         // impossible within 6 cycles.
         assert_eq!(map[7], 6);
         assert_eq!(map[0], 0);
+    }
+
+    #[test]
+    fn grade_cycle_chunk_matches_serial() {
+        let n = seugrade_circuits::registry::build("b03s").unwrap();
+        let tb = Testbench::random(n.num_inputs(), 20, 7);
+        let g = Grader::new(&n, &tb);
+        let mut st = g.sim().new_state();
+        for t in 0..20u32 {
+            let chunk: Vec<Fault> = (0..n.num_ffs())
+                .map(|ff| Fault::new(FfIndex::new(ff), t))
+                .collect();
+            let mut out = vec![FaultOutcome::latent(); chunk.len()];
+            g.grade_cycle_chunk(&mut st, &chunk, &mut out);
+            for (f, o) in chunk.iter().zip(&out) {
+                assert_eq!(*o, g.classify_serial(*f), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mixes injection cycles")]
+    fn mixed_cycle_chunk_rejected() {
+        let n = generators::counter(2);
+        let tb = Testbench::constant_low(0, 4);
+        let g = Grader::new(&n, &tb);
+        let mut st = g.sim().new_state();
+        let chunk = [Fault::new(FfIndex::new(0), 0), Fault::new(FfIndex::new(1), 1)];
+        let mut out = [FaultOutcome::latent(); 2];
+        g.grade_cycle_chunk(&mut st, &chunk, &mut out);
+    }
+
+    #[test]
+    fn grader_is_send_sync() {
+        // The parallel engine hands `&Grader` to scoped worker threads;
+        // this must stay true as the interior types evolve.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Grader>();
     }
 
     #[test]

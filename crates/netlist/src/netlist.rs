@@ -225,6 +225,13 @@ mod tests {
     }
 
     #[test]
+    fn netlist_is_send_sync() {
+        // Netlists are shared read-only across campaign worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Netlist>();
+    }
+
+    #[test]
     fn accessors() {
         let n = tiny();
         assert_eq!(n.name(), "tiny");

@@ -366,6 +366,16 @@ mod tests {
     }
 
     #[test]
+    fn compiled_sim_is_send_sync() {
+        // One compiled program drives many worker threads, each with its
+        // own (Send) state; both auto-traits are load-bearing for the
+        // sharded campaign engine.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledSim>();
+        assert_send_sync::<SimState>();
+    }
+
+    #[test]
     fn combinational_truth_table() {
         let n = adder_netlist();
         let sim = CompiledSim::new(&n);

@@ -136,6 +136,13 @@ mod tests {
     use super::*;
 
     #[test]
+    fn testbench_is_send_sync() {
+        // Shared read-only across the engine's worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Testbench>();
+    }
+
+    #[test]
     fn random_is_deterministic() {
         let a = Testbench::random(8, 20, 99);
         let b = Testbench::random(8, 20, 99);

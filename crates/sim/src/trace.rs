@@ -114,6 +114,13 @@ mod tests {
     }
 
     #[test]
+    fn golden_trace_is_send_sync() {
+        // Shared read-only across the engine's worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GoldenTrace>();
+    }
+
+    #[test]
     fn accessors() {
         let t = toy_trace();
         assert_eq!(t.num_cycles(), 2);

@@ -1,6 +1,7 @@
 //! The paper's full experiment: the Viper (b14-like) processor, 160
-//! instruction vectors, all 34,400 single faults — reproducing Table 2
-//! and the classification split of §III.
+//! instruction vectors, all 34,400 single faults — graded through the
+//! sharded `seugrade-engine` runtime, then reproducing Table 2 and the
+//! classification split of §III.
 //!
 //! ```text
 //! cargo run --release --example viper_campaign
@@ -26,7 +27,23 @@ fn main() {
         stimuli::PAPER_SEED
     );
 
-    let campaign = AutonomousCampaign::new(&circuit, &tb);
+    // Grade the exhaustive fault list once with the sharded engine; the
+    // verdicts are bit-identical to the serial oracle at any thread count.
+    let plan = CampaignPlan::builder(&circuit, &tb)
+        .policy(ShardPolicy::auto())
+        .build();
+    let counter = ProgressCounter::new();
+    let run = Engine::new(&plan).run_with_progress(&plan, |e| counter.observe(&e));
+    println!(
+        "engine: {} ({} faults observed via progress events)\n",
+        run.stats(),
+        counter.faults_done()
+    );
+
+    // Hand the graded outcomes to the emulation models without re-grading.
+    let (faults, outcomes) = run.into_single().expect("exhaustive plan");
+    let campaign =
+        AutonomousCampaign::from_graded(&circuit, &tb, faults, outcomes, TimingConfig::default());
 
     println!("{}", classification_for(&campaign).render());
     println!("{}", table2_for(&campaign).render());

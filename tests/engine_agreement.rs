@@ -1,6 +1,9 @@
 //! Cross-engine agreement: every fault-grading engine in the workspace
-//! must produce identical verdicts.
+//! must produce identical verdicts — including the sharded
+//! `seugrade-engine` runtime at every thread count.
 
+use proptest::prelude::*;
+use seugrade::generators::{random_sequential, RandomCircuitConfig};
 use seugrade::prelude::*;
 
 /// Serial reference vs bit-parallel vs multi-threaded on every
@@ -72,6 +75,102 @@ fn event_sim_oracle_agrees_on_fault_outcomes() {
         }
         let expected = grader.classify_serial(fault);
         assert_eq!(verdict.unwrap_or(FaultOutcome::latent()), expected, "{fault}");
+    }
+}
+
+/// The sharded engine runtime agrees with the serial reference on every
+/// registered benchmark circuit, exhaustive and sampled.
+#[test]
+fn sharded_engine_agrees_on_registry_circuits() {
+    for name in registry::NAMES {
+        let circuit = registry::build(name).expect("registered");
+        let cycles = if circuit.num_ffs() > 100 { 10 } else { 24 };
+        let tb = Testbench::random(circuit.num_inputs(), cycles, 21);
+        let grader = Grader::new(&circuit, &tb);
+        let faults = FaultList::exhaustive(circuit.num_ffs(), cycles);
+        let serial = grader.run_serial(faults.as_slice());
+        let engine = Engine::for_circuit(&circuit, &tb);
+        for threads in [1, 4] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .policy(ShardPolicy::with_threads(threads))
+                .build();
+            let run = engine.run(&plan);
+            assert_eq!(run.outcomes(), serial.as_slice(), "{name} @ {threads} threads");
+        }
+        // Sampled campaigns shard identically too.
+        let sample = FaultList::sampled(circuit.num_ffs(), cycles, 40, 5);
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .sampled(40, 5)
+            .policy(ShardPolicy::with_threads(3))
+            .build();
+        let run = engine.run(&plan);
+        assert_eq!(run.single(), Some(&sample), "{name}: sample is policy-independent");
+        assert_eq!(run.outcomes(), grader.run_serial(sample.as_slice()), "{name}: sampled");
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = RandomCircuitConfig> {
+    (2usize..6, 2usize..14, 10usize..80, 1usize..5, 0u32..9).prop_map(
+        |(num_inputs, num_ffs, num_gates, num_outputs, observability_num)| RandomCircuitConfig {
+            num_inputs,
+            num_ffs,
+            num_gates,
+            num_outputs,
+            observability_num,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Generated circuits graded serial vs the sharded engine at 1, 2, 4
+    /// and 8 threads: fault-by-fault identical outcomes, fault-by-fault
+    /// identical order, whatever the shard schedule.
+    #[test]
+    fn sharded_engine_matches_serial_on_generated_circuits(
+        config in arb_config(),
+        seed in 0u64..1000,
+        tb_seed in 0u64..1000,
+    ) {
+        let circuit = random_sequential(&config, seed);
+        let cycles = 16usize;
+        let tb = Testbench::random(circuit.num_inputs(), cycles, tb_seed);
+        let grader = Grader::new(&circuit, &tb);
+        let faults = FaultList::exhaustive(circuit.num_ffs(), cycles);
+        let serial = grader.run_serial(faults.as_slice());
+        let engine = Engine::for_circuit(&circuit, &tb);
+        for threads in [1usize, 2, 4, 8] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .policy(ShardPolicy::with_threads(threads))
+                .build();
+            let run = engine.run(&plan);
+            prop_assert_eq!(run.outcomes(), serial.as_slice(), "{} threads", threads);
+            prop_assert_eq!(run.summary().total(), faults.len());
+        }
+    }
+
+    /// Multi-bit campaigns shard identically to the serial MBU engine.
+    #[test]
+    fn sharded_mbu_matches_serial_on_generated_circuits(
+        config in arb_config(),
+        seed in 0u64..500,
+    ) {
+        let circuit = random_sequential(&config, seed);
+        let cycles = 12usize;
+        let tb = Testbench::random(circuit.num_inputs(), cycles, seed ^ 0x5EED);
+        let grader = Grader::new(&circuit, &tb);
+        let k = 2.min(circuit.num_ffs());
+        let faults = MultiFault::adjacent_pairs(circuit.num_ffs(), cycles, k);
+        let serial = grader.run_multi(&faults);
+        for threads in [2usize, 8] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .multi(faults.clone())
+                .policy(ShardPolicy::with_threads(threads))
+                .build();
+            let run = plan.execute();
+            prop_assert_eq!(run.outcomes(), serial.as_slice(), "{} threads", threads);
+        }
     }
 }
 
