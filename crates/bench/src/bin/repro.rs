@@ -1,17 +1,19 @@
 //! `repro` — regenerate every table and figure of the DATE'05 paper,
-//! plus the engine throughput benchmark.
+//! plus the engine throughput benchmark and the external-netlist
+//! grading path.
 //!
 //! ```text
 //! cargo run -p seugrade-bench --release --bin repro -- all
 //! cargo run -p seugrade-bench --release --bin repro -- table2
 //! cargo run -p seugrade-bench --release --bin repro -- crossover --quick
 //! cargo run -p seugrade-bench --release --bin repro -- bench --threads 4
+//! cargo run -p seugrade-bench --release --bin repro -- grade fixtures/s27.bench
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `figure1`, `classification`, `speed`,
-//! `crossover`, `ablations`, `sampling`, `all`, `bench`. `--quick`
-//! shrinks the crossover sweep, sample sizes and the bench circuit.
-//! `--csv` additionally prints machine-readable CSV blocks.
+//! `crossover`, `ablations`, `sampling`, `all`, `bench`, `grade`.
+//! `--quick` shrinks the crossover sweep, sample sizes and the bench
+//! circuit. `--csv` additionally prints machine-readable CSV blocks.
 //!
 //! `bench` measures the sharded campaign engine (serial reference,
 //! engine at 1/2/`--threads N` workers, plus the modelled autonomous
@@ -19,6 +21,16 @@
 //! to `BENCH_engine.json` (`--out PATH` overrides). It is deliberately
 //! *not* part of `all`: wall-clock measurement deserves an unloaded
 //! machine.
+//!
+//! `grade <file>` imports an external netlist (ISCAS `.bench`,
+//! structural BLIF or the native SNL format — auto-detected from the
+//! extension, overridable with `--format bench|blif|snl`), drives it
+//! with a seeded random test bench (`--vectors N`, `--seed S`), grades
+//! the exhaustive `flip-flops × cycles` SEU fault space through the
+//! sharded engine (`--threads N`) and prints the
+//! failure/silent/latent breakdown. Verdict counts are identical at
+//! every thread count (the engine's determinism guarantee). The
+//! on-disk grammars are specified in `docs/FORMATS.md`.
 
 use std::time::Instant;
 
@@ -33,29 +45,63 @@ struct Options {
     csv: bool,
     threads: Option<usize>,
     out: Option<String>,
+    format: Option<SourceFormat>,
+    vectors: usize,
+    seed: u64,
+}
+
+fn parse_count(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
+    let v = it.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    });
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} needs a positive integer, got `{v}`");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut opts = Options { quick: false, csv: false, threads: None, out: None };
+    let mut opts = Options {
+        quick: false,
+        csv: false,
+        threads: None,
+        out: None,
+        format: None,
+        vectors: 100,
+        seed: 42,
+    };
     let mut commands: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--csv" => opts.csv = true,
-            "--threads" => {
+            "--threads" => opts.threads = Some(parse_count(&mut it, "--threads")),
+            "--vectors" => opts.vectors = parse_count(&mut it, "--vectors"),
+            "--seed" => {
                 let v = it.next().unwrap_or_else(|| {
-                    eprintln!("--threads needs a value");
+                    eprintln!("--seed needs a value");
                     std::process::exit(2);
                 });
-                match v.parse::<usize>() {
-                    Ok(n) if n > 0 => opts.threads = Some(n),
-                    _ => {
-                        eprintln!("--threads needs a positive integer, got `{v}`");
-                        std::process::exit(2);
-                    }
-                }
+                opts.seed = v.parse::<u64>().unwrap_or_else(|_| {
+                    eprintln!("--seed needs an integer, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--format" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--format needs a value");
+                    std::process::exit(2);
+                });
+                opts.format = Some(SourceFormat::from_label(&v).unwrap_or_else(|| {
+                    eprintln!("--format expects bench|blif|snl, got `{v}`");
+                    std::process::exit(2);
+                }));
             }
             "--out" => {
                 opts.out = Some(it.next().unwrap_or_else(|| {
@@ -83,6 +129,7 @@ fn main() {
         "sampling",
         "all",
         "bench",
+        "grade",
     ];
     if !known.contains(&command) {
         eprintln!("unknown experiment `{command}`; expected one of {known:?}");
@@ -92,6 +139,15 @@ fn main() {
     let start = Instant::now();
     if command == "bench" {
         run_engine_bench(&opts);
+        eprintln!("done in {:.1?}", start.elapsed());
+        return;
+    }
+    if command == "grade" {
+        let Some(file) = commands.get(1) else {
+            eprintln!("usage: repro -- grade <file> [--format bench|blif|snl] [--threads N] [--vectors N] [--seed S]");
+            std::process::exit(2);
+        };
+        run_grade(file, &opts);
         eprintln!("done in {:.1?}", start.elapsed());
         return;
     }
@@ -247,4 +303,47 @@ fn run_engine_bench(opts: &Options) {
         std::process::exit(1);
     });
     eprintln!("wrote {path} ({} records, schema {})", report.records.len(), BENCH_SCHEMA);
+}
+
+/// The `grade` subcommand: import an external netlist, grade its
+/// exhaustive SEU fault space through the sharded engine, print the
+/// per-class breakdown.
+fn run_grade(file: &str, opts: &Options) {
+    let imported = import::import_path_with(file, opts.format, ImportOptions::default())
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+    let circuit = &imported.netlist;
+    eprintln!("{}", imported.stats);
+    eprintln!("{circuit}");
+
+    // `--threads N` pins the worker count; otherwise defer to the
+    // engine's own auto policy so `grade` resolves parallelism exactly
+    // like every other engine entry point.
+    let policy = opts.threads.map_or_else(ShardPolicy::auto, ShardPolicy::with_threads);
+    let tb = Testbench::random(circuit.num_inputs(), opts.vectors, opts.seed);
+    eprintln!(
+        "grading {} faults ({} FFs x {} cycles, seed {}) on {} threads...",
+        circuit.num_ffs() * tb.num_cycles(),
+        circuit.num_ffs(),
+        tb.num_cycles(),
+        opts.seed,
+        policy.resolved_threads()
+    );
+
+    let plan = CampaignPlan::builder(circuit, &tb).policy(policy).build();
+    let run = plan.execute();
+
+    println!("{} ({})", circuit.name(), file);
+    for class in FaultClass::ALL {
+        println!(
+            "  {:<8} {:>8}  ({:.1}%)",
+            class.label(),
+            run.summary().count(class),
+            run.summary().percent(class)
+        );
+    }
+    println!("  {:<8} {:>8}", "total", run.summary().total());
+    println!("{}", run.stats());
 }

@@ -1,0 +1,102 @@
+//! Fixture-backed benchmark circuits, parsed from the bundled netlist
+//! files under the repository's `fixtures/` directory.
+//!
+//! The sources are embedded at compile time (`include_str!`), so these
+//! builders work regardless of the process working directory, and the
+//! fixture files cannot drift from the circuits the test suites grade:
+//! every function here is also a [`registry`](crate::registry) entry,
+//! which puts the fixtures through the workspace's engine-agreement and
+//! gate-level-conformance suites.
+//!
+//! Formats and provenance are documented in `fixtures/README.md` and
+//! `docs/FORMATS.md`.
+
+use seugrade_netlist::import::{import_str, SourceFormat};
+use seugrade_netlist::Netlist;
+
+/// The ISCAS'89 s27 netlist, `.bench` source.
+pub const S27_BENCH: &str = include_str!("../../../fixtures/s27.bench");
+
+/// The hand-translated BLIF twin of [`S27_BENCH`].
+pub const S27_BLIF: &str = include_str!("../../../fixtures/s27.blif");
+
+/// The s208-class counter/comparator fixture, `.bench` source.
+pub const S208A_BENCH: &str = include_str!("../../../fixtures/s208a.bench");
+
+/// The s344-class loadable-LFSR fixture, `.bench` source.
+pub const S344A_BENCH: &str = include_str!("../../../fixtures/s344a.bench");
+
+fn build(src: &str, format: SourceFormat, name: &str) -> Netlist {
+    import_str(src, format)
+        .unwrap_or_else(|e| panic!("bundled fixture {name} failed to import: {e}"))
+        .netlist
+        .renamed(name)
+}
+
+/// ISCAS'89 s27: 4 inputs, 1 output, 3 flip-flops.
+#[must_use]
+pub fn s27() -> Netlist {
+    build(S27_BENCH, SourceFormat::Bench, "s27")
+}
+
+/// The BLIF twin of [`s27`] (same ports, same logic, same init values).
+#[must_use]
+pub fn s27_blif() -> Netlist {
+    build(S27_BLIF, SourceFormat::Blif, "s27")
+}
+
+/// s208-class fixture: 10 inputs, 1 output, 8 flip-flops.
+#[must_use]
+pub fn s208a() -> Netlist {
+    build(S208A_BENCH, SourceFormat::Bench, "s208a")
+}
+
+/// s344-class fixture: 9 inputs, 11 outputs, 15 flip-flops.
+#[must_use]
+pub fn s344a() -> Netlist {
+    build(S344A_BENCH, SourceFormat::Bench, "s344a")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_has_the_iscas_interface() {
+        let n = s27();
+        assert_eq!(n.num_inputs(), 4);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.num_ffs(), 3);
+        assert_eq!(n.ff_init_values(), vec![false; 3]);
+    }
+
+    #[test]
+    fn blif_twin_matches_interface() {
+        let a = s27();
+        let b = s27_blif();
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        assert_eq!(a.num_ffs(), b.num_ffs());
+        assert_eq!(a.ff_init_values(), b.ff_init_values());
+        assert_eq!(a.input_names(), b.input_names());
+    }
+
+    #[test]
+    fn class_fixtures_have_the_documented_shapes() {
+        let n = s208a();
+        assert_eq!(
+            (n.num_inputs(), n.num_outputs(), n.num_ffs()),
+            (10, 1, 8),
+            "s208a"
+        );
+        let n = s344a();
+        assert_eq!(
+            (n.num_inputs(), n.num_outputs(), n.num_ffs()),
+            (9, 11, 15),
+            "s344a"
+        );
+        // The pragma in s344a.bench sets S0's power-on value.
+        assert!(n.ff_init_values()[0]);
+        assert!(!n.ff_init_values()[1]);
+    }
+}

@@ -13,6 +13,9 @@
 //! - [`small`] — ITC'99-*style* small FSM benchmarks (b01…b13 interface
 //!   shapes) used for fast unit tests and for the gate-level emulation
 //!   cross-checks.
+//! - [`fixtures`] — circuits parsed from the bundled benchmark netlist
+//!   files under `fixtures/` (ISCAS `.bench` and BLIF), imported through
+//!   the `seugrade-netlist` ingestion layer.
 //! - [`generators`] — parametric circuits (LFSRs, counters, shift
 //!   registers, random sequential logic) for sweeps such as the paper's
 //!   "state-scan wins when cycles > flip-flops" crossover claim.
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fixtures;
 pub mod generators;
 pub mod registry;
 pub mod small;

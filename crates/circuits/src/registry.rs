@@ -2,10 +2,15 @@
 
 use seugrade_netlist::Netlist;
 
-use crate::{generators, small, viper};
+use crate::{fixtures, generators, small, viper};
 
 /// Names accepted by [`build`], in display order.
-pub const NAMES: [&str; 10] = [
+///
+/// The `s*` entries are backed by the on-disk benchmark fixtures under
+/// `fixtures/` (see [`fixtures`]), imported through the
+/// `seugrade-netlist` ingestion layer — so the external-format path is
+/// exercised by every registry-driven suite.
+pub const NAMES: [&str; 13] = [
     "viper",
     "b01s",
     "b02s",
@@ -13,6 +18,9 @@ pub const NAMES: [&str; 10] = [
     "b06s",
     "b09s",
     "b13s",
+    "s27",
+    "s208a",
+    "s344a",
     "lfsr16",
     "counter8",
     "shreg32",
@@ -37,6 +45,9 @@ pub fn build(name: &str) -> Option<Netlist> {
         "b06s" => Some(small::b06_style()),
         "b09s" => Some(small::b09_style()),
         "b13s" => Some(small::b13_style()),
+        "s27" => Some(fixtures::s27()),
+        "s208a" => Some(fixtures::s208a()),
+        "s344a" => Some(fixtures::s344a()),
         "lfsr16" => Some(generators::lfsr(16, &[15, 13, 12, 10])),
         "counter8" => Some(generators::counter(8)),
         "shreg32" => Some(generators::shift_register(32)),

@@ -20,10 +20,10 @@
 //! [`experiments`] module, which regenerates every table and figure of
 //! the paper, plus plain-text [`tables`] rendering.
 //!
-//! Six runnable examples under the repository's `examples/` directory
+//! Seven runnable examples under the repository's `examples/` directory
 //! (`quickstart`, `viper_campaign`, `technique_tradeoffs`,
-//! `custom_circuit`, `hardening_loop`, `waveforms`) walk the public API
-//! end to end; start with
+//! `custom_circuit`, `import_netlist`, `hardening_loop`, `waveforms`)
+//! walk the public API end to end; start with
 //! `cargo run --release --example quickstart`.
 //!
 //! # Quickstart
@@ -51,7 +51,7 @@ pub mod tables;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use seugrade_circuits::{generators, registry, small, stimuli, viper};
+    pub use seugrade_circuits::{fixtures, generators, registry, small, stimuli, viper};
     pub use seugrade_emulation::campaign::{AutonomousCampaign, EmulationReport, Technique};
     pub use seugrade_engine::bench as engine_bench;
     pub use seugrade_engine::{
@@ -68,7 +68,10 @@ pub mod prelude {
         MultiFault,
     };
     pub use seugrade_harden::{dwc, tmr};
-    pub use seugrade_netlist::{FfIndex, GateKind, Netlist, NetlistBuilder, SigId};
+    pub use seugrade_netlist::{
+        import, FfIndex, GateKind, ImportError, ImportOptions, ImportStats, Imported, Netlist,
+        NetlistBuilder, NetlistError, SigId, SourceFormat,
+    };
     pub use seugrade_rtl::{Reg, RtlBuilder, Word};
     pub use seugrade_sim::{
         equiv_check, CompiledSim, Counterexample, EventSim, GoldenTrace, SplitMix64, Testbench,

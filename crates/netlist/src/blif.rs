@@ -1,0 +1,565 @@
+//! Structural BLIF frontend (the Berkeley Logic Interchange Format
+//! subset used by mapped benchmark netlists).
+//!
+//! Supported directives:
+//!
+//! ```text
+//! .model <name>
+//! .inputs <a> <b> ...       # continuation with trailing `\`
+//! .outputs <y> ...
+//! .names <in>... <out>      # followed by single-output cover rows
+//! 11 1
+//! .latch <in> <out> [<type> <control>] [<init>]
+//! .end
+//! ```
+//!
+//! `.names` covers are recognized structurally and mapped onto the IR's
+//! [`GateKind`]s — this frontend does **not** implement general
+//! two-level logic, only the covers that mapped netlists actually emit:
+//!
+//! | cover (on-set)                          | gate    |
+//! |-----------------------------------------|---------|
+//! | no rows                                 | const 0 |
+//! | single empty-input row `1`              | const 1 |
+//! | `1 1`                                   | buf     |
+//! | `0 1`                                   | not     |
+//! | single row, all `1`                     | and     |
+//! | single row, all `0`                     | nor     |
+//! | one row per input: one `1`, rest `-`    | or      |
+//! | one row per input: one `0`, rest `-`    | nand    |
+//! | `10 1` + `01 1` (2 inputs)              | xor     |
+//! | `11 1` + `00 1` (2 inputs)              | xnor    |
+//!
+//! Any other cover is rejected with a located error. `.latch` lowers to
+//! the IR's single-clock D flip-flop; the optional type/control pair is
+//! accepted (and ignored — the IR has one implicit clock) and the
+//! optional init value maps `0`→0, `1`→1, `2`(don't-care) and
+//! `3`(unknown)→0. Unsupported directives (`.subckt`, `.exdc`, …) are
+//! rejected, not skipped.
+//!
+//! The grammar is specified alongside the other formats in
+//! `docs/FORMATS.md`; parse-layer errors carry 1-based line numbers
+//! (see the [error contract](crate::NetlistError)).
+//!
+//! # Example
+//!
+//! ```
+//! let src = "\
+//! .model toggle
+//! .inputs en
+//! .outputs q
+//! .latch nx q re clk 0
+//! .names en q nx
+//! 10 1
+//! 01 1
+//! .end
+//! ";
+//! let n = seugrade_netlist::blif::parse(src)?;
+//! assert_eq!(n.num_ffs(), 1);
+//! assert_eq!(n.num_gates(), 1); // one XOR
+//! # Ok::<(), seugrade_netlist::NetlistError>(())
+//! ```
+
+use crate::import::{lower, Stmt};
+use crate::{GateKind, Netlist, NetlistError};
+
+/// One `.names` block under construction.
+struct Cover<'a> {
+    line: usize,
+    inputs: Vec<&'a str>,
+    out: &'a str,
+    rows: Vec<(String, char)>,
+}
+
+/// Classifies a finished cover into a statement.
+fn classify<'a>(cover: &Cover<'a>) -> Result<Stmt<'a>, NetlistError> {
+    let line = cover.line;
+    let n = cover.inputs.len();
+    for (bits, value) in &cover.rows {
+        if bits.len() != n {
+            return Err(NetlistError::Parse {
+                line,
+                msg: format!(
+                    "cover row `{bits}` has {} columns, .names has {n} inputs",
+                    bits.len()
+                ),
+            });
+        }
+        if *value != '1' {
+            return Err(NetlistError::Parse {
+                line,
+                msg: "only on-set (`... 1`) covers are supported".into(),
+            });
+        }
+    }
+
+    // Constants.
+    if n == 0 {
+        return Ok(Stmt::Const { net: cover.out, value: !cover.rows.is_empty() });
+    }
+    if cover.rows.is_empty() {
+        return Ok(Stmt::Const { net: cover.out, value: false });
+    }
+
+    let rows: Vec<&str> = cover.rows.iter().map(|(b, _)| b.as_str()).collect();
+    let all = |row: &str, c: char| row.chars().all(|x| x == c);
+    let kind = if rows.len() == 1 && all(rows[0], '1') {
+        Some(if n == 1 { GateKind::Buf } else { GateKind::And })
+    } else if rows.len() == 1 && all(rows[0], '0') {
+        Some(if n == 1 { GateKind::Not } else { GateKind::Nor })
+    } else if n == 2 && rows.len() == 2 {
+        let mut sorted = [rows[0], rows[1]];
+        sorted.sort_unstable();
+        match sorted {
+            ["01", "10"] => Some(GateKind::Xor),
+            ["00", "11"] => Some(GateKind::Xnor),
+            _ => one_hot_kind(&rows, n),
+        }
+    } else {
+        one_hot_kind(&rows, n)
+    };
+
+    match kind {
+        Some(kind) => Ok(Stmt::Gate { kind, net: cover.out, pins: cover.inputs.clone() }),
+        None => Err(NetlistError::Parse {
+            line,
+            msg: format!("unsupported .names cover for `{}` (see docs/FORMATS.md)", cover.out),
+        }),
+    }
+}
+
+/// Recognizes the one-row-per-input OR (`1` + don't-cares) and NAND
+/// (`0` + don't-cares) cover shapes.
+fn one_hot_kind(rows: &[&str], n: usize) -> Option<GateKind> {
+    if rows.len() != n {
+        return None;
+    }
+    let shape = |c: char| -> bool {
+        // Every input position must be the distinguished column of
+        // exactly one row, all other columns `-`.
+        let mut seen = vec![false; n];
+        for row in rows {
+            let mut hot = None;
+            for (i, x) in row.chars().enumerate() {
+                if x == c {
+                    if hot.is_some() {
+                        return false;
+                    }
+                    hot = Some(i);
+                } else if x != '-' {
+                    return false;
+                }
+            }
+            match hot {
+                Some(i) if !seen[i] => seen[i] = true,
+                _ => return false,
+            }
+        }
+        seen.into_iter().all(|s| s)
+    };
+    if shape('1') {
+        Some(GateKind::Or)
+    } else if shape('0') {
+        Some(GateKind::Nand)
+    } else {
+        None
+    }
+}
+
+/// Parses structural BLIF text into a validated [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed or unsupported
+/// directives and covers, [`NetlistError::UnknownNet`] for references
+/// to nets never defined, and any validation error from the shared
+/// lowering (dangling outputs, combinational loops, duplicate ports).
+pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
+    // Join `\` continuation lines, keeping the first physical line's
+    // number for diagnostics.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim_end();
+        let (continues, body) = match text.strip_suffix('\\') {
+            Some(stripped) => (true, stripped.trim_end()),
+            None => (false, text),
+        };
+        match pending.take() {
+            Some((l, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(body.trim());
+                if continues {
+                    pending = Some((l, acc));
+                } else {
+                    logical.push((l, acc));
+                }
+            }
+            None => {
+                if continues {
+                    pending = Some((line, body.trim().to_owned()));
+                } else if !body.trim().is_empty() {
+                    logical.push((line, body.trim().to_owned()));
+                }
+            }
+        }
+    }
+    if let Some((line, _)) = pending {
+        return Err(NetlistError::Parse {
+            line,
+            msg: "file ends inside a `\\` continuation".into(),
+        });
+    }
+
+    let mut model_name: Option<String> = None;
+    let mut stmts_owned: Vec<(usize, OwnedStmt)> = Vec::new();
+    let mut cover: Option<OwnedCover> = None;
+    let mut saw_end = false;
+
+    for (line, text) in &logical {
+        let line = *line;
+        if saw_end {
+            return Err(NetlistError::Parse {
+                line,
+                msg: "content after `.end`".into(),
+            });
+        }
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        let Some(&head) = toks.first() else { continue };
+
+        if !head.starts_with('.') {
+            // Cover row for the open `.names`.
+            let Some(c) = cover.as_mut() else {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: format!("cover row `{text}` outside a .names block"),
+                });
+            };
+            let (bits, value) = match toks.as_slice() {
+                [v] if c.inputs.is_empty() => (String::new(), *v),
+                [bits, v] => ((*bits).to_owned(), *v),
+                _ => {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: format!("malformed cover row `{text}`"),
+                    });
+                }
+            };
+            if value.len() != 1 || !"01".contains(value) {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: format!("cover output must be 0 or 1, found `{value}`"),
+                });
+            }
+            if let Some(bad) = bits.chars().find(|c| !"01-".contains(*c)) {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: format!("invalid cover character `{bad}`"),
+                });
+            }
+            c.rows.push((bits, value.chars().next().unwrap()));
+            continue;
+        }
+
+        // A directive closes any open .names block.
+        if let Some(c) = cover.take() {
+            stmts_owned.push((c.line, OwnedStmt::Names(c)));
+        }
+
+        match head {
+            ".model" => {
+                if toks.len() != 2 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: ".model takes exactly one name".into(),
+                    });
+                }
+                if model_name.replace(toks[1].to_owned()).is_some() {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: "only one .model per file is supported".into(),
+                    });
+                }
+            }
+            ".inputs" => {
+                for name in &toks[1..] {
+                    stmts_owned.push((line, OwnedStmt::Input((*name).to_owned())));
+                }
+            }
+            ".outputs" => {
+                for name in &toks[1..] {
+                    stmts_owned.push((line, OwnedStmt::Output((*name).to_owned())));
+                }
+            }
+            ".names" => {
+                if toks.len() < 2 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: ".names needs at least an output".into(),
+                    });
+                }
+                let inputs: Vec<String> =
+                    toks[1..toks.len() - 1].iter().map(|s| (*s).to_owned()).collect();
+                cover = Some(OwnedCover {
+                    line,
+                    inputs,
+                    out: toks[toks.len() - 1].to_owned(),
+                    rows: Vec::new(),
+                });
+            }
+            ".latch" => {
+                // .latch <in> <out> [<type> <control>] [<init>]
+                let args = &toks[1..];
+                let (input, output, init_tok) = match args.len() {
+                    2 => (args[0], args[1], None),
+                    3 => (args[0], args[1], Some(args[2])),
+                    4 => (args[0], args[1], None),
+                    5 => (args[0], args[1], Some(args[4])),
+                    _ => {
+                        return Err(NetlistError::Parse {
+                            line,
+                            msg: ".latch takes <in> <out> [<type> <control>] [<init>]".into(),
+                        });
+                    }
+                };
+                let init = match init_tok {
+                    None | Some("0") | Some("2") | Some("3") => false,
+                    Some("1") => true,
+                    Some(other) => {
+                        return Err(NetlistError::Parse {
+                            line,
+                            msg: format!("latch init must be 0-3, found `{other}`"),
+                        });
+                    }
+                };
+                stmts_owned.push((
+                    line,
+                    OwnedStmt::Latch {
+                        d: input.to_owned(),
+                        net: output.to_owned(),
+                        init,
+                    },
+                ));
+            }
+            ".end" => {
+                if toks.len() != 1 {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: ".end takes no arguments".into(),
+                    });
+                }
+                saw_end = true;
+            }
+            other => {
+                return Err(NetlistError::Parse {
+                    line,
+                    msg: format!("unsupported BLIF directive `{other}`"),
+                });
+            }
+        }
+    }
+    if let Some(c) = cover.take() {
+        stmts_owned.push((c.line, OwnedStmt::Names(c)));
+    }
+
+    // Lower through the shared import layer. The owned statements are
+    // borrowed here so `Stmt`'s zero-copy shape is reused unchanged.
+    let mut stmts: Vec<(usize, Stmt<'_>)> = Vec::with_capacity(stmts_owned.len());
+    for (line, s) in &stmts_owned {
+        let stmt = match s {
+            OwnedStmt::Input(name) => Stmt::Input { name },
+            OwnedStmt::Output(name) => Stmt::Output { name, net: name },
+            OwnedStmt::Latch { d, net, init } => Stmt::Dff { net, init: *init, d },
+            OwnedStmt::Names(c) => {
+                let borrowed = Cover {
+                    line: c.line,
+                    inputs: c.inputs.iter().map(String::as_str).collect(),
+                    out: &c.out,
+                    rows: c.rows.clone(),
+                };
+                classify(&borrowed)?
+            }
+        };
+        stmts.push((*line, stmt));
+    }
+
+    lower(model_name.unwrap_or_else(|| "blif".to_owned()), &stmts)
+}
+
+/// Owned mirror of the statement stream (cover rows arrive over many
+/// physical lines, so zero-copy parsing would fight the borrow checker
+/// for no benefit at import rates).
+enum OwnedStmt {
+    Input(String),
+    Output(String),
+    Latch { d: String, net: String, init: bool },
+    Names(OwnedCover),
+}
+
+struct OwnedCover {
+    line: usize,
+    inputs: Vec<String>,
+    out: String,
+    rows: Vec<(String, char)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CellKind;
+
+    use super::*;
+
+    #[test]
+    fn gate_covers_map_to_kinds() {
+        let src = "\
+.model gates
+.inputs a b c
+.outputs o_and o_or o_nand o_nor o_xor o_xnor o_not o_buf o_and3
+.names a b o_and
+11 1
+.names a b o_or
+1- 1
+-1 1
+.names a b o_nand
+0- 1
+-0 1
+.names a b o_nor
+00 1
+.names a b o_xor
+10 1
+01 1
+.names a b o_xnor
+11 1
+00 1
+.names a o_not
+0 1
+.names a o_buf
+1 1
+.names a b c o_and3
+111 1
+.end
+";
+        let n = parse(src).unwrap();
+        let count = |kind: GateKind| {
+            n.iter_cells()
+                .filter(|(_, c)| c.kind() == CellKind::Gate(kind))
+                .count()
+        };
+        assert_eq!(count(GateKind::And), 2);
+        assert_eq!(count(GateKind::Or), 1);
+        assert_eq!(count(GateKind::Nand), 1);
+        assert_eq!(count(GateKind::Nor), 1);
+        assert_eq!(count(GateKind::Xor), 1);
+        assert_eq!(count(GateKind::Xnor), 1);
+        assert_eq!(count(GateKind::Not), 1);
+        assert_eq!(count(GateKind::Buf), 1);
+        assert_eq!(n.name(), "gates");
+    }
+
+    #[test]
+    fn constants() {
+        let src = "\
+.model k
+.outputs lo hi
+.names lo
+.names hi
+1
+.end
+";
+        let n = parse(src).unwrap();
+        assert_eq!(n.num_outputs(), 2);
+        let consts: Vec<bool> = n
+            .iter_cells()
+            .filter_map(|(_, c)| match c.kind() {
+                CellKind::Const(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consts, vec![false, true]);
+    }
+
+    #[test]
+    fn latch_inits() {
+        let src = "\
+.model l
+.inputs d
+.outputs q0 q1 qd
+.latch d q0 0
+.latch d q1 re clk 1
+.latch d qd re clk
+.end
+";
+        let n = parse(src).unwrap();
+        assert_eq!(n.ff_init_values(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model c\n.inputs a \\\n b\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let n = parse(src).unwrap();
+        assert_eq!(n.num_inputs(), 2);
+    }
+
+    #[test]
+    fn unsupported_cover_rejected() {
+        let src = "\
+.model bad
+.inputs a b c
+.outputs y
+.names a b c y
+1-1 1
+01- 1
+.end
+";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("unsupported .names cover"), "{err}");
+        assert_eq!(err.line(), Some(4));
+    }
+
+    #[test]
+    fn off_set_cover_rejected() {
+        let src = ".model bad\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("on-set"), "{err}");
+    }
+
+    #[test]
+    fn malformed_directives_rejected() {
+        assert!(parse(".model a b\n.end\n").is_err());
+        assert!(parse(".model a\n.model b\n.end\n").is_err());
+        assert!(parse(".subckt foo a=b\n").is_err());
+        assert!(parse(".model m\n.latch a\n.end\n").is_err());
+        assert!(parse(".model m\n.latch a q 7\n.end\n").is_err());
+        assert!(parse(".model m\n.names\n.end\n").is_err());
+        assert!(parse(".model m\n.end\n.inputs a\n").is_err());
+        assert!(parse("11 1\n").is_err());
+        assert!(parse(".model m\n.inputs a \\\n").is_err());
+        assert!(parse(".model m\n.inputs a\n.outputs y\n.names a y\n1 x\n.end\n").is_err());
+        assert!(parse(".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n").is_err());
+        assert!(parse(".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end\n").is_err());
+    }
+
+    #[test]
+    fn undefined_net_in_latch_reported() {
+        let src = ".model m\n.outputs q\n.latch ghost q 0\n.end\n";
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownNet { ref name, .. } if name == "ghost"));
+    }
+
+    #[test]
+    fn duplicate_output_port_reported() {
+        let src = ".model m\n.inputs a\n.outputs y y\n.names a y\n1 1\n.end\n";
+        let err = parse(src).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 3, .. }), "{err:?}");
+        assert!(err.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn missing_end_is_accepted() {
+        // Some emitters omit .end; tolerate it (the shared lowering
+        // still validates connectivity).
+        let n = parse(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n").unwrap();
+        assert_eq!(n.num_outputs(), 1);
+    }
+}

@@ -10,6 +10,23 @@ use crate::SigId;
 /// All variants carry enough context to point at the offending cell or
 /// source line; the `Display` form is a single lower-case sentence as per
 /// the Rust API guidelines.
+///
+/// # Error contract for the textual frontends
+///
+/// Every parser in this crate ([`text`](crate::text),
+/// [`bench`](crate::bench), [`blif`](crate::blif)) lowers through the
+/// shared [`import`](crate::import) layer, so diagnostics behave
+/// identically across formats:
+///
+/// - **parse-layer errors** — malformed lines, unknown gate functions,
+///   duplicate net/port definitions, references to never-defined nets —
+///   are reported as [`Parse`](Self::Parse) or
+///   [`UnknownNet`](Self::UnknownNet) and always carry the 1-based
+///   source line, available uniformly through [`line`](Self::line);
+/// - **validation errors** — combinational loops, dangling signals,
+///   unconnected flip-flops — are properties of the whole graph, not of
+///   one line; they carry the offending [`SigId`]s instead and
+///   [`line`](Self::line) returns `None`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum NetlistError {
@@ -71,6 +88,20 @@ pub enum NetlistError {
     },
 }
 
+impl NetlistError {
+    /// The 1-based source line a parse-layer error points at, or `None`
+    /// for whole-graph validation errors (see the error contract above).
+    #[must_use]
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            NetlistError::Parse { line, .. } | NetlistError::UnknownNet { line, .. } => {
+                Some(*line)
+            }
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -121,6 +152,18 @@ mod tests {
 
         let e = NetlistError::Parse { line: 4, msg: "bad token".into() };
         assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn line_accessor_follows_the_contract() {
+        let e = NetlistError::Parse { line: 4, msg: "x".into() };
+        assert_eq!(e.line(), Some(4));
+        let e = NetlistError::UnknownNet { line: 9, name: "n".into() };
+        assert_eq!(e.line(), Some(9));
+        let e = NetlistError::CombinationalLoop { cells: vec![] };
+        assert_eq!(e.line(), None);
+        let e = NetlistError::UnconnectedDff { cell: SigId::new(0) };
+        assert_eq!(e.line(), None);
     }
 
     #[test]

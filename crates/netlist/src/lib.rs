@@ -14,6 +14,10 @@
 //!   combinational cells with cycle detection;
 //! - [`NetlistStats`] — cell inventories, depth and size metrics;
 //! - a line-based [text format](text) with a parser and an emitter;
+//! - benchmark-netlist frontends for ISCAS [`.bench`](mod@bench) and the
+//!   structural [BLIF subset](blif), plus the shared [`import`] layer
+//!   (format detection, buffer sweeping, import statistics) — the
+//!   on-disk grammars are specified in `docs/FORMATS.md`;
 //! - [DOT export](Netlist::to_dot) for visualisation;
 //! - [cone pruning](Netlist::pruned) that removes logic not observable at
 //!   any primary output.
@@ -43,11 +47,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
+pub mod blif;
 mod builder;
 mod cell;
 mod dot;
 mod error;
 mod id;
+pub mod import;
 mod levelize;
 mod netlist;
 mod prune;
@@ -58,6 +65,7 @@ pub use builder::NetlistBuilder;
 pub use cell::{Cell, CellKind, GateKind};
 pub use error::NetlistError;
 pub use id::{FfIndex, SigId};
+pub use import::{ImportError, ImportOptions, ImportStats, Imported, SourceFormat};
 pub use levelize::Levelization;
 pub use netlist::Netlist;
 pub use prune::PruneResult;

@@ -39,6 +39,14 @@ impl Netlist {
         &self.name
     }
 
+    /// Returns the same netlist relabelled as `name` (useful for
+    /// imported formats like `.bench` that carry no module name).
+    #[must_use]
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
     /// Total number of cells, including inputs, constants and flip-flops.
     #[must_use]
     pub fn num_cells(&self) -> usize {

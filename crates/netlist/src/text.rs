@@ -36,10 +36,10 @@
 //! # Ok::<(), seugrade_netlist::NetlistError>(())
 //! ```
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use crate::{CellKind, GateKind, Netlist, NetlistBuilder, NetlistError, SigId};
+use crate::import::{lower, Stmt};
+use crate::{CellKind, GateKind, Netlist, NetlistError, SigId};
 
 /// Serializes a netlist to the SNL text format.
 ///
@@ -103,19 +103,12 @@ pub fn emit(netlist: &Netlist) -> String {
     out
 }
 
-/// Input lines keyed for the two-pass parse.
-enum Stmt<'a> {
-    Input { name: &'a str },
-    Const { net: &'a str, value: bool },
-    Gate { kind: GateKind, net: &'a str, pins: Vec<&'a str> },
-    Dff { net: &'a str, init: bool, d: &'a str },
-    Output { name: &'a str, net: &'a str },
-}
-
 /// Parses SNL text into a validated [`Netlist`].
 ///
 /// Statements may reference nets defined later in the file (two-pass
 /// resolution), so any topological order — including none — is accepted.
+/// Lowering and validation are shared with the `.bench` and BLIF
+/// frontends through [`crate::import`].
 ///
 /// # Errors
 ///
@@ -123,7 +116,8 @@ enum Stmt<'a> {
 /// [`NetlistError::UnknownNet`] for references to nets never defined, and
 /// any validation error from
 /// [`NetlistBuilder::finish`](crate::NetlistBuilder::finish) (e.g.
-/// combinational loops).
+/// combinational loops). Parse-layer errors carry 1-based line numbers;
+/// see the [error contract](crate::NetlistError).
 pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
     let mut model_name = String::from("unnamed");
     let mut stmts: Vec<(usize, Stmt<'_>)> = Vec::new();
@@ -237,165 +231,7 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
         }
     }
 
-    // Pass 1: declare every net so forward references resolve.
-    //
-    // Gate pins must exist before `NetlistBuilder::gate` is called, so
-    // gates and constants are materialized as placeholder dffs first and
-    // rewritten in pass 2. Simpler: do full manual construction through a
-    // second builder pass ordering gates topologically is overkill;
-    // instead we create all cells in file order but route gate pins
-    // through "forward" dff placeholders... To keep the builder's
-    // invariants intact we instead topologically defer: create inputs,
-    // consts and dffs first (they can be referenced freely), then create
-    // gates in dependency order among themselves.
-    let mut b = NetlistBuilder::new(model_name);
-    let mut nets: HashMap<&str, SigId> = HashMap::new();
-
-    // Reject duplicate net definitions up front (covers gates too, which
-    // are materialized lazily below).
-    {
-        let mut defined: HashMap<&str, usize> = HashMap::new();
-        for (line, stmt) in &stmts {
-            let name = match stmt {
-                Stmt::Input { name } => Some(*name),
-                Stmt::Const { net, .. } | Stmt::Dff { net, .. } | Stmt::Gate { net, .. } => {
-                    Some(*net)
-                }
-                Stmt::Output { .. } => None,
-            };
-            if let Some(name) = name {
-                if defined.insert(name, *line).is_some() {
-                    return Err(NetlistError::Parse {
-                        line: *line,
-                        msg: format!("net `{name}` defined twice"),
-                    });
-                }
-            }
-        }
-    }
-
-    // inputs / consts / dffs first
-    for (line, stmt) in &stmts {
-        match stmt {
-            Stmt::Input { name } => {
-                let id = b.input(*name);
-                if nets.insert(name, id).is_some() {
-                    return Err(NetlistError::Parse {
-                        line: *line,
-                        msg: format!("net `{name}` defined twice"),
-                    });
-                }
-            }
-            Stmt::Const { net, value } => {
-                // Constants are deduplicated by the builder: several
-                // const nets of the same value alias one cell (and the
-                // emitter writes one `const` line per cell, so
-                // round-trips preserve cell counts).
-                let id = b.constant(*value);
-                if nets.insert(net, id).is_some() {
-                    return Err(NetlistError::Parse {
-                        line: *line,
-                        msg: format!("net `{net}` defined twice"),
-                    });
-                }
-            }
-            Stmt::Dff { net, init, .. } => {
-                let id = b.dff(*init);
-                if nets.insert(net, id).is_some() {
-                    return Err(NetlistError::Parse {
-                        line: *line,
-                        msg: format!("net `{net}` defined twice"),
-                    });
-                }
-            }
-            _ => {}
-        }
-    }
-
-    // Gates: iterate until fixpoint (file order is usually already
-    // topological, so this loop normally runs once or twice). Gates whose
-    // pins are not all resolved are deferred.
-    let mut pending: Vec<(usize, &Stmt<'_>)> = stmts
-        .iter()
-        .filter(|(_, s)| matches!(s, Stmt::Gate { .. }))
-        .map(|(l, s)| (*l, s))
-        .collect();
-    loop {
-        let before = pending.len();
-        pending.retain(|(line, stmt)| {
-            let Stmt::Gate { kind, net, pins } = stmt else { unreachable!() };
-            let resolved: Option<Vec<SigId>> =
-                pins.iter().map(|p| nets.get(p).copied()).collect();
-            match resolved {
-                Some(pin_ids) => {
-                    let id = b.gate(*kind, &pin_ids);
-                    nets.insert(net, id);
-                    let _ = line;
-                    false
-                }
-                None => true,
-            }
-        });
-        if pending.is_empty() || pending.len() == before {
-            break;
-        }
-    }
-    if let Some((line, Stmt::Gate { pins, .. })) = pending.first() {
-        // Either a reference to a never-defined net, or a combinational
-        // loop among gates; distinguish by checking whether the name is
-        // defined anywhere in the file.
-        let all_defined: std::collections::HashSet<&str> = stmts
-            .iter()
-            .filter_map(|(_, s)| match s {
-                Stmt::Input { name } => Some(*name),
-                Stmt::Const { net, .. } | Stmt::Dff { net, .. } => Some(*net),
-                Stmt::Gate { net, .. } => Some(*net),
-                Stmt::Output { .. } => None,
-            })
-            .collect();
-        for p in pins {
-            if !all_defined.contains(p) {
-                return Err(NetlistError::UnknownNet {
-                    line: *line,
-                    name: (*p).to_owned(),
-                });
-            }
-        }
-        // All names exist but the gates never became ready: cycle.
-        let mut cells: Vec<SigId> = Vec::new();
-        for (_, s) in &pending {
-            let Stmt::Gate { net, .. } = s else { unreachable!() };
-            // Cells were never created; report via placeholder ids in
-            // file order.
-            let _ = net;
-            cells.push(SigId::new(cells.len()));
-        }
-        return Err(NetlistError::CombinationalLoop { cells });
-    }
-
-    // Pass 2: connect dff data pins and outputs.
-    for (line, stmt) in &stmts {
-        match stmt {
-            Stmt::Dff { net, d, .. } => {
-                let ff = nets[net];
-                let d_id = *nets.get(d).ok_or_else(|| NetlistError::UnknownNet {
-                    line: *line,
-                    name: (*d).to_owned(),
-                })?;
-                b.connect_dff(ff, d_id)?;
-            }
-            Stmt::Output { name, net } => {
-                let sig = *nets.get(net).ok_or_else(|| NetlistError::UnknownNet {
-                    line: *line,
-                    name: (*net).to_owned(),
-                })?;
-                b.output(*name, sig);
-            }
-            _ => {}
-        }
-    }
-
-    b.finish()
+    lower(model_name, &stmts)
 }
 
 #[cfg(test)]
