@@ -18,19 +18,26 @@
 //! `bench` measures the sharded campaign engine (serial reference,
 //! engine at 1/2/`--threads N` workers, plus the modelled autonomous
 //! techniques) and writes the stable `seugrade-engine-bench/v1` schema
-//! to `BENCH_engine.json` (`--out PATH` overrides). It is deliberately
+//! to `BENCH_engine.json` (`--out PATH` overrides), then the streamed
+//! grading scaling rows — the s5378-class fixture under `dense` vs
+//! `checkpoint:64`, throughput and golden-trace memory — to the tracked
+//! `BENCH_grade.json` (`seugrade-grade-bench/v1`). It is deliberately
 //! *not* part of `all`: wall-clock measurement deserves an unloaded
 //! machine.
 //!
-//! `grade <file>` imports an external netlist (ISCAS `.bench`,
-//! structural BLIF or the native SNL format — auto-detected from the
-//! extension, overridable with `--format bench|blif|snl`), drives it
-//! with a seeded random test bench (`--vectors N`, `--seed S`), grades
-//! the exhaustive `flip-flops × cycles` SEU fault space through the
-//! sharded engine (`--threads N`) and prints the
-//! failure/silent/latent breakdown. Verdict counts are identical at
-//! every thread count (the engine's determinism guarantee). The
-//! on-disk grammars are specified in `docs/FORMATS.md`.
+//! `grade <target>` loads a circuit — a bundled registry name
+//! (`repro -- grade s5378g`) or an external netlist file (ISCAS
+//! `.bench`, structural BLIF or the native SNL format — auto-detected
+//! from the extension, overridable with `--format bench|blif|snl`) —
+//! drives it with a seeded random test bench (`--vectors N`,
+//! `--seed S`) and grades the `flip-flops × cycles` SEU fault space
+//! (or a seeded uniform `--sample N` of it) through the engine's
+//! memory-bounded **streaming** path (`--threads N`), printing the
+//! failure/silent/latent breakdown, the golden-trace bits the
+//! `--trace-policy dense|checkpoint:K` actually held, and the
+//! order-independent verdict digest. Verdicts are identical at every
+//! thread count and trace policy (the engine's determinism guarantee).
+//! The on-disk grammars are specified in `docs/FORMATS.md`.
 
 use std::time::Instant;
 
@@ -48,6 +55,8 @@ struct Options {
     format: Option<SourceFormat>,
     vectors: usize,
     seed: u64,
+    trace_policy: TracePolicy,
+    sample: Option<usize>,
 }
 
 fn parse_count(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
@@ -74,6 +83,8 @@ fn main() {
         format: None,
         vectors: 100,
         seed: 42,
+        trace_policy: TracePolicy::Dense,
+        sample: None,
     };
     let mut commands: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -93,6 +104,17 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--trace-policy" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--trace-policy needs a value");
+                    std::process::exit(2);
+                });
+                opts.trace_policy = TracePolicy::from_label(&v).unwrap_or_else(|| {
+                    eprintln!("--trace-policy expects dense|checkpoint:<K>, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--sample" => opts.sample = Some(parse_count(&mut it, "--sample")),
             "--format" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("--format needs a value");
@@ -143,11 +165,15 @@ fn main() {
         return;
     }
     if command == "grade" {
-        let Some(file) = commands.get(1) else {
-            eprintln!("usage: repro -- grade <file> [--format bench|blif|snl] [--threads N] [--vectors N] [--seed S]");
+        let Some(target) = commands.get(1) else {
+            eprintln!(
+                "usage: repro -- grade <file-or-registry-name> [--format bench|blif|snl] \
+                 [--threads N] [--vectors N] [--seed S] [--trace-policy dense|checkpoint:K] \
+                 [--sample N]"
+            );
             std::process::exit(2);
         };
-        run_grade(file, &opts);
+        run_grade(target, &opts);
         eprintln!("done in {:.1?}", start.elapsed());
         return;
     }
@@ -303,19 +329,98 @@ fn run_engine_bench(opts: &Options) {
         std::process::exit(1);
     });
     eprintln!("wrote {path} ({} records, schema {})", report.records.len(), BENCH_SCHEMA);
+
+    run_grade_scaling(opts, threads);
 }
 
-/// The `grade` subcommand: import an external netlist, grade its
-/// exhaustive SEU fault space through the sharded engine, print the
-/// per-class breakdown.
-fn run_grade(file: &str, opts: &Options) {
-    let imported = import::import_path_with(file, opts.format, ImportOptions::default())
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(1);
+/// The streamed-grading scaling rows of the `bench` subcommand: the
+/// s5378-class fixture (1536 FFs) over a long bench, dense vs
+/// `checkpoint:64`, measuring throughput *and* golden-trace memory —
+/// written to the tracked `BENCH_grade.json` perf snapshot.
+fn run_grade_scaling(opts: &Options, threads: usize) {
+    let circuit = registry::build("s5378g").expect("registered scale fixture");
+    let (cycles, sample) = if opts.quick { (512, 8_192) } else { (4_096, 65_536) };
+    let tb = Testbench::random(circuit.num_inputs(), cycles, 42);
+    eprintln!(
+        "grade scaling: s5378g ({} FFs, {} cycles, {} sampled of {} faults)...",
+        circuit.num_ffs(),
+        cycles,
+        sample,
+        circuit.num_ffs() * cycles,
+    );
+    let mut grade_report = GradeBenchReport::new();
+    let mut digests = Vec::new();
+    for policy in [TracePolicy::Dense, TracePolicy::Checkpoint(64)] {
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .sampled(sample, 7)
+            .policy(ShardPolicy { threads, serial_below: 0 })
+            .trace_policy(policy)
+            .build();
+        let engine = Engine::new(&plan);
+        let run = engine.run_streamed(&plan);
+        digests.push(run.digest());
+        let stored = engine.grader().golden().stored_bits();
+        let dense_bits = engine.grader().golden().dense_equivalent_bits();
+        println!(
+            "{:<16} threads {:>2}: {:>12.0} faults/sec ({} faults), golden {} bits (dense {} bits, x{:.1})",
+            policy.label(),
+            run.stats().threads,
+            engine_bench::rate(run.stats().faults, run.stats().wall_ns),
+            run.stats().faults,
+            stored,
+            dense_bits,
+            engine_bench::ratio(dense_bits as f64, stored as f64),
+        );
+        grade_report.push(GradeRecord {
+            circuit: circuit.name().to_owned(),
+            policy: policy.label(),
+            threads: run.stats().threads,
+            ffs: circuit.num_ffs(),
+            cycles,
+            faults: run.stats().faults,
+            source: format!("sampled:{sample}"),
+            wall_ns: run.stats().wall_ns,
+            faults_per_sec: engine_bench::rate(run.stats().faults, run.stats().wall_ns),
+            golden_stored_bits: stored,
+            golden_dense_bits: dense_bits,
         });
-    let circuit = &imported.netlist;
-    eprintln!("{}", imported.stats);
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "trace policies must agree fault for fault"
+    );
+
+    let path = "BENCH_grade.json";
+    std::fs::write(path, grade_report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {path} ({} records, schema {})",
+        grade_report.records.len(),
+        GRADE_BENCH_SCHEMA
+    );
+}
+
+/// The `grade` subcommand: load a circuit (bundled registry name or
+/// external netlist file), grade its SEU fault space — exhaustive, or a
+/// seeded uniform sample with `--sample N` — through the engine's
+/// memory-bounded **streaming** path under the requested
+/// `--trace-policy`, and print the per-class breakdown plus the
+/// golden-trace memory the policy actually held.
+fn run_grade(target: &str, opts: &Options) {
+    let circuit = if let Some(circuit) = registry::build(target) {
+        eprintln!("registry circuit `{target}`");
+        circuit
+    } else {
+        let imported = import::import_path_with(target, opts.format, ImportOptions::default())
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+        eprintln!("{}", imported.stats);
+        imported.netlist
+    };
     eprintln!("{circuit}");
 
     // `--threads N` pins the worker count; otherwise defer to the
@@ -323,19 +428,30 @@ fn run_grade(file: &str, opts: &Options) {
     // like every other engine entry point.
     let policy = opts.threads.map_or_else(ShardPolicy::auto, ShardPolicy::with_threads);
     let tb = Testbench::random(circuit.num_inputs(), opts.vectors, opts.seed);
+    let space = circuit.num_ffs() * tb.num_cycles();
+    let faults = opts.sample.map_or(space, |n| n.min(space));
     eprintln!(
-        "grading {} faults ({} FFs x {} cycles, seed {}) on {} threads...",
-        circuit.num_ffs() * tb.num_cycles(),
+        "grading {} of {} faults ({} FFs x {} cycles, seed {}, {}) on {} threads...",
+        faults,
+        space,
         circuit.num_ffs(),
         tb.num_cycles(),
         opts.seed,
+        opts.trace_policy,
         policy.resolved_threads()
     );
 
-    let plan = CampaignPlan::builder(circuit, &tb).policy(policy).build();
-    let run = plan.execute();
+    let mut builder = CampaignPlan::builder(&circuit, &tb)
+        .policy(policy)
+        .trace_policy(opts.trace_policy);
+    if let Some(count) = opts.sample {
+        builder = builder.sampled(count, opts.seed);
+    }
+    let plan = builder.build();
+    let engine = Engine::new(&plan);
+    let run = engine.run_streamed(&plan);
 
-    println!("{} ({})", circuit.name(), file);
+    println!("{} ({})", circuit.name(), target);
     for class in FaultClass::ALL {
         println!(
             "  {:<8} {:>8}  ({:.1}%)",
@@ -346,4 +462,14 @@ fn run_grade(file: &str, opts: &Options) {
     }
     println!("  {:<8} {:>8}", "total", run.summary().total());
     println!("{}", run.stats());
+    let golden = engine.grader().golden();
+    let dense_bits = golden.dense_equivalent_bits();
+    println!(
+        "golden trace: {} bits held ({}), {} bits dense equivalent (x{:.1} smaller), verdict digest {:#018x}",
+        golden.stored_bits(),
+        golden.policy(),
+        dense_bits,
+        engine_bench::ratio(dense_bits as f64, golden.stored_bits() as f64),
+        run.digest(),
+    );
 }

@@ -78,6 +78,117 @@ pub fn shift_register(width: usize) -> Netlist {
     b.finish().expect("shift register is valid")
 }
 
+/// Cross-coupled register-bank mesh — the parametric generator behind
+/// the [`s5378_class`] scale fixture.
+///
+/// `banks` register banks of `width` bits each, cross-coupled in a ring
+/// (each bank's head mixes a neighbour tap with a data input) and
+/// observed through one parity output per bank. Bank `i`'s behaviour
+/// rotates with `i % 3`:
+///
+/// - **decay** — an AND-masked shift chain (each stage gated by a
+///   pseudo-random neighbour bit) observed only near its tail: injected
+///   flips are usually squashed in flight before any tap sees them
+///   (silent-prone);
+/// - **LFSR** — persistent XOR feedback observed through eight spread
+///   parity taps: flips recirculate until the output exposes them
+///   (failure-prone);
+/// - **hold** — bits advance only while the neighbour bank's enable bit
+///   is high, the tail bit is sticky (`q ∨ q_prev`), and only the two
+///   head bits are observed: flips injected behind the observation
+///   point linger to the end of the bench (latent-prone).
+///
+/// The mix exists precisely so exhaustive campaigns on large meshes
+/// exercise every grading class and every detection-latency regime —
+/// the workload the streaming campaign core is benchmarked on.
+///
+/// # Panics
+///
+/// Panics if `banks < 2` or `width < 8`.
+#[must_use]
+pub fn banked_mesh(banks: usize, width: usize) -> Netlist {
+    assert!(banks >= 2, "a mesh needs at least two banks");
+    assert!(width >= 8, "a bank needs at least eight bits (parity taps)");
+    let num_inputs = banks.min(8);
+    let mut b = NetlistBuilder::new(format!("mesh{banks}x{width}"));
+    let din: Vec<SigId> = (0..num_inputs).map(|i| b.input(format!("din{i}"))).collect();
+    // All flip-flops first so banks can cross-reference freely; LFSR
+    // banks power up with a seeded head bit.
+    let ffs: Vec<Vec<SigId>> = (0..banks)
+        .map(|i| (0..width).map(|j| b.dff(i % 3 == 1 && j == 0)).collect())
+        .collect();
+    for i in 0..banks {
+        let q = &ffs[i];
+        let neighbour = &ffs[(i + banks - 1) % banks];
+        // Decay banks read the neighbour's middle so a hold bank's
+        // sticky tail stays unobservable through the ring.
+        let tap = neighbour[if i % 3 == 0 { width / 2 } else { width - 1 }];
+        let head = b.xor2(tap, din[i % num_inputs]);
+        let parity = match i % 3 {
+            0 => {
+                b.connect_dff(q[0], head).expect("decay head connects");
+                for j in 1..width {
+                    let mask = neighbour[(5 * j + 1) % width];
+                    let d = b.and2(q[j - 1], mask);
+                    b.connect_dff(q[j], d).expect("decay chain connects");
+                }
+                // Observed at the tail only: a flip must survive the
+                // masks all the way down to be seen.
+                fold_parity(&mut b, &q[width - 8..])
+            }
+            1 => {
+                let fb1 = b.xor2(q[width - 1], q[width / 2]);
+                let fb = b.xor2(fb1, head);
+                b.connect_dff(q[0], fb).expect("lfsr head connects");
+                for j in 1..width {
+                    b.connect_dff(q[j], q[j - 1]).expect("lfsr chain connects");
+                }
+                let step = width / 8;
+                let taps: Vec<SigId> = (0..8).map(|k| q[k * step]).collect();
+                fold_parity(&mut b, &taps)
+            }
+            _ => {
+                let en = neighbour[width / 3];
+                let d0 = b.mux(en, q[0], head);
+                b.connect_dff(q[0], d0).expect("hold head connects");
+                for j in 1..width - 1 {
+                    let dj = b.mux(en, q[j], q[j - 1]);
+                    b.connect_dff(q[j], dj).expect("hold chain connects");
+                }
+                let sticky = b.or2(q[width - 1], q[width - 2]);
+                b.connect_dff(q[width - 1], sticky).expect("sticky tail connects");
+                // Only the head is observed; everything deeper drifts
+                // out of sight.
+                fold_parity(&mut b, &q[..2])
+            }
+        };
+        b.output(format!("par{i}"), parity);
+    }
+    b.finish().expect("banked mesh is valid")
+}
+
+/// XOR-folds a non-empty tap list into one parity signal.
+fn fold_parity(b: &mut NetlistBuilder, taps: &[SigId]) -> SigId {
+    let mut parity = taps[0];
+    for &t in &taps[1..] {
+        parity = b.xor2(parity, t);
+    }
+    parity
+}
+
+/// The s5378-class scale fixture: a 24 × 64 [`banked_mesh`] — 1536
+/// flip-flops, the size regime of the larger ISCAS'89 sequential
+/// benchmarks (s5378 and up) that dense golden traces priced out of the
+/// workspace before the streaming campaign core existed.
+///
+/// Registered as `s5378g`; graded in CI under
+/// `TracePolicy::Checkpoint(64)` and benchmarked by
+/// `repro -- bench` over a 4096-cycle bench (see `BENCH_grade.json`).
+#[must_use]
+pub fn s5378_class() -> Netlist {
+    banked_mesh(24, 64).renamed("s5378g")
+}
+
 /// Configuration for [`random_sequential`].
 #[derive(Clone, Debug)]
 pub struct RandomCircuitConfig {
@@ -215,6 +326,38 @@ mod tests {
         for t in 5..12 {
             assert_eq!(trace.output_at(t)[0], (t - 5) % 3 == 0, "cycle {t}");
         }
+    }
+
+    #[test]
+    fn banked_mesh_shape_and_determinism() {
+        let a = banked_mesh(3, 8);
+        assert_eq!(a.num_ffs(), 24);
+        assert_eq!(a.num_inputs(), 3);
+        assert_eq!(a.num_outputs(), 3);
+        let b = banked_mesh(3, 8);
+        assert_eq!(seugrade_netlist::text::emit(&a), seugrade_netlist::text::emit(&b));
+    }
+
+    #[test]
+    fn banked_mesh_cross_checks_engines() {
+        let n = banked_mesh(3, 8);
+        let tb = Testbench::random(n.num_inputs(), 40, 17);
+        let fast = CompiledSim::new(&n).run_golden(&tb);
+        let slow = EventSim::new(&n).run_golden(&tb);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn s5378_class_is_streaming_scale() {
+        let n = s5378_class();
+        assert_eq!(n.name(), "s5378g");
+        assert!(n.num_ffs() >= 1500, "{} flip-flops", n.num_ffs());
+        assert_eq!(n.num_inputs(), 8);
+        assert_eq!(n.num_outputs(), 24);
+        // Building it is cheap; a golden run over a short bench works.
+        let tb = Testbench::random(n.num_inputs(), 4, 1);
+        let trace = CompiledSim::new(&n).run_golden(&tb);
+        assert_eq!(trace.num_cycles(), 4);
     }
 
     #[test]

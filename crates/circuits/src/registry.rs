@@ -6,11 +6,15 @@ use crate::{fixtures, generators, small, viper};
 
 /// Names accepted by [`build`], in display order.
 ///
-/// The `s*` entries are backed by the on-disk benchmark fixtures under
-/// `fixtures/` (see [`fixtures`]), imported through the
-/// `seugrade-netlist` ingestion layer — so the external-format path is
-/// exercised by every registry-driven suite.
-pub const NAMES: [&str; 13] = [
+/// The `s27`/`s208a`/`s344a` entries are backed by the on-disk
+/// benchmark fixtures under `fixtures/` (see [`fixtures`]), imported
+/// through the `seugrade-netlist` ingestion layer — so the
+/// external-format path is exercised by every registry-driven suite.
+/// `s5378g` is the generator-produced s5378-class scale fixture
+/// ([`generators::s5378_class`], 1536 flip-flops): the workload the
+/// streaming campaign core (`TracePolicy::Checkpoint`, streamed fault
+/// sources) exists for.
+pub const NAMES: [&str; 14] = [
     "viper",
     "b01s",
     "b02s",
@@ -21,6 +25,7 @@ pub const NAMES: [&str; 13] = [
     "s27",
     "s208a",
     "s344a",
+    "s5378g",
     "lfsr16",
     "counter8",
     "shreg32",
@@ -48,6 +53,7 @@ pub fn build(name: &str) -> Option<Netlist> {
         "s27" => Some(fixtures::s27()),
         "s208a" => Some(fixtures::s208a()),
         "s344a" => Some(fixtures::s344a()),
+        "s5378g" => Some(generators::s5378_class()),
         "lfsr16" => Some(generators::lfsr(16, &[15, 13, 12, 10])),
         "counter8" => Some(generators::counter(8)),
         "shreg32" => Some(generators::shift_register(32)),

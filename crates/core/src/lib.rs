@@ -52,12 +52,15 @@ pub mod tables;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use seugrade_circuits::{fixtures, generators, registry, small, stimuli, viper};
-    pub use seugrade_emulation::campaign::{AutonomousCampaign, EmulationReport, Technique};
+    pub use seugrade_emulation::campaign::{
+        AutonomousCampaign, EmulationReport, StreamedCampaign, Technique,
+    };
     pub use seugrade_engine::bench as engine_bench;
     pub use seugrade_engine::{
         throughput_harness, BenchRecord, BenchReport, CampaignPlan, CampaignPlanBuilder,
-        CampaignRun, Engine, EngineStats, FaultPlan, FaultSource, ProgressCounter, ProgressEvent,
-        ShardPolicy, BENCH_SCHEMA,
+        CampaignRun, Engine, EngineStats, FaultPlan, FaultSource, GradeBenchReport, GradeRecord,
+        ProgressCounter, ProgressEvent, ShardPolicy, StreamAccumulator, StreamedRun, VerdictSink,
+        BENCH_SCHEMA, GRADE_BENCH_SCHEMA,
     };
     pub use seugrade_emulation::controller::{CampaignTiming, ClockHz, TimingConfig};
     pub use seugrade_emulation::hostlink::HostLinkModel;
@@ -75,6 +78,7 @@ pub mod prelude {
     pub use seugrade_rtl::{Reg, RtlBuilder, Word};
     pub use seugrade_sim::{
         equiv_check, CompiledSim, Counterexample, EventSim, GoldenTrace, SplitMix64, Testbench,
+        TracePolicy, TraceWindow,
     };
     pub use seugrade_techmap::{map_luts, BramEstimate, MapperConfig, ResourceReport};
 }

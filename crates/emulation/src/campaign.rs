@@ -2,13 +2,14 @@
 
 use std::fmt;
 
-use seugrade_engine::{CampaignPlan, Engine, ShardPolicy};
+use seugrade_engine::{CampaignPlan, Engine, EngineStats, ShardPolicy, VerdictSink};
 use seugrade_faultsim::{Fault, FaultList, FaultOutcome, GradingSummary};
 use seugrade_netlist::Netlist;
-use seugrade_sim::Testbench;
+use seugrade_sim::{Testbench, TracePolicy};
 
 use crate::controller::{
-    mask_scan_timing, state_scan_timing, time_mux_timing, CampaignTiming, TimingConfig,
+    mask_scan_timing, state_scan_timing, time_mux_timing, CampaignTiming, TimingAccumulator,
+    TimingConfig,
 };
 use crate::ram::{RamParams, RamPlan};
 
@@ -171,6 +172,46 @@ impl AutonomousCampaign {
         self.num_ffs
     }
 
+    /// Grades the exhaustive fault space through the engine's
+    /// **streaming** path under `trace_policy`, folding the technique
+    /// timing models online — the fault list, the per-fault outcomes and
+    /// (under [`TracePolicy::Checkpoint`]) the dense golden trace never
+    /// exist in memory. The resulting [`StreamedCampaign`] produces the
+    /// same per-technique [`EmulationReport`]s as a materialized
+    /// campaign (a property the test suite enforces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test bench width does not match the circuit or the
+    /// policy is `Checkpoint(0)`.
+    #[must_use]
+    pub fn streamed(
+        circuit: &Netlist,
+        tb: &Testbench,
+        timing_config: TimingConfig,
+        trace_policy: TracePolicy,
+    ) -> StreamedCampaign {
+        let plan = CampaignPlan::builder(circuit, tb)
+            .policy(ShardPolicy::auto())
+            .trace_policy(trace_policy)
+            .build();
+        let engine = Engine::new(&plan);
+        let (sink, stats): (CampaignSink, EngineStats) = engine.run_streamed_with(&plan);
+        let timings = sink.timing.finish(&timing_config, tb.num_cycles(), circuit.num_ffs());
+        StreamedCampaign {
+            summary: sink.summary,
+            timings,
+            ram_params: RamParams {
+                num_inputs: circuit.num_inputs(),
+                num_outputs: circuit.num_outputs(),
+                num_ffs: circuit.num_ffs(),
+                num_cycles: tb.num_cycles(),
+                num_faults: stats.faults,
+            },
+            stats,
+        }
+    }
+
     /// Produces the emulation report for one technique.
     #[must_use]
     pub fn run(&self, technique: Technique) -> EmulationReport {
@@ -206,6 +247,73 @@ impl AutonomousCampaign {
             },
         );
         EmulationReport { technique, summary: self.summary.clone(), timing, ram }
+    }
+}
+
+/// The engine-side sink of a streamed campaign: class tallies plus the
+/// online technique timing fold. Order-insensitive by construction, as
+/// [`VerdictSink`] requires.
+#[derive(Debug, Default)]
+struct CampaignSink {
+    summary: GradingSummary,
+    timing: TimingAccumulator,
+}
+
+impl VerdictSink for CampaignSink {
+    fn observe(&mut self, fault: Fault, outcome: FaultOutcome) {
+        self.summary.add(outcome.class);
+        self.timing.observe(fault, outcome);
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.summary.merge(&other.summary);
+        self.timing.merge(&other.timing);
+    }
+}
+
+/// A finished memory-bounded campaign: summary, per-technique timings
+/// and RAM plans — no fault list, no outcome vector.
+///
+/// Produced by [`AutonomousCampaign::streamed`]; yields the same
+/// [`EmulationReport`]s as the materialized path.
+#[derive(Clone, Debug)]
+pub struct StreamedCampaign {
+    summary: GradingSummary,
+    timings: [CampaignTiming; 3],
+    ram_params: RamParams,
+    stats: EngineStats,
+}
+
+impl StreamedCampaign {
+    /// The shared classification summary.
+    #[must_use]
+    pub fn summary(&self) -> &GradingSummary {
+        &self.summary
+    }
+
+    /// What the streamed grading run cost on the host.
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Produces the emulation report for one technique (identical to
+    /// the materialized [`AutonomousCampaign::run`] over the same
+    /// campaign).
+    #[must_use]
+    pub fn run(&self, technique: Technique) -> EmulationReport {
+        let timing = *Technique::ALL
+            .iter()
+            .zip(&self.timings)
+            .find(|(t, _)| **t == technique)
+            .map(|(_, timing)| timing)
+            .expect("one timing per technique");
+        EmulationReport {
+            technique,
+            summary: self.summary.clone(),
+            timing,
+            ram: RamPlan::plan(technique, &self.ram_params),
+        }
     }
 }
 
@@ -319,5 +427,29 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(Technique::MaskScan.label(), "Mask Scan");
         assert_eq!(Technique::TimeMux.to_string(), "Time Multiplex.");
+    }
+
+    #[test]
+    fn streamed_campaign_matches_materialized_reports() {
+        let circuit = generators::lfsr(10, &[9, 6]);
+        let tb = Testbench::constant_low(0, 30);
+        let materialized = AutonomousCampaign::new(&circuit, &tb);
+        for policy in [TracePolicy::Dense, TracePolicy::Checkpoint(8)] {
+            let streamed = AutonomousCampaign::streamed(
+                &circuit,
+                &tb,
+                crate::controller::TimingConfig::default(),
+                policy,
+            );
+            assert_eq!(streamed.summary(), materialized.summary(), "{policy}");
+            assert_eq!(streamed.stats().faults, 300);
+            for tech in Technique::ALL {
+                let s = streamed.run(tech);
+                let m = materialized.run(tech);
+                assert_eq!(s.timing, m.timing, "{policy} {tech}");
+                assert_eq!(s.summary, m.summary, "{policy} {tech}");
+                assert_eq!(s.ram.fpga_bits(), m.ram.fpga_bits(), "{policy} {tech}");
+            }
+        }
     }
 }

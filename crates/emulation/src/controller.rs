@@ -250,6 +250,135 @@ pub fn time_mux_timing(
     )
 }
 
+/// Online (order-insensitive) fold of all three technique timing models
+/// over a streamed campaign.
+///
+/// The batch models above walk a materialized `(faults, outcomes)` pair;
+/// this accumulator observes the same pairs one at a time — in any order,
+/// from any number of workers — and [`finish`](Self::finish)es into
+/// [`CampaignTiming`]s **identical** to the batch results. Every folded
+/// quantity is a commutative sum (or a set union, for mask-scan's
+/// distinct-flip-flop count), which is what makes the streamed campaign's
+/// Table-2 numbers schedule-independent.
+#[derive(Clone, Debug, Default)]
+pub struct TimingAccumulator {
+    num_faults: u64,
+    /// Mask-scan: which flip-flops appeared (one mask step each).
+    ff_seen: Vec<bool>,
+    /// Mask-scan: Σ (detect + 1) over failures.
+    mask_fail_replay: u64,
+    /// Faults with no detection (mask-scan replays them full-length;
+    /// state-scan runs them to the end and spends a capture pulse).
+    undetected: u64,
+    /// State-scan: Σ (detect − t + 1) over failures.
+    ss_fail_run: u64,
+    /// Σ injection cycle over undetected faults (state-scan's
+    /// `num_cycles − t` terms need it).
+    undetected_t_sum: u64,
+    /// Time-mux: Σ 2·(classify − t + 1) over failures and silents.
+    tm_decided_run: u64,
+    /// Latent faults (time-mux emulates them to the last bench cycle).
+    latent: u64,
+    /// Σ injection cycle over latent faults.
+    latent_t_sum: u64,
+}
+
+impl TimingAccumulator {
+    /// Folds one graded fault.
+    pub fn observe(&mut self, fault: Fault, outcome: FaultOutcome) {
+        self.num_faults += 1;
+        let ff = fault.ff.index();
+        if self.ff_seen.len() <= ff {
+            self.ff_seen.resize(ff + 1, false);
+        }
+        self.ff_seen[ff] = true;
+        let t = u64::from(fault.cycle);
+        match outcome.detect_cycle {
+            Some(u) => {
+                self.mask_fail_replay += u64::from(u) + 1;
+                self.ss_fail_run += u64::from(u) - t + 1;
+            }
+            None => {
+                self.undetected += 1;
+                self.undetected_t_sum += t;
+            }
+        }
+        match outcome.detect_cycle.or(outcome.converge_cycle) {
+            Some(c) => self.tm_decided_run += 2 * (u64::from(c) - t + 1),
+            None => {
+                self.latent += 1;
+                self.latent_t_sum += t;
+            }
+        }
+    }
+
+    /// Absorbs another worker's accumulator.
+    pub fn merge(&mut self, other: &TimingAccumulator) {
+        self.num_faults += other.num_faults;
+        if self.ff_seen.len() < other.ff_seen.len() {
+            self.ff_seen.resize(other.ff_seen.len(), false);
+        }
+        for (dst, &src) in self.ff_seen.iter_mut().zip(&other.ff_seen) {
+            *dst |= src;
+        }
+        self.mask_fail_replay += other.mask_fail_replay;
+        self.undetected += other.undetected;
+        self.ss_fail_run += other.ss_fail_run;
+        self.undetected_t_sum += other.undetected_t_sum;
+        self.tm_decided_run += other.tm_decided_run;
+        self.latent += other.latent;
+        self.latent_t_sum += other.latent_t_sum;
+    }
+
+    /// Produces the three per-technique timings, in
+    /// [`Technique::ALL`] order — bit-identical to the batch models over
+    /// the same `(fault, outcome)` set.
+    #[must_use]
+    pub fn finish(
+        &self,
+        cfg: &TimingConfig,
+        num_cycles: usize,
+        num_ffs: usize,
+    ) -> [CampaignTiming; 3] {
+        let n = num_cycles as u64;
+        let distinct_ffs = self.ff_seen.iter().filter(|&&s| s).count() as u64;
+        let mask = finish(
+            Technique::MaskScan,
+            cfg,
+            self.num_faults,
+            n,
+            distinct_ffs,
+            self.mask_fail_replay + self.undetected * n,
+            0,
+            0,
+        );
+        let state = finish(
+            Technique::StateScan,
+            cfg,
+            self.num_faults,
+            n,
+            self.num_faults * num_ffs as u64,
+            self.ss_fail_run + self.undetected * n - self.undetected_t_sum,
+            self.num_faults + self.undetected,
+            0,
+        );
+        // Latent faults emulate to the last bench cycle:
+        // 2·((n−1) − t + 1) = 2·(n − t) per fault.
+        let tm_run = self.tm_decided_run + 2 * (self.latent * n - self.latent_t_sum);
+        let tmux = finish(
+            Technique::TimeMux,
+            cfg,
+            self.num_faults,
+            2 * n,
+            self.num_faults,
+            tm_run,
+            self.num_faults,
+            self.num_faults,
+        );
+        [mask, state, tmux]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use seugrade_netlist::FfIndex;
@@ -373,6 +502,55 @@ mod tests {
         let tmux = time_mux_timing(&faults, &outcomes, n_cycles, &c);
         assert!(tmux.total_cycles * 5 < mask.total_cycles, "time-mux wins big");
         assert!(mask.total_cycles < state.total_cycles, "160 cycles < 215 ffs");
+    }
+
+    #[test]
+    fn accumulator_matches_batch_models_in_any_fold_order() {
+        // A mixed verdict set with skewed flip-flop usage (ff 3 repeats,
+        // ff 5 never fails) and every class represented.
+        let n_cycles = 40usize;
+        let n_ff = 7;
+        let pairs: Vec<(Fault, FaultOutcome)> = vec![
+            (fault(3, 0), FaultOutcome::failure(2)),
+            (fault(3, 5), FaultOutcome::silent(9)),
+            (fault(1, 12), FaultOutcome::latent()),
+            (fault(0, 39), FaultOutcome::failure(39)),
+            (fault(6, 20), FaultOutcome::silent(20)),
+            (fault(2, 7), FaultOutcome::latent()),
+            (fault(3, 33), FaultOutcome::failure(38)),
+        ];
+        let faults: Vec<Fault> = pairs.iter().map(|&(f, _)| f).collect();
+        let outcomes: Vec<FaultOutcome> = pairs.iter().map(|&(_, o)| o).collect();
+        let cfg = TimingConfig::default();
+        let expect = [
+            mask_scan_timing(&faults, &outcomes, n_cycles, &cfg),
+            state_scan_timing(&faults, &outcomes, n_cycles, n_ff, &cfg),
+            time_mux_timing(&faults, &outcomes, n_cycles, &cfg),
+        ];
+        // Fold in reverse across two accumulators merged backwards.
+        let mut a = TimingAccumulator::default();
+        let mut b = TimingAccumulator::default();
+        for (i, &(f, o)) in pairs.iter().enumerate().rev() {
+            if i % 2 == 0 {
+                a.observe(f, o);
+            } else {
+                b.observe(f, o);
+            }
+        }
+        let mut merged = TimingAccumulator::default();
+        merged.merge(&b);
+        merged.merge(&a);
+        assert_eq!(merged.finish(&cfg, n_cycles, n_ff), expect);
+    }
+
+    #[test]
+    fn empty_accumulator_matches_empty_batch() {
+        let cfg = TimingConfig::default();
+        let acc = TimingAccumulator::default();
+        let [mask, state, tmux] = acc.finish(&cfg, 16, 4);
+        assert_eq!(mask, mask_scan_timing(&[], &[], 16, &cfg));
+        assert_eq!(state, state_scan_timing(&[], &[], 16, 4, &cfg));
+        assert_eq!(tmux, time_mux_timing(&[], &[], 16, &cfg));
     }
 
     #[test]

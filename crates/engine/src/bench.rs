@@ -44,6 +44,104 @@ use crate::runtime::{CampaignRun, Engine};
 /// The schema identifier embedded in every report.
 pub const BENCH_SCHEMA: &str = "seugrade-engine-bench/v1";
 
+/// The schema identifier of the streamed-grading scaling report
+/// (`BENCH_grade.json`).
+pub const GRADE_BENCH_SCHEMA: &str = "seugrade-grade-bench/v1";
+
+/// One measured streamed-campaign row: throughput *and* golden-trace
+/// memory, the two axes the streaming core trades against each other.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GradeRecord {
+    /// Circuit label.
+    pub circuit: String,
+    /// Golden-trace storage policy label (`dense` / `checkpoint:K`).
+    pub policy: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Circuit flip-flops.
+    pub ffs: usize,
+    /// Test-bench cycles.
+    pub cycles: usize,
+    /// Faults graded by this row.
+    pub faults: usize,
+    /// Fault source label (`exhaustive` / `sampled:N`).
+    pub source: String,
+    /// Wall-clock nanoseconds of the streamed run.
+    pub wall_ns: u128,
+    /// Throughput in faults per second.
+    pub faults_per_sec: f64,
+    /// Bits of golden-trace state actually held in host memory under
+    /// the policy.
+    pub golden_stored_bits: u64,
+    /// What a dense golden trace of the same run would store.
+    pub golden_dense_bits: u64,
+}
+
+/// A streamed-grading scaling report, serializable to the stable
+/// `seugrade-grade-bench/v1` JSON schema.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GradeBenchReport {
+    /// The rows, in measurement order.
+    pub records: Vec<GradeRecord>,
+}
+
+impl GradeBenchReport {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, record: GradeRecord) {
+        self.records.push(record);
+    }
+
+    /// Finds a row by policy label.
+    #[must_use]
+    pub fn find(&self, policy: &str) -> Option<&GradeRecord> {
+        self.records.iter().find(|r| r.policy == policy)
+    }
+
+    /// Serializes the report with a stable field order; the output is
+    /// valid JSON (non-finite floats are clamped to `0.0`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", json_string(GRADE_BENCH_SCHEMA));
+        s.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str("    {");
+            let _ = write!(
+                s,
+                "\"circuit\": {}, \"policy\": {}, \"threads\": {}, \"ffs\": {}, \
+                 \"cycles\": {}, \"faults\": {}, \"source\": {}, \"wall_ns\": {}, \
+                 \"faults_per_sec\": {}, \"golden_stored_bits\": {}, \
+                 \"golden_dense_bits\": {}",
+                json_string(&r.circuit),
+                json_string(&r.policy),
+                r.threads,
+                r.ffs,
+                r.cycles,
+                r.faults,
+                json_string(&r.source),
+                r.wall_ns,
+                json_number(r.faults_per_sec),
+                r.golden_stored_bits,
+                r.golden_dense_bits,
+            );
+            s.push('}');
+            if i + 1 < self.records.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
 /// One measured (or modelled) throughput row.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRecord {
@@ -335,5 +433,34 @@ mod tests {
     fn json_escapes_strings() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn grade_json_is_schema_stable() {
+        let mut report = GradeBenchReport::new();
+        report.push(GradeRecord {
+            circuit: "s5378g".into(),
+            policy: "checkpoint:64".into(),
+            threads: 2,
+            ffs: 1536,
+            cycles: 4096,
+            faults: 65536,
+            source: "sampled:65536".into(),
+            wall_ns: 5_000,
+            faults_per_sec: 1e6,
+            golden_stored_bits: 101_376,
+            golden_dense_bits: 6_390_720,
+        });
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"seugrade-grade-bench/v1\""));
+        assert!(json.contains("\"policy\": \"checkpoint:64\""));
+        assert!(json.contains("\"golden_stored_bits\": 101376"));
+        assert!(json.contains("\"source\": \"sampled:65536\""));
+        assert_eq!(report.find("checkpoint:64").unwrap().cycles, 4096);
+        assert!(report.find("dense").is_none());
+        // Field order is part of the schema contract.
+        let p = json.find("\"policy\"").unwrap();
+        let f = json.find("\"ffs\"").unwrap();
+        assert!(p < f);
     }
 }

@@ -13,8 +13,9 @@
 //!
 //! | module | role |
 //! |--------|------|
-//! | [`plan`] | [`CampaignPlan`] builder: circuit × test bench × fault source × techniques × [`ShardPolicy`] |
-//! | [`runtime`] | [`Engine`]: shard, dispatch, merge; [`CampaignRun`] results |
+//! | [`plan`] | [`CampaignPlan`] builder: circuit × test bench × fault source × techniques × [`ShardPolicy`] × `TracePolicy` |
+//! | [`runtime`] | [`Engine`]: shard, dispatch, merge; [`CampaignRun`] / [`StreamedRun`] results |
+//! | [`stream`] | cycle-major chunk plans and online [`VerdictSink`]s — the memory-bounded campaign core |
 //! | [`progress`] | per-shard [`ProgressEvent`]s, [`ProgressCounter`], [`EngineStats`] |
 //! | [`mod@bench`] | [`throughput_harness`] and the stable `BENCH_engine.json` schema |
 //!
@@ -53,8 +54,13 @@ pub mod plan;
 mod pool;
 pub mod progress;
 pub mod runtime;
+pub mod stream;
 
-pub use bench::{throughput_harness, BenchRecord, BenchReport, BENCH_SCHEMA};
+pub use bench::{
+    throughput_harness, BenchRecord, BenchReport, GradeBenchReport, GradeRecord, BENCH_SCHEMA,
+    GRADE_BENCH_SCHEMA,
+};
 pub use plan::{CampaignPlan, CampaignPlanBuilder, FaultSource, ShardPolicy, Technique};
 pub use progress::{EngineStats, ProgressCounter, ProgressEvent};
-pub use runtime::{CampaignRun, Engine, FaultPlan};
+pub use runtime::{CampaignRun, Engine, FaultPlan, StreamedRun};
+pub use stream::{StreamAccumulator, VerdictSink};

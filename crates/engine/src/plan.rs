@@ -4,7 +4,7 @@ use std::fmt;
 
 use seugrade_faultsim::{FaultList, MultiFault};
 use seugrade_netlist::Netlist;
-use seugrade_sim::Testbench;
+use seugrade_sim::{Testbench, TracePolicy};
 
 /// The three autonomous fault-injection techniques of the paper.
 ///
@@ -147,13 +147,14 @@ pub struct CampaignPlan<'a> {
     source: FaultSource,
     techniques: Vec<Technique>,
     policy: ShardPolicy,
+    trace_policy: TracePolicy,
 }
 
 impl<'a> CampaignPlan<'a> {
     /// Starts a plan for one circuit / test-bench pair.
     ///
     /// Defaults: exhaustive fault list, all three techniques,
-    /// [`ShardPolicy::auto`].
+    /// [`ShardPolicy::auto`], [`TracePolicy::Dense`].
     #[must_use]
     pub fn builder(circuit: &'a Netlist, tb: &'a Testbench) -> CampaignPlanBuilder<'a> {
         CampaignPlanBuilder {
@@ -162,6 +163,7 @@ impl<'a> CampaignPlan<'a> {
             source: FaultSource::Exhaustive,
             techniques: Technique::ALL.to_vec(),
             policy: ShardPolicy::auto(),
+            trace_policy: TracePolicy::Dense,
         }
     }
 
@@ -196,10 +198,26 @@ impl<'a> CampaignPlan<'a> {
         &self.policy
     }
 
+    /// The golden-trace storage policy an engine built for this plan
+    /// grades under (verdicts are policy-independent; memory and replay
+    /// cost are not).
+    #[must_use]
+    pub fn trace_policy(&self) -> TracePolicy {
+        self.trace_policy
+    }
+
     /// Builds an engine for this plan and runs it once.
     #[must_use]
     pub fn execute(&self) -> crate::CampaignRun {
         crate::Engine::new(self).run(self)
+    }
+
+    /// Builds an engine for this plan and runs it once through the
+    /// memory-bounded streaming path (see
+    /// [`Engine::run_streamed`](crate::Engine::run_streamed)).
+    #[must_use]
+    pub fn execute_streamed(&self) -> crate::StreamedRun {
+        crate::Engine::new(self).run_streamed(self)
     }
 }
 
@@ -211,6 +229,7 @@ pub struct CampaignPlanBuilder<'a> {
     source: FaultSource,
     techniques: Vec<Technique>,
     policy: ShardPolicy,
+    trace_policy: TracePolicy,
 }
 
 impl<'a> CampaignPlanBuilder<'a> {
@@ -264,6 +283,23 @@ impl<'a> CampaignPlanBuilder<'a> {
         self.policy(ShardPolicy::with_threads(threads))
     }
 
+    /// Sets the golden-trace storage policy
+    /// ([`TracePolicy::Checkpoint`] bounds golden memory at
+    /// `O(FFs × cycles / K)`; verdicts never change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is `Checkpoint(0)`.
+    #[must_use]
+    pub fn trace_policy(mut self, policy: TracePolicy) -> Self {
+        assert!(
+            !matches!(policy, TracePolicy::Checkpoint(0)),
+            "checkpoint interval must be at least 1"
+        );
+        self.trace_policy = policy;
+        self
+    }
+
     /// Finalizes the plan.
     ///
     /// # Panics
@@ -283,6 +319,7 @@ impl<'a> CampaignPlanBuilder<'a> {
             source: self.source,
             techniques: self.techniques,
             policy: self.policy,
+            trace_policy: self.trace_policy,
         }
     }
 }

@@ -77,9 +77,94 @@ where
         .collect()
 }
 
+/// Runs `work` over every index in `0..items` on up to `threads` workers,
+/// folding each item into a per-worker accumulator instead of collecting
+/// per-item results — the memory shape of the streaming campaign path.
+///
+/// Returns the worker accumulators in worker-index order (a single
+/// accumulator when everything ran inline). The caller merges them;
+/// because workers race for items, only **order-insensitive**
+/// accumulators produce schedule-independent results.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or a worker panics.
+pub(crate) fn run_folded<S, A, I, F, W>(
+    items: usize,
+    threads: usize,
+    init: I,
+    init_acc: F,
+    work: W,
+) -> Vec<A>
+where
+    A: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn() -> A + Sync,
+    W: Fn(&mut S, &mut A, usize) + Sync,
+{
+    assert!(threads > 0, "the pool needs at least one thread");
+    let threads = threads.min(items).max(1);
+    if items == 0 || threads == 1 {
+        let mut scratch = init();
+        let mut acc = init_acc();
+        for i in 0..items {
+            work(&mut scratch, &mut acc, i);
+        }
+        return vec![acc];
+    }
+
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut acc = init_acc();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        work(&mut scratch, &mut acc, i);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn folded_accumulators_cover_every_item_once() {
+        for threads in [1, 2, 4, 8] {
+            let accs = run_folded(
+                100,
+                threads,
+                || (),
+                Vec::new,
+                |(), acc: &mut Vec<usize>, i| acc.push(i),
+            );
+            assert!(accs.len() <= threads);
+            let mut all: Vec<usize> = accs.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn folded_empty_queue_yields_one_empty_accumulator() {
+        let accs = run_folded(0, 4, || (), || 0usize, |(), acc, _| *acc += 1);
+        assert_eq!(accs, vec![0]);
+    }
 
     #[test]
     fn results_arrive_in_index_order() {

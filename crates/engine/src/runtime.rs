@@ -4,11 +4,12 @@ use std::time::Instant;
 
 use seugrade_faultsim::{sampling, FaultList, FaultOutcome, Grader, GradingSummary, MultiFault};
 use seugrade_netlist::Netlist;
-use seugrade_sim::Testbench;
+use seugrade_sim::{Testbench, TracePolicy};
 
 use crate::plan::{CampaignPlan, FaultSource, Technique};
-use crate::pool::run_indexed;
+use crate::pool::{run_folded, run_indexed};
 use crate::progress::{EngineStats, ProgressEvent};
+use crate::stream::{ChunkPlan, StreamAccumulator, VerdictSink};
 
 /// The materialized faults of one campaign run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,6 +108,50 @@ impl CampaignRun {
     }
 }
 
+/// One finished **streamed** campaign: the pooled summary, failure map
+/// and verdict digest — never the faults or per-fault outcomes, which
+/// is the point (campaign memory stays `O(threads × FFs)` however large
+/// the fault space).
+///
+/// Produced by [`Engine::run_streamed`] /
+/// [`CampaignPlan::execute_streamed`].
+#[derive(Clone, Debug)]
+pub struct StreamedRun {
+    acc: StreamAccumulator,
+    stats: EngineStats,
+}
+
+impl StreamedRun {
+    /// Pooled classification tallies.
+    #[must_use]
+    pub fn summary(&self) -> &GradingSummary {
+        self.acc.summary()
+    }
+
+    /// Failure count per flip-flop index (the weak-area map the paper's
+    /// introduction motivates); trailing never-failing flip-flops may be
+    /// absent.
+    #[must_use]
+    pub fn failure_map(&self) -> &[usize] {
+        self.acc.failure_map()
+    }
+
+    /// Order-independent fingerprint of every `(fault, verdict)` pair;
+    /// compare against [`StreamAccumulator::digest_of`] over a
+    /// materialized reference run to prove bit-identity without storing
+    /// the streamed verdicts.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.acc.digest()
+    }
+
+    /// What the run cost.
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+}
+
 /// The campaign engine: a compiled simulator plus golden trace, reusable
 /// across many plan executions (each [`run`](Self::run) may use a
 /// different fault source or shard policy).
@@ -131,26 +176,48 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds the runtime for a plan's circuit and test bench (runs the
-    /// golden reference once).
+    /// Builds the runtime for a plan's circuit, test bench and
+    /// golden-trace storage policy (runs the golden reference once).
     ///
     /// # Panics
     ///
     /// Panics if the test bench width does not match the circuit.
     #[must_use]
     pub fn new(plan: &CampaignPlan<'_>) -> Self {
-        Self::for_circuit(plan.circuit(), plan.testbench())
+        Self::for_circuit_with_policy(plan.circuit(), plan.testbench(), plan.trace_policy())
     }
 
-    /// Builds the runtime directly from a circuit / test-bench pair.
+    /// Builds the runtime directly from a circuit / test-bench pair,
+    /// with a dense golden trace.
     ///
     /// # Panics
     ///
     /// Panics if the test bench width does not match the circuit.
     #[must_use]
     pub fn for_circuit(circuit: &Netlist, tb: &Testbench) -> Self {
+        Self::for_circuit_with_policy(circuit, tb, TracePolicy::Dense)
+    }
+
+    /// Builds the runtime with an explicit [`TracePolicy`].
+    ///
+    /// Under [`TracePolicy::Checkpoint`] the engine's golden-trace
+    /// memory is `O(FFs × cycles / K)` and every grading shard holds at
+    /// most one `K`-cycle window; verdicts are bit-identical to the
+    /// dense engine and to the serial reference (the agreement suites
+    /// enforce both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test bench width does not match the circuit or the
+    /// policy is `Checkpoint(0)`.
+    #[must_use]
+    pub fn for_circuit_with_policy(
+        circuit: &Netlist,
+        tb: &Testbench,
+        policy: TracePolicy,
+    ) -> Self {
         Engine {
-            grader: Grader::new(circuit, tb),
+            grader: Grader::with_policy(circuit, tb, policy),
             circuit_name: circuit.name().to_owned(),
             num_cells: circuit.num_cells(),
         }
@@ -215,7 +282,16 @@ impl Engine {
         }
 
         let (outcomes, summary, stats) = match &faults {
-            FaultPlan::Single(list) => self.grade_single(list, threads, &on_shard),
+            FaultPlan::Single(list) => {
+                // The exhaustive space chunks arithmetically (and its
+                // submission order is already cycle-major); anything
+                // else goes through the counting-sorted plan.
+                let chunks = match plan.source() {
+                    FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles),
+                    _ => ChunkPlan::ordered(list.as_slice(), num_cycles),
+                };
+                self.grade_single(&chunks, threads, &on_shard)
+            }
             FaultPlan::Multi(list) => self.grade_multi(list, threads, &on_shard),
         };
         CampaignRun {
@@ -227,57 +303,135 @@ impl Engine {
         }
     }
 
-    /// Single-fault path: counting-sort the list into same-cycle 64-lane
-    /// batches, dispatch the batches through the chunk queue, scatter the
-    /// per-batch verdicts back into submission order and pool the
-    /// per-shard tallies.
-    fn grade_single(
+    /// Executes a single-fault plan through the **memory-bounded
+    /// streaming path**: chunks are pulled lazily from the cycle-major
+    /// chunk plan (the exhaustive space is never materialized) and
+    /// verdicts fold into per-worker [`StreamAccumulator`]s that are
+    /// order-merged after the join — campaign memory is
+    /// `O(threads × FFs)` on top of the golden trace, independent of
+    /// `faults × cycles`.
+    ///
+    /// Combined with [`TracePolicy::Checkpoint`] this is the
+    /// configuration that grades s5378-class circuits over multi-
+    /// thousand-cycle benches without ever holding the campaign in RAM;
+    /// the [digest](StreamedRun::digest) proves the verdicts
+    /// bit-identical to the materialized and serial engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run`](Self::run), or if the
+    /// plan's source is [`FaultSource::Multi`] (MBU campaigns go through
+    /// the materialized path).
+    #[must_use]
+    pub fn run_streamed(&self, plan: &CampaignPlan<'_>) -> StreamedRun {
+        let (acc, stats) = self.run_streamed_with::<StreamAccumulator>(plan);
+        StreamedRun { acc, stats }
+    }
+
+    /// [`run_streamed`](Self::run_streamed) with a caller-supplied
+    /// [`VerdictSink`] — the hook the emulation models use to fold their
+    /// technique timing online instead of re-walking a materialized
+    /// outcome vector.
+    ///
+    /// One sink is `Default`-created per worker; sinks must be
+    /// order-insensitive for the result to be schedule-independent.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_streamed`](Self::run_streamed).
+    #[must_use]
+    pub fn run_streamed_with<A: VerdictSink>(
         &self,
-        list: &FaultList,
-        threads: usize,
-        on_shard: &(impl Fn(ProgressEvent) + Sync),
-    ) -> (Vec<FaultOutcome>, GradingSummary, EngineStats) {
-        let faults = list.as_slice();
+        plan: &CampaignPlan<'_>,
+    ) -> (A, EngineStats) {
+        assert_eq!(
+            plan.testbench(),
+            self.grader.testbench(),
+            "plan test bench does not match engine"
+        );
+        assert!(
+            plan.circuit().name() == self.circuit_name
+                && plan.circuit().num_cells() == self.num_cells
+                && plan.circuit().num_ffs() == self.grader.sim().num_ffs(),
+            "plan circuit does not match engine"
+        );
+        let num_ffs = self.grader.sim().num_ffs();
         let num_cycles = self.grader.testbench().num_cycles();
-
-        // Stable counting sort of fault indices by injection cycle.
-        let mut counts = vec![0usize; num_cycles];
-        for f in faults {
-            assert!((f.cycle as usize) < num_cycles, "fault cycle out of range");
-            counts[f.cycle as usize] += 1;
-        }
-        let mut offsets = vec![0usize; num_cycles + 1];
-        for c in 0..num_cycles {
-            offsets[c + 1] = offsets[c] + counts[c];
-        }
-        let mut cursor = offsets.clone();
-        let mut order = vec![0u32; faults.len()];
-        for (i, f) in faults.iter().enumerate() {
-            let c = f.cycle as usize;
-            order[cursor[c]] = i as u32;
-            cursor[c] += 1;
-        }
-
-        // Cut every cycle's run of indices into batches of at most 64.
-        let mut batches: Vec<(usize, usize)> = Vec::new();
-        for c in 0..num_cycles {
-            let (mut start, end) = (offsets[c], offsets[c + 1]);
-            while start < end {
-                let stop = (start + 64).min(end);
-                batches.push((start, stop));
-                start = stop;
+        // Drawing a sample is the one source that inherently
+        // materializes its fault list (a uniform draw needs the whole
+        // space); explicit lists are borrowed, the exhaustive space is
+        // arithmetic.
+        let sample: FaultList;
+        let chunks = match plan.source() {
+            FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles),
+            FaultSource::Sampled { count, seed } => {
+                sample = FaultList::sampled(num_ffs, num_cycles, *count, *seed);
+                ChunkPlan::ordered(sample.as_slice(), num_cycles)
             }
+            FaultSource::List(list) => ChunkPlan::ordered(list.as_slice(), num_cycles),
+            FaultSource::Multi(_) => {
+                panic!("streamed execution grades single-fault sources; use run() for MBUs")
+            }
+        };
+
+        let mut threads = plan.policy().resolved_threads().max(1);
+        if chunks.num_faults() < plan.policy().serial_below {
+            threads = 1;
         }
 
         let start = Instant::now();
+        let accs: Vec<A> = run_folded(
+            chunks.num_chunks(),
+            threads,
+            || {
+                (
+                    self.grader.sim().new_state(),
+                    Vec::with_capacity(64),
+                    [FaultOutcome::latent(); 64],
+                )
+            },
+            A::default,
+            |(st, buf, out): &mut _, acc: &mut A, i| {
+                chunks.fill(i, buf);
+                let out = &mut out[..buf.len()];
+                self.grader.grade_cycle_chunk(st, buf, out);
+                for (&f, &o) in buf.iter().zip(out.iter()) {
+                    acc.observe(f, o);
+                }
+            },
+        );
+        let merged = accs
+            .into_iter()
+            .reduce(|mut a, b| {
+                a.merge(b);
+                a
+            })
+            .unwrap_or_default();
+        let stats = EngineStats {
+            faults: chunks.num_faults(),
+            shards: chunks.num_chunks(),
+            threads: threads.min(chunks.num_chunks()).max(1),
+            wall_ns: start.elapsed().as_nanos(),
+        };
+        (merged, stats)
+    }
+
+    /// Single-fault path: dispatch the plan's same-cycle 64-lane chunks
+    /// through the chunk queue, scatter the per-chunk verdicts back into
+    /// submission order and pool the per-shard tallies.
+    fn grade_single(
+        &self,
+        chunks: &ChunkPlan<'_>,
+        threads: usize,
+        on_shard: &(impl Fn(ProgressEvent) + Sync),
+    ) -> (Vec<FaultOutcome>, GradingSummary, EngineStats) {
+        let start = Instant::now();
         let graded: Vec<(Vec<FaultOutcome>, GradingSummary)> = run_indexed(
-            batches.len(),
+            chunks.num_chunks(),
             threads,
             || (self.grader.sim().new_state(), Vec::with_capacity(64)),
             |(st, buf): &mut _, i| {
-                let (lo, hi) = batches[i];
-                buf.clear();
-                buf.extend(order[lo..hi].iter().map(|&fi| faults[fi as usize]));
+                chunks.fill(i, buf);
                 let mut out = vec![FaultOutcome::latent(); buf.len()];
                 self.grader.grade_cycle_chunk(st, buf, &mut out);
                 let summary = GradingSummary::from_outcomes(&out);
@@ -290,18 +444,16 @@ impl Engine {
             },
         );
 
-        let mut outcomes = vec![FaultOutcome::latent(); faults.len()];
-        for ((lo, hi), (out, _)) in batches.iter().zip(&graded) {
-            for (&fi, &o) in order[*lo..*hi].iter().zip(out) {
-                outcomes[fi as usize] = o;
-            }
+        let mut outcomes = vec![FaultOutcome::latent(); chunks.num_faults()];
+        for (i, (out, _)) in graded.iter().enumerate() {
+            chunks.scatter(i, out, &mut outcomes);
         }
         let summaries: Vec<GradingSummary> = graded.into_iter().map(|(_, s)| s).collect();
         let summary = sampling::pool_summaries(&summaries);
         let stats = EngineStats {
-            faults: faults.len(),
-            shards: batches.len(),
-            threads: threads.min(batches.len()).max(1),
+            faults: chunks.num_faults(),
+            shards: chunks.num_chunks(),
+            threads: threads.min(chunks.num_chunks()).max(1),
             wall_ns: start.elapsed().as_nanos(),
         };
         (outcomes, summary, stats)
@@ -496,6 +648,107 @@ mod tests {
         assert_send_sync::<CampaignRun>();
         assert_send_sync::<FaultPlan>();
         assert_send_sync::<EngineStats>();
+        assert_send_sync::<StreamedRun>();
+    }
+
+    #[test]
+    fn streamed_run_matches_materialized_at_every_thread_count() {
+        let circuit = registry::build("b06s").unwrap();
+        let tb = Testbench::random(circuit.num_inputs(), 24, 7);
+        let engine = Engine::for_circuit(&circuit, &tb);
+        let reference = engine.run(&CampaignPlan::builder(&circuit, &tb).build());
+        let ref_digest = StreamAccumulator::digest_of(
+            reference.single().unwrap().as_slice(),
+            reference.outcomes(),
+        );
+        for threads in [1, 2, 4, 8] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .policy(crate::ShardPolicy::with_threads(threads))
+                .build();
+            let streamed = engine.run_streamed(&plan);
+            assert_eq!(streamed.summary(), reference.summary(), "{threads} threads");
+            assert_eq!(streamed.digest(), ref_digest, "{threads} threads");
+            assert_eq!(streamed.stats().faults, reference.faults().len());
+            assert_eq!(streamed.stats().shards, reference.stats().shards);
+        }
+        // Failure map agrees with the grader's materialized one.
+        let map = engine
+            .grader()
+            .failure_map(reference.single().unwrap().as_slice(), reference.outcomes());
+        let streamed = engine.run_streamed(&CampaignPlan::builder(&circuit, &tb).build());
+        assert_eq!(&map[..streamed.failure_map().len()], streamed.failure_map());
+        assert!(map[streamed.failure_map().len()..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn streamed_checkpoint_engine_matches_dense_and_serial() {
+        use seugrade_sim::TracePolicy;
+        let circuit = registry::build("b03s").unwrap();
+        let tb = Testbench::random(circuit.num_inputs(), 40, 11);
+        let grader = Grader::new(&circuit, &tb);
+        let faults = FaultList::exhaustive(circuit.num_ffs(), 40);
+        let serial = grader.run_serial(faults.as_slice());
+        let serial_digest = StreamAccumulator::digest_of(faults.as_slice(), &serial);
+        for k in [1, 7, 40, 64] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .trace_policy(TracePolicy::Checkpoint(k))
+                .threads(2)
+                .build();
+            let engine = Engine::new(&plan);
+            assert_eq!(engine.grader().trace_policy(), TracePolicy::Checkpoint(k));
+            let streamed = engine.run_streamed(&plan);
+            assert_eq!(streamed.digest(), serial_digest, "K={k}");
+            // The materialized path agrees under the same policy too.
+            let run = engine.run(&plan);
+            assert_eq!(run.outcomes(), serial.as_slice(), "K={k} materialized");
+        }
+    }
+
+    #[test]
+    fn streamed_sampled_and_list_sources_agree_with_run() {
+        let circuit = registry::build("b06s").unwrap();
+        let tb = Testbench::random(circuit.num_inputs(), 20, 3);
+        let engine = Engine::for_circuit(&circuit, &tb);
+        for source in [
+            FaultSource::Sampled { count: 50, seed: 23 },
+            FaultSource::List(FaultList::sampled(circuit.num_ffs(), 20, 30, 5)),
+        ] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .source(source)
+                .threads(3)
+                .build();
+            let run = engine.run(&plan);
+            let streamed = engine.run_streamed(&plan);
+            assert_eq!(streamed.summary(), run.summary());
+            assert_eq!(
+                streamed.digest(),
+                StreamAccumulator::digest_of(run.single().unwrap().as_slice(), run.outcomes())
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-fault sources")]
+    fn streamed_multi_source_rejected() {
+        let circuit = generators::counter(3);
+        let tb = Testbench::constant_low(0, 6);
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .multi(MultiFault::adjacent_pairs(3, 6, 2))
+            .build();
+        let _ = plan.execute_streamed();
+    }
+
+    #[test]
+    fn streamed_empty_campaign_is_fine() {
+        let circuit = generators::counter(2);
+        let tb = Testbench::constant_low(0, 4);
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .faults(FaultList::from_faults(Vec::new(), 2, 4))
+            .build();
+        let run = plan.execute_streamed();
+        assert_eq!(run.summary().total(), 0);
+        assert_eq!(run.digest(), 0);
+        assert_eq!(run.stats().shards, 0);
     }
 
     #[test]

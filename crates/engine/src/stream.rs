@@ -1,0 +1,383 @@
+//! Streaming campaign primitives: cycle-major chunk plans and online
+//! verdict accumulation.
+//!
+//! The paper's emulator never materializes a campaign — faults are
+//! enumerated cycle-major on the fly and classified results are dropped
+//! as soon as they are tallied. This module is the software analogue:
+//!
+//! - `ChunkPlan` (crate-internal) turns any single-fault
+//!   [`FaultSource`](crate::FaultSource) into a sequence of same-cycle
+//!   ≤ 64-lane chunks. For the exhaustive source the chunks are
+//!   *computed arithmetically* — no `flip-flops × cycles` fault vector
+//!   ever exists; workers regenerate their chunk from its index.
+//! - [`VerdictSink`] is the online accumulator contract: each worker
+//!   folds `(fault, outcome)` pairs into a private sink, and the
+//!   per-worker sinks are merged after the join. Sinks must be
+//!   **order-insensitive** (commutative observes/merges), which is what
+//!   keeps every thread count bit-identical to the serial reference —
+//!   a property the agreement suites enforce.
+//! - [`StreamAccumulator`] is the standard sink: class tallies, the
+//!   per-flip-flop failure map, and an order-independent verdict
+//!   [digest](StreamAccumulator::digest) that lets two streamed runs
+//!   (or a streamed and a materialized run) be compared fault-for-fault
+//!   without either of them storing a single outcome.
+
+use seugrade_faultsim::{Fault, FaultClass, FaultOutcome, GradingSummary};
+use seugrade_netlist::FfIndex;
+
+/// A single-fault campaign cut into same-cycle chunks of at most 64
+/// faults, in cycle-major order.
+///
+/// The chunk sequence is the unit the pool's workers pull lazily; a
+/// worker holds one chunk (≤ 64 faults) and its grading scratch at a
+/// time, so campaign memory is independent of the fault-space size on
+/// the exhaustive path.
+#[derive(Debug)]
+pub(crate) enum ChunkPlan<'a> {
+    /// The full `flip-flops × cycles` space; chunk `i` is derived from
+    /// its index alone.
+    Exhaustive {
+        /// Flip-flop dimension.
+        num_ffs: usize,
+        /// Chunks per cycle: `ceil(num_ffs / 64)`.
+        per_cycle: usize,
+        /// Total chunks: `per_cycle × num_cycles`.
+        chunks: usize,
+        /// Total faults.
+        faults: usize,
+    },
+    /// An explicit list, counting-sorted into same-cycle runs; `order`
+    /// maps sorted position → submission index.
+    Ordered {
+        /// The faults, in submission order.
+        faults: &'a [Fault],
+        /// Cycle-major permutation of `0..faults.len()`.
+        order: Vec<u32>,
+        /// `(lo, hi)` ranges into `order`, one per chunk.
+        batches: Vec<(usize, usize)>,
+    },
+}
+
+impl<'a> ChunkPlan<'a> {
+    /// Plans the exhaustive `num_ffs × num_cycles` space without
+    /// materializing it.
+    pub(crate) fn exhaustive(num_ffs: usize, num_cycles: usize) -> Self {
+        let per_cycle = num_ffs.div_ceil(64);
+        ChunkPlan::Exhaustive {
+            num_ffs,
+            per_cycle,
+            chunks: per_cycle * num_cycles,
+            faults: num_ffs * num_cycles,
+        }
+    }
+
+    /// Plans an explicit fault list (stable counting sort by injection
+    /// cycle, then runs cut at 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault's cycle is `>= num_cycles`.
+    pub(crate) fn ordered(faults: &'a [Fault], num_cycles: usize) -> Self {
+        let mut counts = vec![0usize; num_cycles];
+        for f in faults {
+            assert!((f.cycle as usize) < num_cycles, "fault cycle out of range");
+            counts[f.cycle as usize] += 1;
+        }
+        let mut offsets = vec![0usize; num_cycles + 1];
+        for c in 0..num_cycles {
+            offsets[c + 1] = offsets[c] + counts[c];
+        }
+        let mut cursor = offsets.clone();
+        let mut order = vec![0u32; faults.len()];
+        for (i, f) in faults.iter().enumerate() {
+            let c = f.cycle as usize;
+            order[cursor[c]] = i as u32;
+            cursor[c] += 1;
+        }
+        let mut batches: Vec<(usize, usize)> = Vec::new();
+        for c in 0..num_cycles {
+            let (mut start, end) = (offsets[c], offsets[c + 1]);
+            while start < end {
+                let stop = (start + 64).min(end);
+                batches.push((start, stop));
+                start = stop;
+            }
+        }
+        ChunkPlan::Ordered { faults, order, batches }
+    }
+
+    /// Number of chunks.
+    pub(crate) fn num_chunks(&self) -> usize {
+        match self {
+            ChunkPlan::Exhaustive { chunks, .. } => *chunks,
+            ChunkPlan::Ordered { batches, .. } => batches.len(),
+        }
+    }
+
+    /// Total faults across all chunks.
+    pub(crate) fn num_faults(&self) -> usize {
+        match self {
+            ChunkPlan::Exhaustive { faults, .. } => *faults,
+            ChunkPlan::Ordered { faults, .. } => faults.len(),
+        }
+    }
+
+    /// Writes chunk `i`'s faults (all sharing one injection cycle) into
+    /// `buf`.
+    pub(crate) fn fill(&self, i: usize, buf: &mut Vec<Fault>) {
+        buf.clear();
+        match self {
+            ChunkPlan::Exhaustive { num_ffs, per_cycle, .. } => {
+                let cycle = (i / per_cycle) as u32;
+                let lo = (i % per_cycle) * 64;
+                let hi = (lo + 64).min(*num_ffs);
+                buf.extend((lo..hi).map(|ff| Fault::new(FfIndex::new(ff), cycle)));
+            }
+            ChunkPlan::Ordered { faults, order, batches } => {
+                let (lo, hi) = batches[i];
+                buf.extend(order[lo..hi].iter().map(|&fi| faults[fi as usize]));
+            }
+        }
+    }
+
+    /// Scatters chunk `i`'s verdicts back into submission order.
+    pub(crate) fn scatter(&self, i: usize, out: &[FaultOutcome], dest: &mut [FaultOutcome]) {
+        match self {
+            ChunkPlan::Exhaustive { num_ffs, per_cycle, .. } => {
+                // Exhaustive submission order *is* cycle-major, so the
+                // chunk lands contiguously.
+                let cycle = i / per_cycle;
+                let start = cycle * num_ffs + (i % per_cycle) * 64;
+                dest[start..start + out.len()].copy_from_slice(out);
+            }
+            ChunkPlan::Ordered { order, batches, .. } => {
+                let (lo, hi) = batches[i];
+                for (&fi, &o) in order[lo..hi].iter().zip(out) {
+                    dest[fi as usize] = o;
+                }
+            }
+        }
+    }
+}
+
+/// An online accumulator of streamed verdicts.
+///
+/// One sink is created per worker ([`Default`]); the pool folds every
+/// graded `(fault, outcome)` pair into the worker's private sink and
+/// merges the sinks after the join, in worker order. Because workers
+/// race for chunks, `observe`/`merge` **must be order-insensitive**
+/// (commutative tallies, sums, maxima, …) — that is what makes a
+/// streamed campaign bit-identical at every thread count. The agreement
+/// suites enforce the property against the serial reference.
+pub trait VerdictSink: Default + Send {
+    /// Folds one graded fault into the sink.
+    fn observe(&mut self, fault: Fault, outcome: FaultOutcome);
+
+    /// Absorbs another worker's sink.
+    fn merge(&mut self, other: Self);
+}
+
+/// The standard streaming sink: class tallies, a per-flip-flop failure
+/// map, and an order-independent verdict digest.
+#[derive(Clone, Debug, Default)]
+pub struct StreamAccumulator {
+    summary: GradingSummary,
+    failure_map: Vec<usize>,
+    digest: u64,
+}
+
+/// One fault's contribution to the order-independent digest: a
+/// SplitMix64-style finalizer over the packed `(fault, outcome)`,
+/// combined across faults with wrapping addition (commutative), so the
+/// digest is a fault-for-fault fingerprint of the whole verdict set.
+fn verdict_hash(fault: Fault, outcome: FaultOutcome) -> u64 {
+    let tag = |c: Option<u32>| c.map_or(u64::MAX, u64::from);
+    let mut z = ((fault.ff.index() as u64) << 32) | u64::from(fault.cycle);
+    z = z
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(match outcome.class {
+            FaultClass::Failure => 1,
+            FaultClass::Latent => 2,
+            FaultClass::Silent => 3,
+        })
+        .wrapping_add(tag(outcome.detect_cycle).rotate_left(17))
+        .wrapping_add(tag(outcome.converge_cycle).rotate_left(41));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl StreamAccumulator {
+    /// Pooled classification tallies.
+    #[must_use]
+    pub fn summary(&self) -> &GradingSummary {
+        &self.summary
+    }
+
+    /// Failure count per flip-flop index (the weak-area map); indices
+    /// past the highest failing flip-flop may be absent.
+    #[must_use]
+    pub fn failure_map(&self) -> &[usize] {
+        &self.failure_map
+    }
+
+    /// Order-independent fingerprint of every `(fault, verdict)` pair.
+    ///
+    /// Two campaigns over the same fault set produced this digest
+    /// equally iff they agreed on (essentially) every single verdict —
+    /// whatever their thread counts, chunk schedules or
+    /// [`TracePolicy`](seugrade_sim::TracePolicy)s.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Computes the digest of a materialized `(faults, outcomes)` pair —
+    /// the bridge for comparing a streamed run against a serial or
+    /// materialized reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[must_use]
+    pub fn digest_of(faults: &[Fault], outcomes: &[FaultOutcome]) -> u64 {
+        assert_eq!(faults.len(), outcomes.len(), "outcomes parallel to faults");
+        faults
+            .iter()
+            .zip(outcomes)
+            .fold(0u64, |acc, (&f, &o)| acc.wrapping_add(verdict_hash(f, o)))
+    }
+}
+
+impl VerdictSink for StreamAccumulator {
+    fn observe(&mut self, fault: Fault, outcome: FaultOutcome) {
+        self.summary.add(outcome.class);
+        if outcome.class == FaultClass::Failure {
+            let ff = fault.ff.index();
+            if self.failure_map.len() <= ff {
+                self.failure_map.resize(ff + 1, 0);
+            }
+            self.failure_map[ff] += 1;
+        }
+        self.digest = self.digest.wrapping_add(verdict_hash(fault, outcome));
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.summary.merge(&other.summary);
+        if self.failure_map.len() < other.failure_map.len() {
+            self.failure_map.resize(other.failure_map.len(), 0);
+        }
+        for (dst, src) in self.failure_map.iter_mut().zip(&other.failure_map) {
+            *dst += src;
+        }
+        self.digest = self.digest.wrapping_add(other.digest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use seugrade_faultsim::FaultList;
+
+    use super::*;
+
+    #[test]
+    fn exhaustive_plan_covers_the_space_in_cycle_major_order() {
+        let plan = ChunkPlan::exhaustive(70, 3);
+        assert_eq!(plan.num_chunks(), 2 * 3);
+        assert_eq!(plan.num_faults(), 210);
+        let mut buf = Vec::new();
+        let mut all = Vec::new();
+        for i in 0..plan.num_chunks() {
+            plan.fill(i, &mut buf);
+            assert!(buf.len() <= 64 && !buf.is_empty());
+            let t = buf[0].cycle;
+            assert!(buf.iter().all(|f| f.cycle == t), "same-cycle chunk");
+            all.extend_from_slice(&buf);
+        }
+        let reference = FaultList::exhaustive(70, 3);
+        assert_eq!(all, reference.as_slice());
+    }
+
+    #[test]
+    fn ordered_plan_matches_exhaustive_plan_on_the_same_list() {
+        let list = FaultList::exhaustive(70, 3);
+        let ordered = ChunkPlan::ordered(list.as_slice(), 3);
+        let arithmetic = ChunkPlan::exhaustive(70, 3);
+        assert_eq!(ordered.num_chunks(), arithmetic.num_chunks());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for i in 0..ordered.num_chunks() {
+            ordered.fill(i, &mut a);
+            arithmetic.fill(i, &mut b);
+            assert_eq!(a, b, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn scatter_inverts_fill() {
+        let list = FaultList::sampled(10, 9, 40, 3);
+        let plan = ChunkPlan::ordered(list.as_slice(), 9);
+        let mut buf = Vec::new();
+        let mut dest = vec![FaultOutcome::latent(); list.len()];
+        for i in 0..plan.num_chunks() {
+            plan.fill(i, &mut buf);
+            // Tag each verdict with its fault's cycle so the scatter is
+            // checkable.
+            let out: Vec<FaultOutcome> =
+                buf.iter().map(|f| FaultOutcome::failure(f.cycle)).collect();
+            plan.scatter(i, &out, &mut dest);
+        }
+        for (f, o) in list.iter().zip(&dest) {
+            assert_eq!(o.detect_cycle, Some(f.cycle), "{f}");
+        }
+    }
+
+    #[test]
+    fn accumulator_is_order_insensitive() {
+        let list = FaultList::exhaustive(5, 7);
+        let outcomes: Vec<FaultOutcome> = list
+            .iter()
+            .enumerate()
+            .map(|(i, _)| match i % 3 {
+                0 => FaultOutcome::failure(i as u32 % 7),
+                1 => FaultOutcome::silent(i as u32 % 7),
+                _ => FaultOutcome::latent(),
+            })
+            .collect();
+        let mut forward = StreamAccumulator::default();
+        for (f, &o) in list.iter().zip(&outcomes) {
+            forward.observe(f, o);
+        }
+        let pairs: Vec<(Fault, FaultOutcome)> =
+            list.iter().zip(outcomes.iter().copied()).collect();
+        let mut halves = (StreamAccumulator::default(), StreamAccumulator::default());
+        for (i, &(f, o)) in pairs.iter().enumerate().rev() {
+            if i % 2 == 0 {
+                halves.0.observe(f, o);
+            } else {
+                halves.1.observe(f, o);
+            }
+        }
+        let mut merged = StreamAccumulator::default();
+        merged.merge(halves.1);
+        merged.merge(halves.0);
+        assert_eq!(merged.summary(), forward.summary());
+        assert_eq!(merged.failure_map(), forward.failure_map());
+        assert_eq!(merged.digest(), forward.digest());
+        assert_eq!(
+            merged.digest(),
+            StreamAccumulator::digest_of(list.as_slice(), &outcomes)
+        );
+    }
+
+    #[test]
+    fn digest_distinguishes_single_verdict_flips() {
+        let list = FaultList::exhaustive(4, 4);
+        let a = vec![FaultOutcome::latent(); list.len()];
+        let mut b = a.clone();
+        b[7] = FaultOutcome::silent(2);
+        assert_ne!(
+            StreamAccumulator::digest_of(list.as_slice(), &a),
+            StreamAccumulator::digest_of(list.as_slice(), &b)
+        );
+    }
+}

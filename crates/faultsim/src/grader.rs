@@ -1,7 +1,9 @@
 //! The fault-grading engines.
 
 use seugrade_netlist::Netlist;
-use seugrade_sim::{broadcast, CompiledSim, GoldenTrace, SimState, Testbench};
+use seugrade_sim::{
+    broadcast, CompiledSim, GoldenTrace, SimState, Testbench, TracePolicy, TraceWindow,
+};
 
 use crate::{Fault, FaultClass, FaultOutcome};
 
@@ -11,35 +13,94 @@ use crate::{Fault, FaultClass, FaultOutcome};
 /// All engines implement the classification semantics documented at the
 /// [crate root](crate); the test suite enforces that they agree fault by
 /// fault.
+///
+/// # Golden-trace storage
+///
+/// The grader consumes the golden run exclusively through bounded
+/// [`TraceWindow`]s, so it works identically under every
+/// [`TracePolicy`]: with [`TracePolicy::Dense`] (the
+/// [`new`](Self::new) default) windows borrow the stored trace, with
+/// [`TracePolicy::Checkpoint`] ([`with_policy`](Self::with_policy)) a
+/// grading shard holds only its current `K`-cycle window — memory
+/// `O(FFs × cycles / K)` instead of `O(FFs × cycles)`, at the cost of
+/// replaying the golden machine once per window. Verdicts are
+/// bit-identical across policies (enforced by the agreement suites).
 #[derive(Debug)]
 pub struct Grader {
     sim: CompiledSim,
     tb: Testbench,
     golden: GoldenTrace,
+    policy: TracePolicy,
 }
 
 impl Grader {
-    /// Builds the grader (runs the golden reference once).
+    /// Builds the grader with a dense golden trace (runs the golden
+    /// reference once).
     ///
     /// # Panics
     ///
     /// Panics if the test bench width does not match the netlist's inputs.
     #[must_use]
     pub fn new(netlist: &Netlist, tb: &Testbench) -> Self {
+        Self::with_policy(netlist, tb, TracePolicy::Dense)
+    }
+
+    /// Builds the grader with an explicit golden-trace storage policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test bench width does not match the netlist's
+    /// inputs, or if the policy is `Checkpoint(0)`.
+    #[must_use]
+    pub fn with_policy(netlist: &Netlist, tb: &Testbench, policy: TracePolicy) -> Self {
         assert_eq!(
             tb.num_inputs(),
             netlist.num_inputs(),
             "test bench width does not match circuit"
         );
         let sim = CompiledSim::new(netlist);
-        let golden = sim.run_golden(tb);
-        Grader { sim, tb: tb.clone(), golden }
+        let golden = sim.run_golden_with(tb, policy);
+        Grader { sim, tb: tb.clone(), golden, policy }
     }
 
     /// The golden reference trace.
     #[must_use]
     pub fn golden(&self) -> &GoldenTrace {
         &self.golden
+    }
+
+    /// The golden-trace storage policy this grader was built with.
+    #[must_use]
+    pub fn trace_policy(&self) -> TracePolicy {
+        self.policy
+    }
+
+    /// The golden window the grading loops start from for an injection at
+    /// cycle `t`: the whole trace under `Dense` (borrowed, zero copy),
+    /// the checkpoint-aligned `K`-cycle span containing `t` under
+    /// `Checkpoint(K)`.
+    pub(crate) fn first_window(&self, t: usize) -> TraceWindow<'_> {
+        let n = self.tb.num_cycles();
+        let (start, end) = match self.policy {
+            TracePolicy::Dense => (0, n),
+            TracePolicy::Checkpoint(k) => {
+                let start = t - t % k;
+                (start, (start + k).min(n))
+            }
+        };
+        self.golden.window(&self.sim, &self.tb, start, end)
+    }
+
+    /// The window following `win` (checkpoint-aligned, so the underlying
+    /// replay starts exactly at a stored checkpoint).
+    pub(crate) fn next_window(&self, win: &TraceWindow<'_>) -> TraceWindow<'_> {
+        let n = self.tb.num_cycles();
+        let start = win.end();
+        let end = match self.policy {
+            TracePolicy::Dense => n,
+            TracePolicy::Checkpoint(k) => (start + k).min(n),
+        };
+        self.golden.window(&self.sim, &self.tb, start, end)
     }
 
     /// The compiled simulator (shared with emulation models).
@@ -60,6 +121,10 @@ impl Grader {
 
     /// Grades one fault with the straightforward serial algorithm.
     ///
+    /// The golden run is consumed through bounded windows, so this works
+    /// — and produces bit-identical verdicts — under every
+    /// [`TracePolicy`].
+    ///
     /// # Panics
     ///
     /// Panics if the fault's cycle is outside the test bench or its
@@ -69,17 +134,21 @@ impl Grader {
         let n_cycles = self.tb.num_cycles();
         let t = fault.cycle as usize;
         assert!(t < n_cycles, "fault cycle out of range");
+        let mut win = self.first_window(t);
         let mut st = self.sim.new_state();
-        self.sim.load_state(&mut st, self.golden.state_at(t));
+        self.sim.load_state(&mut st, win.state_at(t));
         self.sim.flip_ff_lane(&mut st, fault.ff, 0);
         for u in t..n_cycles {
+            if u >= win.end() {
+                win = self.next_window(&win);
+            }
             self.sim.set_inputs(&mut st, self.tb.cycle(u));
             self.sim.eval(&mut st);
-            if self.sim.outputs_lane(&st, 0) != self.golden.output_at(u) {
+            if self.sim.outputs_lane(&st, 0) != win.output_at(u) {
                 return FaultOutcome::failure(u as u32);
             }
             self.sim.step(&mut st);
-            if self.sim.state_lane(&st, 0) == self.golden.state_at(u + 1) {
+            if self.sim.state_lane(&st, 0) == win.state_at(u + 1) {
                 return FaultOutcome::silent(u as u32);
             }
         }
@@ -160,7 +229,8 @@ impl Grader {
         } else {
             (1u64 << chunk.len()) - 1
         };
-        self.sim.load_state(st, self.golden.state_at(t));
+        let mut win = self.first_window(t);
+        self.sim.load_state(st, win.state_at(t));
         for (lane, f) in chunk.iter().enumerate() {
             self.sim.flip_ff_lane(st, f.ff, lane as u32);
         }
@@ -169,11 +239,14 @@ impl Grader {
         }
         let mut undecided = lanes_used;
         for u in t..n_cycles {
+            if u >= win.end() {
+                win = self.next_window(&win);
+            }
             self.sim.set_inputs(st, self.tb.cycle(u));
             self.sim.eval(st);
             // Output mismatch mask across all outputs.
             let mut out_diff = 0u64;
-            let golden_out = self.golden.output_at(u);
+            let golden_out = win.output_at(u);
             for (word, &g) in self.sim.outputs_raw(st).into_iter().zip(golden_out) {
                 out_diff |= word ^ broadcast(g);
             }
@@ -192,7 +265,7 @@ impl Grader {
             self.sim.step(st);
             // State convergence mask.
             let mut state_diff = 0u64;
-            let golden_state = self.golden.state_at(u + 1);
+            let golden_state = win.state_at(u + 1);
             for (ff, &g) in golden_state.iter().enumerate() {
                 let word = self.sim.ff_raw(st, seugrade_netlist::FfIndex::new(ff));
                 state_diff |= word ^ broadcast(g);
@@ -481,6 +554,48 @@ mod tests {
         let chunk = [Fault::new(FfIndex::new(0), 0), Fault::new(FfIndex::new(1), 1)];
         let mut out = [FaultOutcome::latent(); 2];
         g.grade_cycle_chunk(&mut st, &chunk, &mut out);
+    }
+
+    #[test]
+    fn checkpoint_policy_matches_dense_verdicts() {
+        use seugrade_sim::TracePolicy;
+        for name in ["b03s", "b06s"] {
+            let n = seugrade_circuits::registry::build(name).unwrap();
+            let tb = Testbench::random(n.num_inputs(), 25, 19);
+            let dense = Grader::new(&n, &tb);
+            let faults = FaultList::exhaustive(n.num_ffs(), 25);
+            let reference = dense.run_serial(faults.as_slice());
+            // K smaller than, dividing, not dividing, and exceeding the
+            // bench length — every window geometry.
+            for k in [1, 3, 5, 25, 64] {
+                let cp = Grader::with_policy(&n, &tb, TracePolicy::Checkpoint(k));
+                assert_eq!(cp.trace_policy(), TracePolicy::Checkpoint(k));
+                assert_eq!(cp.run_serial(faults.as_slice()), reference, "{name} K={k} serial");
+                assert_eq!(cp.run_parallel(faults.as_slice()), reference, "{name} K={k} parallel");
+                assert_eq!(
+                    cp.run_parallel_threaded(faults.as_slice(), 3),
+                    reference,
+                    "{name} K={k} threaded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_golden_memory_is_bounded() {
+        use seugrade_sim::TracePolicy;
+        let n = seugrade_circuits::registry::build("b03s").unwrap();
+        let tb = Testbench::random(n.num_inputs(), 128, 3);
+        let dense = Grader::new(&n, &tb);
+        let cp = Grader::with_policy(&n, &tb, TracePolicy::Checkpoint(16));
+        // 128/16 + 1 checkpoints (+ the end state) vs 129 full states
+        // plus all outputs: an order of magnitude, growing with cycles.
+        assert!(
+            cp.golden().stored_bits() * 8 < dense.golden().stored_bits(),
+            "checkpointed {} bits vs dense {} bits",
+            cp.golden().stored_bits(),
+            dense.golden().stored_bits()
+        );
     }
 
     #[test]

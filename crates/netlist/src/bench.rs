@@ -1,4 +1,4 @@
-//! ISCAS'85/'89 `.bench` netlist frontend.
+//! ISCAS'85/'89 `.bench` netlist frontend and emitter.
 //!
 //! The `.bench` format is the lingua franca of the ISCAS'85 (c432,
 //! c6288, …) and ISCAS'89 (s27, s344, s5378, …) benchmark suites:
@@ -52,9 +52,94 @@
 //! ```
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 use crate::import::{lower, Stmt};
-use crate::{GateKind, Netlist, NetlistError};
+use crate::{CellKind, GateKind, Netlist, NetlistError, SigId};
+
+/// Serializes a netlist to ISCAS `.bench` text — the interop emitter
+/// pairing [`parse`].
+///
+/// Inputs are referenced by their port names; every other net uses its
+/// stable `n<i>` id. Flip-flops become `DFF(...)` statements with a
+/// `#@ init <net> 1` pragma for every non-zero power-on value, and
+/// constants become `CONST0()`/`CONST1()`. `.bench` identifies output
+/// ports with the nets they observe, so when several ports share one
+/// driver the later ports are emitted through `BUFF` aliases (swept
+/// away again on re-import); original output port *names* are not
+/// representable in the format and are dropped.
+///
+/// The emitted text re-imports ([`crate::import`]) to a circuit that is
+/// sequentially equivalent to the original — the ingest round-trip
+/// suite enforces `import → emit → import` equivalence for every
+/// registry circuit.
+#[must_use]
+pub fn emit(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let input_names: HashMap<SigId, &str> = netlist
+        .inputs()
+        .iter()
+        .zip(netlist.input_names())
+        .map(|(&sig, name)| (sig, name.as_str()))
+        .collect();
+    // Internal nets are numbered `<prefix><id>`; grow the prefix until
+    // no input name can collide with it (real suites routinely name
+    // inputs `n1`, `n2`, …).
+    let mut prefix = "n".to_owned();
+    while netlist.input_names().iter().any(|name| {
+        name.strip_prefix(&prefix)
+            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+    }) {
+        prefix.push('_');
+    }
+    let token = |sig: SigId| -> String {
+        input_names.get(&sig).map_or_else(
+            || format!("{prefix}{}", sig.index()),
+            |&name| name.to_owned(),
+        )
+    };
+    writeln!(out, "# {} (emitted by seugrade-netlist)", netlist.name()).unwrap();
+    for name in netlist.input_names() {
+        writeln!(out, "INPUT({name})").unwrap();
+    }
+    let mut seen_outputs: HashMap<SigId, usize> = HashMap::new();
+    for (_, sig) in netlist.outputs() {
+        let aliases = seen_outputs.entry(*sig).or_insert(0);
+        if *aliases == 0 {
+            writeln!(out, "OUTPUT({})", token(*sig)).unwrap();
+        } else {
+            // A net may be OUTPUT once; further ports alias it through
+            // a buffer.
+            let alias = format!("{}_o{aliases}", token(*sig));
+            writeln!(out, "{alias} = BUFF({})", token(*sig)).unwrap();
+            writeln!(out, "OUTPUT({alias})").unwrap();
+        }
+        *aliases += 1;
+    }
+    for (id, cell) in netlist.iter_cells() {
+        match cell.kind() {
+            CellKind::Input => {}
+            CellKind::Const(v) => {
+                writeln!(out, "{} = CONST{}()", token(id), u8::from(v)).unwrap();
+            }
+            CellKind::Gate(kind) => {
+                let name = match kind {
+                    GateKind::Buf => "BUFF".to_owned(),
+                    k => k.mnemonic().to_ascii_uppercase(),
+                };
+                let pins: Vec<String> = cell.pins().iter().map(|&p| token(p)).collect();
+                writeln!(out, "{} = {name}({})", token(id), pins.join(", ")).unwrap();
+            }
+            CellKind::Dff { init } => {
+                writeln!(out, "{} = DFF({})", token(id), token(cell.pins()[0])).unwrap();
+                if init {
+                    writeln!(out, "#@ init {} 1", token(id)).unwrap();
+                }
+            }
+        }
+    }
+    out
+}
 
 /// Splits `NAME(arg, arg, ...)` into the head token and its arguments.
 fn call<'a>(text: &'a str, line: usize) -> Result<(&'a str, Vec<&'a str>), NetlistError> {
@@ -445,6 +530,67 @@ INPUT(a)
         let n = parse(src).unwrap();
         assert_eq!(n.num_gates(), 2);
         assert_eq!(n.input_names(), &["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn emit_round_trips_s27_structurally() {
+        let n = parse(S27).unwrap();
+        let text = emit(&n);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_inputs(), n.num_inputs());
+        assert_eq!(back.num_outputs(), n.num_outputs());
+        assert_eq!(back.num_ffs(), n.num_ffs());
+        assert_eq!(back.num_gates(), n.num_gates());
+        assert_eq!(back.ff_init_values(), n.ff_init_values());
+    }
+
+    #[test]
+    fn emit_preserves_init_pragmas_and_constants() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+q = DFF(nx)
+#@ init q 1
+nx = XOR(a, q)
+one = CONST1()
+y = AND(q, one)
+";
+        let n = parse(src).unwrap();
+        let text = emit(&n);
+        assert!(text.contains("#@ init"), "{text}");
+        assert!(text.contains("CONST1()"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.ff_init_values(), vec![true]);
+    }
+
+    #[test]
+    fn emit_avoids_input_names_that_look_like_net_ids() {
+        // Inputs take SigIds 0-1, so the AND gate is SigId 2 — which the
+        // naive token scheme would also call `n2`, colliding with the
+        // input of that name.
+        let src = "INPUT(n2)\nINPUT(b)\nOUTPUT(y)\ny = AND(n2, b)\n";
+        let n = parse(src).unwrap();
+        let text = emit(&n);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(back.num_inputs(), 2);
+        assert_eq!(back.num_gates(), 1);
+        assert!(text.contains("n_2 = AND(n2, b)"), "{text}");
+    }
+
+    #[test]
+    fn emit_aliases_shared_output_nets() {
+        // Two output ports observing one net: `.bench` can only OUTPUT a
+        // net once, so the second port goes through a BUFF alias.
+        let mut b = crate::NetlistBuilder::new("shared");
+        let a = b.input("a");
+        let g = b.not(a);
+        b.output("y0", g);
+        b.output("y1", g);
+        let n = b.finish().unwrap();
+        let text = emit(&n);
+        assert!(text.contains("BUFF"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_outputs(), 2);
     }
 
     #[test]

@@ -13,9 +13,9 @@
 //! .end
 //! ```
 //!
-//! `.names` covers are recognized structurally and mapped onto the IR's
-//! [`GateKind`]s — this frontend does **not** implement general
-//! two-level logic, only the covers that mapped netlists actually emit:
+//! `.names` covers implement **general two-level logic**. Single-gate
+//! shapes — the covers mapped netlists actually emit — are recognized
+//! structurally and map onto one [`GateKind`] cell each:
 //!
 //! | cover (on-set)                          | gate    |
 //! |-----------------------------------------|---------|
@@ -30,7 +30,13 @@
 //! | `10 1` + `01 1` (2 inputs)              | xor     |
 //! | `11 1` + `00 1` (2 inputs)              | xnor    |
 //!
-//! Any other cover is rejected with a located error. `.latch` lowers to
+//! Every other cover is synthesized as a true sum of products: one AND
+//! term per row (`0` columns through shared `NOT` literals, `-` columns
+//! skipped), an OR across the terms, and — for off-set (`… 0`) covers,
+//! which BLIF defines as the function's complement — a final inversion.
+//! Synthesized intermediate nets are named `$sop$<out>$…`. A cover that
+//! mixes on-set and off-set rows is rejected with a located error.
+//! `.latch` lowers to
 //! the IR's single-clock D flip-flop; the optional type/control pair is
 //! accepted (and ignored — the IR has one implicit clock) and the
 //! optional init value maps `0`→0, `1`→1, `2`(don't-care) and
@@ -63,18 +69,18 @@
 use crate::import::{lower, Stmt};
 use crate::{GateKind, Netlist, NetlistError};
 
-/// One `.names` block under construction.
-struct Cover<'a> {
-    line: usize,
-    inputs: Vec<&'a str>,
-    out: &'a str,
-    rows: Vec<(String, char)>,
-}
-
-/// Classifies a finished cover into a statement.
-fn classify<'a>(cover: &Cover<'a>) -> Result<Stmt<'a>, NetlistError> {
+/// Synthesizes a finished cover into gate statements.
+///
+/// Single-gate shapes (the covers mapped netlists emit) are recognized
+/// structurally and produce exactly one cell; anything else goes through
+/// true two-level sum-of-products synthesis: one AND term per row (with
+/// `NOT` literals for `0` columns, shared within the cover), an OR of
+/// the terms, and a final inversion for off-set (`… 0`) covers.
+/// Synthesized intermediate nets are named `$sop$<out>$…`.
+fn synthesize(cover: &OwnedCover) -> Result<Vec<OwnedStmt>, NetlistError> {
     let line = cover.line;
     let n = cover.inputs.len();
+    let mut out_value = None;
     for (bits, value) in &cover.rows {
         if bits.len() != n {
             return Err(NetlistError::Parse {
@@ -85,47 +91,106 @@ fn classify<'a>(cover: &Cover<'a>) -> Result<Stmt<'a>, NetlistError> {
                 ),
             });
         }
-        if *value != '1' {
+        // BLIF defines a cover as either all on-set or all off-set.
+        if *out_value.get_or_insert(*value) != *value {
             return Err(NetlistError::Parse {
                 line,
-                msg: "only on-set (`... 1`) covers are supported".into(),
+                msg: "cover mixes on-set and off-set rows".into(),
             });
         }
     }
-
-    // Constants.
-    if n == 0 {
-        return Ok(Stmt::Const { net: cover.out, value: !cover.rows.is_empty() });
-    }
-    if cover.rows.is_empty() {
-        return Ok(Stmt::Const { net: cover.out, value: false });
-    }
-
-    let rows: Vec<&str> = cover.rows.iter().map(|(b, _)| b.as_str()).collect();
-    let all = |row: &str, c: char| row.chars().all(|x| x == c);
-    let kind = if rows.len() == 1 && all(rows[0], '1') {
-        Some(if n == 1 { GateKind::Buf } else { GateKind::And })
-    } else if rows.len() == 1 && all(rows[0], '0') {
-        Some(if n == 1 { GateKind::Not } else { GateKind::Nor })
-    } else if n == 2 && rows.len() == 2 {
-        let mut sorted = [rows[0], rows[1]];
-        sorted.sort_unstable();
-        match sorted {
-            ["01", "10"] => Some(GateKind::Xor),
-            ["00", "11"] => Some(GateKind::Xnor),
-            _ => one_hot_kind(&rows, n),
-        }
-    } else {
-        one_hot_kind(&rows, n)
+    let on_set = out_value != Some('0');
+    let constant = |value: bool| {
+        vec![OwnedStmt::Const { net: cover.out.clone(), value }]
     };
 
-    match kind {
-        Some(kind) => Ok(Stmt::Gate { kind, net: cover.out, pins: cover.inputs.clone() }),
-        None => Err(NetlistError::Parse {
-            line,
-            msg: format!("unsupported .names cover for `{}` (see docs/FORMATS.md)", cover.out),
-        }),
+    // Constants.
+    if n == 0 || cover.rows.is_empty() {
+        return Ok(constant(on_set && !cover.rows.is_empty()));
     }
+    // A row of only don't-cares covers everything.
+    if cover.rows.iter().any(|(bits, _)| bits.chars().all(|c| c == '-')) {
+        return Ok(constant(on_set));
+    }
+
+    // Fast path: single-gate cover shapes, on-set only (the historical
+    // pattern matcher, kept so mapped netlists stay one cell per cover).
+    if on_set {
+        let rows: Vec<&str> = cover.rows.iter().map(|(b, _)| b.as_str()).collect();
+        let all = |row: &str, c: char| row.chars().all(|x| x == c);
+        let kind = if rows.len() == 1 && all(rows[0], '1') {
+            Some(if n == 1 { GateKind::Buf } else { GateKind::And })
+        } else if rows.len() == 1 && all(rows[0], '0') {
+            Some(if n == 1 { GateKind::Not } else { GateKind::Nor })
+        } else if n == 2 && rows.len() == 2 {
+            let mut sorted = [rows[0], rows[1]];
+            sorted.sort_unstable();
+            match sorted {
+                ["01", "10"] => Some(GateKind::Xor),
+                ["00", "11"] => Some(GateKind::Xnor),
+                _ => one_hot_kind(&rows, n),
+            }
+        } else {
+            one_hot_kind(&rows, n)
+        };
+        if let Some(kind) = kind {
+            return Ok(vec![OwnedStmt::Gate {
+                kind,
+                net: cover.out.clone(),
+                pins: cover.inputs.clone(),
+            }]);
+        }
+    }
+
+    // General two-level synthesis.
+    let mut stmts = Vec::new();
+    let mut negated: Vec<Option<String>> = vec![None; n];
+    let mut terms: Vec<String> = Vec::new();
+    for (t, (bits, _)) in cover.rows.iter().enumerate() {
+        let mut literals: Vec<String> = Vec::new();
+        for (i, c) in bits.chars().enumerate() {
+            match c {
+                '1' => literals.push(cover.inputs[i].clone()),
+                '0' => {
+                    let net = negated[i].get_or_insert_with(|| {
+                        let net = format!("$sop${}$n{i}", cover.out);
+                        stmts.push(OwnedStmt::Gate {
+                            kind: GateKind::Not,
+                            net: net.clone(),
+                            pins: vec![cover.inputs[i].clone()],
+                        });
+                        net
+                    });
+                    literals.push(net.clone());
+                }
+                '-' => {}
+                other => {
+                    return Err(NetlistError::Parse {
+                        line,
+                        msg: format!("invalid cover character `{other}`"),
+                    });
+                }
+            }
+        }
+        debug_assert!(!literals.is_empty(), "all-don't-care rows returned above");
+        if literals.len() == 1 {
+            terms.push(literals.pop().expect("one literal"));
+        } else {
+            let net = format!("$sop${}$t{t}", cover.out);
+            stmts.push(OwnedStmt::Gate { kind: GateKind::And, net: net.clone(), pins: literals });
+            terms.push(net);
+        }
+    }
+    // OR the terms; off-set covers define the complement.
+    let (kind, pins) = if terms.len() == 1 {
+        let kind = if on_set { GateKind::Buf } else { GateKind::Not };
+        (kind, terms)
+    } else {
+        let kind = if on_set { GateKind::Or } else { GateKind::Nor };
+        (kind, terms)
+    };
+    stmts.push(OwnedStmt::Gate { kind, net: cover.out.clone(), pins });
+    Ok(stmts)
 }
 
 /// Recognizes the one-row-per-input OR (`1` + don't-cares) and NAND
@@ -262,9 +327,12 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
             continue;
         }
 
-        // A directive closes any open .names block.
+        // A directive closes any open .names block, which synthesizes
+        // into one or more gate/const statements.
         if let Some(c) = cover.take() {
-            stmts_owned.push((c.line, OwnedStmt::Names(c)));
+            for s in synthesize(&c)? {
+                stmts_owned.push((c.line, s));
+            }
         }
 
         match head {
@@ -360,7 +428,9 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
         }
     }
     if let Some(c) = cover.take() {
-        stmts_owned.push((c.line, OwnedStmt::Names(c)));
+        for s in synthesize(&c)? {
+            stmts_owned.push((c.line, s));
+        }
     }
 
     // Lower through the shared import layer. The owned statements are
@@ -371,15 +441,12 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
             OwnedStmt::Input(name) => Stmt::Input { name },
             OwnedStmt::Output(name) => Stmt::Output { name, net: name },
             OwnedStmt::Latch { d, net, init } => Stmt::Dff { net, init: *init, d },
-            OwnedStmt::Names(c) => {
-                let borrowed = Cover {
-                    line: c.line,
-                    inputs: c.inputs.iter().map(String::as_str).collect(),
-                    out: &c.out,
-                    rows: c.rows.clone(),
-                };
-                classify(&borrowed)?
-            }
+            OwnedStmt::Const { net, value } => Stmt::Const { net, value: *value },
+            OwnedStmt::Gate { kind, net, pins } => Stmt::Gate {
+                kind: *kind,
+                net,
+                pins: pins.iter().map(String::as_str).collect(),
+            },
         };
         stmts.push((*line, stmt));
     }
@@ -388,13 +455,15 @@ pub fn parse(src: &str) -> Result<Netlist, NetlistError> {
 }
 
 /// Owned mirror of the statement stream (cover rows arrive over many
-/// physical lines, so zero-copy parsing would fight the borrow checker
-/// for no benefit at import rates).
+/// physical lines and synthesis invents intermediate nets, so zero-copy
+/// parsing would fight the borrow checker for no benefit at import
+/// rates).
 enum OwnedStmt {
     Input(String),
     Output(String),
     Latch { d: String, net: String, init: bool },
-    Names(OwnedCover),
+    Const { net: String, value: bool },
+    Gate { kind: GateKind, net: String, pins: Vec<String> },
 }
 
 struct OwnedCover {
@@ -502,9 +571,10 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_cover_rejected() {
+    fn general_sop_cover_synthesizes_terms() {
+        // f = a·c + ¬a·b: two AND terms over one shared NOT, OR-folded.
         let src = "\
-.model bad
+.model sop
 .inputs a b c
 .outputs y
 .names a b c y
@@ -512,16 +582,68 @@ mod tests {
 01- 1
 .end
 ";
+        let n = parse(src).unwrap();
+        assert_eq!(n.num_outputs(), 1);
+        let count = |kind: GateKind| {
+            n.iter_cells()
+                .filter(|(_, c)| c.kind() == CellKind::Gate(kind))
+                .count()
+        };
+        assert_eq!(count(GateKind::And), 2);
+        assert_eq!(count(GateKind::Not), 1);
+        assert_eq!(count(GateKind::Or), 1);
+    }
+
+    #[test]
+    fn off_set_cover_synthesizes_complement() {
+        // `1 0` reads "f is 0 when a is 1" — i.e. y = ¬a.
+        let src = ".model neg\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n";
+        let n = parse(src).unwrap();
+        assert_eq!(n.num_gates(), 1);
+        assert!(n
+            .iter_cells()
+            .any(|(_, c)| c.kind() == CellKind::Gate(GateKind::Not)));
+        // Multi-row off-set: y = ¬(a·b + ¬a·¬b) = a ⊕ b, via NOR fold.
+        let src = "\
+.model negsop
+.inputs a b
+.outputs y
+.names a b y
+01 0
+10 0
+.end
+";
+        let n = parse(src).unwrap();
+        let count = |kind: GateKind| {
+            n.iter_cells()
+                .filter(|(_, c)| c.kind() == CellKind::Gate(kind))
+                .count()
+        };
+        assert_eq!(count(GateKind::And), 2);
+        assert_eq!(count(GateKind::Nor), 1);
+    }
+
+    #[test]
+    fn mixed_polarity_cover_rejected() {
+        let src = ".model bad\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n";
         let err = parse(src).unwrap_err();
-        assert!(err.to_string().contains("unsupported .names cover"), "{err}");
+        assert!(err.to_string().contains("mixes on-set and off-set"), "{err}");
         assert_eq!(err.line(), Some(4));
     }
 
     #[test]
-    fn off_set_cover_rejected() {
-        let src = ".model bad\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n";
-        let err = parse(src).unwrap_err();
-        assert!(err.to_string().contains("on-set"), "{err}");
+    fn all_dont_care_row_is_constant() {
+        let src = ".model k\n.inputs a b\n.outputs y\n.names a b y\n-- 1\n11 1\n.end\n";
+        let n = parse(src).unwrap();
+        let consts: Vec<bool> = n
+            .iter_cells()
+            .filter_map(|(_, c)| match c.kind() {
+                CellKind::Const(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(consts, vec![true]);
+        assert_eq!(n.num_gates(), 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use seugrade_netlist::{CellKind, FfIndex, GateKind, Netlist, SigId};
 
-use crate::{broadcast, GoldenTrace, Testbench};
+use crate::{broadcast, GoldenTrace, Testbench, TracePolicy};
 
 /// One evaluation step of the compiled tape.
 #[derive(Clone, Debug)]
@@ -322,21 +322,102 @@ impl CompiledSim {
     }
 
     /// Runs the full test bench from reset, capturing outputs and the
-    /// state trajectory — the golden reference run.
+    /// state trajectory — the golden reference run, stored densely
+    /// ([`TracePolicy::Dense`]).
     #[must_use]
     pub fn run_golden(&self, tb: &Testbench) -> GoldenTrace {
+        self.run_golden_with(tb, TracePolicy::Dense)
+    }
+
+    /// Runs the full test bench from reset, capturing the golden
+    /// reference run under the given [`TracePolicy`].
+    ///
+    /// `Dense` stores every cycle's outputs and state;
+    /// `Checkpoint(K)` stores only the flip-flop state at cycles
+    /// `0, K, 2K, …` plus the end state — everything else is replayed on
+    /// demand through [`GoldenTrace::window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is `Checkpoint(0)`.
+    #[must_use]
+    pub fn run_golden_with(&self, tb: &Testbench, policy: TracePolicy) -> GoldenTrace {
         let mut state = self.new_state();
-        let mut outputs = Vec::with_capacity(tb.num_cycles());
-        let mut states = Vec::with_capacity(tb.num_cycles() + 1);
+        match policy {
+            TracePolicy::Dense => {
+                let mut outputs = Vec::with_capacity(tb.num_cycles());
+                let mut states = Vec::with_capacity(tb.num_cycles() + 1);
+                states.push(self.state_lane(&state, 0));
+                for vector in tb.iter() {
+                    self.set_inputs(&mut state, vector);
+                    self.eval(&mut state);
+                    outputs.push(self.outputs_lane(&state, 0));
+                    self.step(&mut state);
+                    states.push(self.state_lane(&state, 0));
+                }
+                GoldenTrace::new_dense(outputs, states)
+            }
+            TracePolicy::Checkpoint(k) => {
+                assert!(k >= 1, "checkpoint interval must be at least 1");
+                let mut checkpoints = Vec::with_capacity(tb.num_cycles() / k + 1);
+                checkpoints.push(self.state_lane(&state, 0));
+                for (t, vector) in tb.iter().enumerate() {
+                    self.set_inputs(&mut state, vector);
+                    self.eval(&mut state);
+                    self.step(&mut state);
+                    if (t + 1) % k == 0 && t + 1 < tb.num_cycles() {
+                        checkpoints.push(self.state_lane(&state, 0));
+                    }
+                }
+                // When the run length is a multiple of K the final state
+                // doubles as the last checkpoint.
+                let final_state = self.state_lane(&state, 0);
+                if tb.num_cycles() % k == 0 && tb.num_cycles() > 0 {
+                    checkpoints.push(final_state.clone());
+                }
+                GoldenTrace::new_checkpoint(
+                    self.num_outputs(),
+                    tb.num_cycles(),
+                    k,
+                    checkpoints,
+                    final_state,
+                )
+            }
+        }
+    }
+
+    /// Replays the golden run from a known state at cycle `from`,
+    /// discarding cycles before `start` and capturing outputs for
+    /// `start..end` and states for `start..=end` — the reconstruction
+    /// primitive behind checkpointed [`GoldenTrace::window`]s.
+    pub(crate) fn replay_span(
+        &self,
+        tb: &Testbench,
+        state_at_from: &[bool],
+        from: usize,
+        start: usize,
+        end: usize,
+    ) -> (Vec<Vec<bool>>, Vec<Vec<bool>>) {
+        debug_assert!(from <= start && start < end && end <= tb.num_cycles());
+        let mut state = self.new_state();
+        self.load_state(&mut state, state_at_from);
+        // Silent advance up to the window start.
+        for t in from..start {
+            self.set_inputs(&mut state, tb.cycle(t));
+            self.eval(&mut state);
+            self.step(&mut state);
+        }
+        let mut outputs = Vec::with_capacity(end - start);
+        let mut states = Vec::with_capacity(end - start + 1);
         states.push(self.state_lane(&state, 0));
-        for vector in tb.iter() {
-            self.set_inputs(&mut state, vector);
+        for t in start..end {
+            self.set_inputs(&mut state, tb.cycle(t));
             self.eval(&mut state);
             outputs.push(self.outputs_lane(&state, 0));
             self.step(&mut state);
             states.push(self.state_lane(&state, 0));
         }
-        GoldenTrace::new(outputs, states)
+        (outputs, states)
     }
 }
 

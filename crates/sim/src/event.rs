@@ -245,7 +245,7 @@ impl EventSim {
             self.step();
             states.push(self.state());
         }
-        GoldenTrace::new(outputs, states)
+        GoldenTrace::new_dense(outputs, states)
     }
 }
 

@@ -13,9 +13,12 @@
 //!
 //! - [`Testbench`] — per-cycle input vectors (with seeded random
 //!   generation via [`SplitMix64`]);
-//! - [`GoldenTrace`] — the fault-free reference run: outputs per cycle and
-//!   the state trajectory, as consumed by fault classification and by the
-//!   emulation-technique timing models;
+//! - [`GoldenTrace`] — the fault-free reference run, stored under a
+//!   [`TracePolicy`]: dense (outputs + state trajectory for every cycle)
+//!   or checkpointed (full state every `K` cycles, everything else
+//!   replayed on demand into a bounded [`TraceWindow`]) — the
+//!   memory-bounded representation the streaming campaign core grades
+//!   against;
 //! - [`vcd`] — value-change-dump export for waveform debugging.
 //!
 //! # Cycle semantics
@@ -71,7 +74,7 @@ pub use equiv::{equiv_check, Counterexample};
 pub use event::EventSim;
 pub use rng::SplitMix64;
 pub use testbench::Testbench;
-pub use trace::GoldenTrace;
+pub use trace::{GoldenTrace, TracePolicy, TraceWindow};
 
 /// All 64 lanes set: the broadcast form of `true`.
 pub const ALL_LANES: u64 = !0u64;

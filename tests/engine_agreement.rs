@@ -12,8 +12,13 @@ use seugrade::prelude::*;
 fn all_engines_agree_on_registry_circuits() {
     for name in registry::NAMES {
         let circuit = registry::build(name).expect("registered");
-        // Keep debug-build runtime sane on the big circuits.
-        let cycles = if circuit.num_ffs() > 100 { 12 } else { 30 };
+        // Keep debug-build runtime sane on the big circuits (s5378g has
+        // 1536 flip-flops; its serial reference dominates this suite).
+        let cycles = match circuit.num_ffs() {
+            0..=100 => 30,
+            101..=1000 => 12,
+            _ => 3,
+        };
         let tb = if circuit.num_inputs() == viper::NUM_INPUTS {
             stimuli::viper_program(cycles, 5)
         } else {
@@ -84,11 +89,16 @@ fn event_sim_oracle_agrees_on_fault_outcomes() {
 fn sharded_engine_agrees_on_registry_circuits() {
     for name in registry::NAMES {
         let circuit = registry::build(name).expect("registered");
-        let cycles = if circuit.num_ffs() > 100 { 10 } else { 24 };
+        let cycles = match circuit.num_ffs() {
+            0..=100 => 24,
+            101..=1000 => 10,
+            _ => 3,
+        };
         let tb = Testbench::random(circuit.num_inputs(), cycles, 21);
         let grader = Grader::new(&circuit, &tb);
         let faults = FaultList::exhaustive(circuit.num_ffs(), cycles);
         let serial = grader.run_serial(faults.as_slice());
+        let serial_digest = StreamAccumulator::digest_of(faults.as_slice(), &serial);
         let engine = Engine::for_circuit(&circuit, &tb);
         for threads in [1, 4] {
             let plan = CampaignPlan::builder(&circuit, &tb)
@@ -96,6 +106,11 @@ fn sharded_engine_agrees_on_registry_circuits() {
                 .build();
             let run = engine.run(&plan);
             assert_eq!(run.outcomes(), serial.as_slice(), "{name} @ {threads} threads");
+            // The streamed path never materializes the campaign, yet its
+            // digest proves the verdicts fault-for-fault identical.
+            let streamed = engine.run_streamed(&plan);
+            assert_eq!(streamed.digest(), serial_digest, "{name} streamed @ {threads}");
+            assert_eq!(streamed.summary(), run.summary(), "{name} streamed @ {threads}");
         }
         // Sampled campaigns shard identically too.
         let sample = FaultList::sampled(circuit.num_ffs(), cycles, 40, 5);
@@ -106,6 +121,69 @@ fn sharded_engine_agrees_on_registry_circuits() {
         let run = engine.run(&plan);
         assert_eq!(run.single(), Some(&sample), "{name}: sample is policy-independent");
         assert_eq!(run.outcomes(), grader.run_serial(sample.as_slice()), "{name}: sampled");
+    }
+}
+
+/// The streaming core end to end on the s5378-class scale fixture: a
+/// checkpointed engine with a streamed fault source agrees with the
+/// dense materialized engine and the serial reference at 1/2/4/8
+/// threads, while storing an order of magnitude less golden state.
+#[test]
+fn streamed_checkpoint_campaign_agrees_on_the_scale_fixture() {
+    let circuit = registry::build("s5378g").expect("registered");
+    let cycles = 3; // debug-build budget; release CI grades 4096 cycles
+    let tb = Testbench::random(circuit.num_inputs(), cycles, 42);
+    // Sampled subset: the serial reference is the slow engine here.
+    let sample = FaultList::sampled(circuit.num_ffs(), cycles, 256, 9);
+    let dense = Grader::new(&circuit, &tb);
+    let serial = dense.run_serial(sample.as_slice());
+    let serial_digest = StreamAccumulator::digest_of(sample.as_slice(), &serial);
+    for threads in [1usize, 2, 4, 8] {
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .faults(sample.clone())
+            .trace_policy(TracePolicy::Checkpoint(64))
+            .policy(ShardPolicy::with_threads(threads))
+            .build();
+        let engine = Engine::new(&plan);
+        let streamed = engine.run_streamed(&plan);
+        assert_eq!(streamed.digest(), serial_digest, "{threads} threads");
+        let run = engine.run(&plan);
+        assert_eq!(run.outcomes(), serial.as_slice(), "{threads} threads materialized");
+        assert!(
+            engine.grader().golden().stored_bits() <= dense.golden().stored_bits(),
+            "checkpointed golden must not out-store dense"
+        );
+    }
+}
+
+/// `TracePolicy::Dense` and `Checkpoint(K)` are interchangeable for
+/// every engine entry point: serial, bit-parallel, materialized engine
+/// and streamed engine all agree for a spread of `K`s.
+#[test]
+fn trace_policies_agree_across_all_entry_points() {
+    let circuit = registry::build("b09s").expect("registered");
+    let cycles = 22;
+    let tb = Testbench::random(circuit.num_inputs(), cycles, 13);
+    let faults = FaultList::exhaustive(circuit.num_ffs(), cycles);
+    let dense = Grader::new(&circuit, &tb);
+    let reference = dense.run_serial(faults.as_slice());
+    let reference_digest = StreamAccumulator::digest_of(faults.as_slice(), &reference);
+    for k in [1, 4, 9, 22, 100] {
+        let policy = TracePolicy::Checkpoint(k);
+        let grader = Grader::with_policy(&circuit, &tb, policy);
+        assert_eq!(grader.run_serial(faults.as_slice()), reference, "serial K={k}");
+        assert_eq!(grader.run_parallel(faults.as_slice()), reference, "parallel K={k}");
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .trace_policy(policy)
+            .threads(2)
+            .build();
+        let engine = Engine::new(&plan);
+        assert_eq!(engine.run(&plan).outcomes(), reference.as_slice(), "engine K={k}");
+        assert_eq!(
+            engine.run_streamed(&plan).digest(),
+            reference_digest,
+            "streamed K={k}"
+        );
     }
 }
 
@@ -147,6 +225,61 @@ proptest! {
             let run = engine.run(&plan);
             prop_assert_eq!(run.outcomes(), serial.as_slice(), "{} threads", threads);
             prop_assert_eq!(run.summary().total(), faults.len());
+        }
+    }
+
+    /// Random circuits, random checkpoint interval: `Checkpoint(K)`
+    /// grades bit-identically to `Dense` through both the serial grader
+    /// and the streamed engine.
+    #[test]
+    fn checkpoint_policy_matches_dense_on_generated_circuits(
+        config in arb_config(),
+        seed in 0u64..1000,
+        k in 1usize..40,
+    ) {
+        let circuit = random_sequential(&config, seed);
+        let cycles = 16usize;
+        let tb = Testbench::random(circuit.num_inputs(), cycles, seed ^ 0xC0FFEE);
+        let faults = FaultList::exhaustive(circuit.num_ffs(), cycles);
+        let dense = Grader::new(&circuit, &tb);
+        let reference = dense.run_serial(faults.as_slice());
+        let cp = Grader::with_policy(&circuit, &tb, TracePolicy::Checkpoint(k));
+        prop_assert_eq!(&cp.run_serial(faults.as_slice()), &reference, "serial K={}", k);
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .trace_policy(TracePolicy::Checkpoint(k))
+            .threads(2)
+            .build();
+        let streamed = plan.execute_streamed();
+        prop_assert_eq!(
+            streamed.digest(),
+            StreamAccumulator::digest_of(faults.as_slice(), &reference),
+            "streamed K={}", k
+        );
+    }
+
+    /// Streamed and materialized fault sources agree at 1/2/4/8 threads
+    /// on generated circuits (summary and fault-for-fault digest).
+    #[test]
+    fn streamed_matches_materialized_on_generated_circuits(
+        config in arb_config(),
+        seed in 0u64..1000,
+    ) {
+        let circuit = random_sequential(&config, seed);
+        let cycles = 14usize;
+        let tb = Testbench::random(circuit.num_inputs(), cycles, seed ^ 0x57EA);
+        let engine = Engine::for_circuit(&circuit, &tb);
+        let reference = engine.run(&CampaignPlan::builder(&circuit, &tb).build());
+        let ref_digest = StreamAccumulator::digest_of(
+            reference.single().expect("exhaustive").as_slice(),
+            reference.outcomes(),
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .policy(ShardPolicy::with_threads(threads))
+                .build();
+            let streamed = engine.run_streamed(&plan);
+            prop_assert_eq!(streamed.summary(), reference.summary(), "{} threads", threads);
+            prop_assert_eq!(streamed.digest(), ref_digest, "{} threads", threads);
         }
     }
 

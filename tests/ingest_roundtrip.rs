@@ -96,6 +96,27 @@ fn imported_campaigns_are_thread_count_invariant() {
 }
 
 #[test]
+fn bench_emit_import_round_trip_is_equivalent_for_every_registry_circuit() {
+    // The `.bench` emitter satellite: `import → emit → import` must be
+    // sim-equivalent for every registered circuit, including the
+    // RTL-elaborated Viper, the imported fixtures and the s5378-class
+    // generator mesh.
+    for name in registry::NAMES {
+        let circuit = registry::build(name).expect("registered");
+        let text = seugrade_netlist::bench::emit(&circuit);
+        let back = import::import_str(&text, SourceFormat::Bench)
+            .unwrap_or_else(|e| panic!("{name} re-import: {e}"))
+            .netlist;
+        assert_eq!(back.num_inputs(), circuit.num_inputs(), "{name}");
+        assert_eq!(back.num_outputs(), circuit.num_outputs(), "{name}");
+        assert_eq!(back.num_ffs(), circuit.num_ffs(), "{name}");
+        assert_eq!(back.ff_init_values(), circuit.ff_init_values(), "{name}");
+        let cycles = if circuit.num_ffs() > 1000 { 8 } else { 48 };
+        equiv_check(&circuit, &back, cycles, 4).unwrap_or_else(|cex| panic!("{name}: {cex}"));
+    }
+}
+
+#[test]
 fn fixture_registry_entries_participate_in_the_workspace() {
     for name in ["s27", "s208a", "s344a"] {
         let n = registry::build(name).expect("fixtures are registered");
@@ -150,12 +171,15 @@ fn malformed_bench_inputs_fail_with_located_errors() {
 
 #[test]
 fn malformed_blif_inputs_fail_with_located_errors() {
-    // Unsupported cover shape.
+    // A cover mixing on-set and off-set rows (general SOP synthesis
+    // handles every uniform cover, so polarity mixing is what remains
+    // malformed).
     let err = seugrade_netlist::blif::parse(
-        ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-0 1\n-11 1\n.end\n",
+        ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-0 1\n-11 0\n.end\n",
     )
     .unwrap_err();
     assert_eq!(err.line(), Some(4), "{err}");
+    assert!(err.to_string().contains("mixes"), "{err}");
 
     // Undefined net behind a latch.
     let err =
@@ -165,6 +189,44 @@ fn malformed_blif_inputs_fail_with_located_errors() {
     // Unsupported directive.
     let err = seugrade_netlist::blif::parse(".model m\n.subckt child x=y\n.end\n").unwrap_err();
     assert_eq!(err.line(), Some(2), "{err}");
+}
+
+#[test]
+fn general_sop_covers_are_sim_equivalent_to_gate_twins() {
+    // The BLIF SOP-synthesis satellite: arbitrary two-level covers must
+    // behave exactly like hand-built gate equivalents.
+    for (label, blif, bench) in [
+        (
+            "a·c + ¬a·b",
+            ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n1-1 1\n01- 1\n.end\n",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nna = NOT(a)\nt0 = AND(a, c)\n\
+             t1 = AND(na, b)\ny = OR(t0, t1)\n",
+        ),
+        (
+            "majority(a,b,c)",
+            ".model m\n.inputs a b c\n.outputs y\n.names a b c y\n11- 1\n1-1 1\n-11 1\n.end\n",
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt0 = AND(a, b)\nt1 = AND(a, c)\n\
+             t2 = AND(b, c)\ny = OR(t0, t1, t2)\n",
+        ),
+        (
+            "off-set ¬(a·b + ¬a·¬b)",
+            ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 0\n00 0\n.end\n",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n",
+        ),
+        (
+            "single-literal off-set",
+            ".model m\n.inputs a\n.outputs y\n.names a y\n0 0\n.end\n",
+            "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n",
+        ),
+    ] {
+        let lhs = import::import_str(blif, SourceFormat::Blif)
+            .unwrap_or_else(|e| panic!("{label}: {e}"))
+            .netlist;
+        let rhs = import::import_str(bench, SourceFormat::Bench)
+            .unwrap_or_else(|e| panic!("{label}: {e}"))
+            .netlist;
+        equiv_check(&lhs, &rhs, 32, 8).unwrap_or_else(|cex| panic!("{label}: {cex}"));
+    }
 }
 
 #[test]
