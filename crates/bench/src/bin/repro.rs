@@ -11,9 +11,10 @@
 //! ```
 //!
 //! Subcommands: `table1`, `table2`, `figure1`, `classification`, `speed`,
-//! `crossover`, `ablations`, `sampling`, `all`, `bench`, `grade`.
-//! `--quick` shrinks the crossover sweep, sample sizes and the bench
-//! circuit. `--csv` additionally prints machine-readable CSV blocks.
+//! `crossover`, `ablations`, `sampling`, `all`, `bench`, `grade`,
+//! `resume`. `--quick` shrinks the crossover sweep, sample sizes and the
+//! bench circuit. `--csv` additionally prints machine-readable CSV
+//! blocks.
 //!
 //! `bench` measures the sharded campaign engine (serial reference,
 //! engine at 1/2/`--threads N` workers, plus the modelled autonomous
@@ -38,8 +39,20 @@
 //! order-independent verdict digest. Verdicts are identical at every
 //! thread count and trace policy (the engine's determinism guarantee).
 //! The on-disk grammars are specified in `docs/FORMATS.md`.
+//!
+//! With `--checkpoint PATH` the grade rides the engine's **resumable**
+//! path: progress is persisted atomically every `--checkpoint-every N`
+//! chunks (default 256), Ctrl-C / SIGTERM drains the in-flight chunks,
+//! writes a final checkpoint and exits with code 130, and
+//! `repro -- resume PATH` rebuilds the campaign from the checkpoint's
+//! own metadata, verifies the fingerprint against the reconstructed
+//! plan, and continues from the saved cursor — the resumed verdict
+//! digest is bit-identical to an uninterrupted run at any thread count.
+//! A corrupt, truncated or mismatched checkpoint is rejected with a
+//! line-numbered error and a non-zero exit, never a panic.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use seugrade::experiments::{
     self, ablations_for, classification_for, crossover_for, figure1, sampling_for, speed_for,
@@ -57,7 +70,13 @@ struct Options {
     seed: u64,
     trace_policy: TracePolicy,
     sample: Option<usize>,
+    checkpoint: Option<String>,
+    checkpoint_every: usize,
 }
+
+/// Exit code for a run interrupted by SIGINT/SIGTERM after draining
+/// in-flight work and writing a final checkpoint (128 + SIGINT).
+const EXIT_INTERRUPTED: i32 = 130;
 
 fn parse_count(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
     let v = it.next().unwrap_or_else(|| {
@@ -85,6 +104,8 @@ fn main() {
         seed: 42,
         trace_policy: TracePolicy::Dense,
         sample: None,
+        checkpoint: None,
+        checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
     };
     let mut commands: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -115,6 +136,15 @@ fn main() {
                 });
             }
             "--sample" => opts.sample = Some(parse_count(&mut it, "--sample")),
+            "--checkpoint" => {
+                opts.checkpoint = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--checkpoint needs a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = parse_count(&mut it, "--checkpoint-every");
+            }
             "--format" => {
                 let v = it.next().unwrap_or_else(|| {
                     eprintln!("--format needs a value");
@@ -152,6 +182,7 @@ fn main() {
         "all",
         "bench",
         "grade",
+        "resume",
     ];
     if !known.contains(&command) {
         eprintln!("unknown experiment `{command}`; expected one of {known:?}");
@@ -169,11 +200,20 @@ fn main() {
             eprintln!(
                 "usage: repro -- grade <file-or-registry-name> [--format bench|blif|snl] \
                  [--threads N] [--vectors N] [--seed S] [--trace-policy dense|checkpoint:K] \
-                 [--sample N]"
+                 [--sample N] [--checkpoint PATH] [--checkpoint-every N]"
             );
             std::process::exit(2);
         };
         run_grade(target, &opts);
+        eprintln!("done in {:.1?}", start.elapsed());
+        return;
+    }
+    if command == "resume" {
+        let Some(path) = commands.get(1) else {
+            eprintln!("usage: repro -- resume <checkpoint-path> [--threads N] [--checkpoint-every N]");
+            std::process::exit(2);
+        };
+        run_resume(path, &opts);
         eprintln!("done in {:.1?}", start.elapsed());
         return;
     }
@@ -409,18 +449,7 @@ fn run_grade_scaling(opts: &Options, threads: usize) {
 /// `--trace-policy`, and print the per-class breakdown plus the
 /// golden-trace memory the policy actually held.
 fn run_grade(target: &str, opts: &Options) {
-    let circuit = if let Some(circuit) = registry::build(target) {
-        eprintln!("registry circuit `{target}`");
-        circuit
-    } else {
-        let imported = import::import_path_with(target, opts.format, ImportOptions::default())
-            .unwrap_or_else(|e| {
-                eprintln!("{e}");
-                std::process::exit(1);
-            });
-        eprintln!("{}", imported.stats);
-        imported.netlist
-    };
+    let circuit = load_circuit(target, opts.format);
     eprintln!("{circuit}");
 
     // `--threads N` pins the worker count; otherwise defer to the
@@ -449,19 +478,176 @@ fn run_grade(target: &str, opts: &Options) {
     }
     let plan = builder.build();
     let engine = Engine::new(&plan);
-    let run = engine.run_streamed(&plan);
 
+    if let Some(path) = &opts.checkpoint {
+        let mut ropts = ResumeOptions::checkpoint_to(path);
+        ropts.every = opts.checkpoint_every;
+        ropts.cancel = Some(signal_cancel_token());
+        ropts.meta = grade_meta(target, opts);
+        let run = engine.run_streamed_resumable(&plan, &ropts).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        finish_resumable(&circuit, target, &engine, path, &run);
+    } else {
+        let run = engine.run_streamed(&plan);
+        print_streamed_report(&circuit, target, &engine, run.summary(), run.stats(), run.digest());
+    }
+}
+
+/// The `resume` subcommand: load a checkpoint, rebuild the campaign from
+/// the metadata the `grade` run stored in it, verify the fingerprint and
+/// continue from the saved cursor. A second interruption writes another
+/// checkpoint and exits 130 again — resume is idempotent.
+fn run_resume(path: &str, opts: &Options) {
+    let ck = Checkpoint::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let fp = ck.fingerprint();
+    let target = ck.meta_get("target").unwrap_or_else(|| {
+        eprintln!("checkpoint has no `target` metadata; it was not written by `repro -- grade`");
+        std::process::exit(1);
+    });
+    let format = ck.meta_get("format").map(|v| {
+        SourceFormat::from_label(v).unwrap_or_else(|| {
+            eprintln!("checkpoint stores unknown source format `{v}`");
+            std::process::exit(1);
+        })
+    });
+    let vectors = resume_meta_count(&ck, "vectors");
+    let seed = resume_meta_count(&ck, "seed") as u64;
+    let sample = ck.meta_get("sample").map(|_| resume_meta_count(&ck, "sample"));
+    let trace_policy = TracePolicy::from_label(&fp.trace_policy).unwrap_or_else(|| {
+        eprintln!("checkpoint stores unknown trace policy `{}`", fp.trace_policy);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "resuming `{}` from {}: chunk {}/{}, {}/{} faults graded",
+        target,
+        path,
+        ck.chunks_done(),
+        fp.chunks,
+        ck.faults_done(),
+        fp.faults,
+    );
+
+    let circuit = load_circuit(target, format);
+    let policy = opts.threads.map_or_else(ShardPolicy::auto, ShardPolicy::with_threads);
+    let tb = Testbench::random(circuit.num_inputs(), vectors, seed);
+    let mut builder = CampaignPlan::builder(&circuit, &tb)
+        .policy(policy)
+        .trace_policy(trace_policy);
+    if let Some(count) = sample {
+        builder = builder.sampled(count, seed);
+    }
+    let plan = builder.build();
+    let engine = Engine::new(&plan);
+
+    let mut ropts = ResumeOptions::resume_from(path);
+    ropts.every = opts.checkpoint_every;
+    ropts.cancel = Some(signal_cancel_token());
+    let target = target.to_owned();
+    let run = engine.run_streamed_resumable(&plan, &ropts).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    finish_resumable(&circuit, &target, &engine, path, &run);
+}
+
+/// Resolves a grade/resume target: bundled registry name first, external
+/// netlist file otherwise. Load failures exit 1 with the importer's
+/// line-numbered message.
+fn load_circuit(target: &str, format: Option<SourceFormat>) -> Netlist {
+    if let Some(circuit) = registry::build(target) {
+        eprintln!("registry circuit `{target}`");
+        circuit
+    } else {
+        let imported = import::import_path_with(target, format, ImportOptions::default())
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+        eprintln!("{}", imported.stats);
+        imported.netlist
+    }
+}
+
+/// Everything `resume` needs to rebuild the campaign plan from the
+/// checkpoint file alone (the fingerprint then cross-checks the result).
+fn grade_meta(target: &str, opts: &Options) -> Vec<(String, String)> {
+    let mut meta = vec![
+        ("target".to_owned(), target.to_owned()),
+        ("vectors".to_owned(), opts.vectors.to_string()),
+        ("seed".to_owned(), opts.seed.to_string()),
+    ];
+    if let Some(format) = opts.format {
+        meta.push(("format".to_owned(), format.label().to_owned()));
+    }
+    if let Some(count) = opts.sample {
+        meta.push(("sample".to_owned(), count.to_string()));
+    }
+    meta
+}
+
+/// Parses a numeric metadata value out of a checkpoint, exiting with a
+/// structured message when it is missing or malformed.
+fn resume_meta_count(ck: &Checkpoint, key: &str) -> usize {
+    let v = ck.meta_get(key).unwrap_or_else(|| {
+        eprintln!("checkpoint has no `{key}` metadata; it was not written by `repro -- grade`");
+        std::process::exit(1);
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("checkpoint metadata `{key}` is not a number: `{v}`");
+        std::process::exit(1);
+    })
+}
+
+/// Prints the outcome of a resumable invocation: the full report when the
+/// campaign finished, or the checkpoint cursor + exit 130 when it was
+/// interrupted by Ctrl-C / SIGTERM (or a chunk limit).
+fn finish_resumable(
+    circuit: &Netlist,
+    target: &str,
+    engine: &Engine,
+    path: &str,
+    run: &ResumableRun<StreamAccumulator>,
+) {
+    if run.resumed_from > 0 {
+        eprintln!("resumed from chunk {}/{}", run.resumed_from, run.chunks_total);
+    }
+    if run.interrupted {
+        eprintln!(
+            "interrupted at chunk {}/{} ({}/{} faults); checkpoint written to {path}",
+            run.chunks_done, run.chunks_total, run.faults_done, run.faults_total,
+        );
+        eprintln!("resume with: repro -- resume {path}");
+        std::process::exit(EXIT_INTERRUPTED);
+    }
+    print_streamed_report(circuit, target, engine, run.sink.summary(), &run.stats, run.sink.digest());
+}
+
+/// The shared grade/resume report: per-class breakdown, engine stats,
+/// golden-trace memory and the order-independent verdict digest.
+fn print_streamed_report(
+    circuit: &Netlist,
+    target: &str,
+    engine: &Engine,
+    summary: &GradingSummary,
+    stats: &EngineStats,
+    digest: u64,
+) {
     println!("{} ({})", circuit.name(), target);
     for class in FaultClass::ALL {
         println!(
             "  {:<8} {:>8}  ({:.1}%)",
             class.label(),
-            run.summary().count(class),
-            run.summary().percent(class)
+            summary.count(class),
+            summary.percent(class)
         );
     }
-    println!("  {:<8} {:>8}", "total", run.summary().total());
-    println!("{}", run.stats());
+    println!("  {:<8} {:>8}", "total", summary.total());
+    println!("{stats}");
     let golden = engine.grader().golden();
     let dense_bits = golden.dense_equivalent_bits();
     println!(
@@ -470,6 +656,45 @@ fn run_grade(target: &str, opts: &Options) {
         golden.policy(),
         dense_bits,
         engine_bench::ratio(dense_bits as f64, golden.stored_bits() as f64),
-        run.digest(),
+        digest,
     );
+}
+
+/// Set by the signal handler; bridged to a [`CancelToken`] by a watcher
+/// thread (signal handlers must only touch async-signal-safe state).
+static INTERRUPT_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn note_interrupt(_signum: i32) {
+    INTERRUPT_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers (via libc's `signal`, which std
+/// already links — no external crates) and returns a [`CancelToken`]
+/// that a watcher thread trips once a signal lands. The engine observes
+/// the token at chunk boundaries, drains in-flight work, writes a final
+/// checkpoint and returns with `interrupted = true`.
+fn signal_cancel_token() -> CancelToken {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    // SAFETY: `note_interrupt` only stores to a static atomic, which is
+    // async-signal-safe; `signal` is the C standard library's own entry
+    // point and both signal numbers are valid on Linux.
+    unsafe {
+        signal(SIGINT, note_interrupt as extern "C" fn(i32) as usize);
+        signal(SIGTERM, note_interrupt as extern "C" fn(i32) as usize);
+    }
+    let token = CancelToken::new();
+    let watched = token.clone();
+    std::thread::spawn(move || loop {
+        if INTERRUPT_FLAG.load(Ordering::SeqCst) {
+            eprintln!("signal received; draining in-flight chunks...");
+            watched.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+    token
 }

@@ -53,14 +53,16 @@ pub mod tables;
 pub mod prelude {
     pub use seugrade_circuits::{fixtures, generators, registry, small, stimuli, viper};
     pub use seugrade_emulation::campaign::{
-        AutonomousCampaign, EmulationReport, StreamedCampaign, Technique,
+        AutonomousCampaign, EmulationReport, StreamedCampaign, StreamedCampaignStatus, Technique,
     };
     pub use seugrade_engine::bench as engine_bench;
     pub use seugrade_engine::{
         throughput_harness, BenchRecord, BenchReport, CampaignPlan, CampaignPlanBuilder,
-        CampaignRun, Engine, EngineStats, FaultPlan, FaultSource, GradeBenchReport, GradeRecord,
-        ProgressCounter, ProgressEvent, ShardPolicy, StreamAccumulator, StreamedRun, VerdictSink,
-        BENCH_SCHEMA, GRADE_BENCH_SCHEMA,
+        CampaignRun, CancelToken, Checkpoint, Engine, EngineError, EngineStats, FaultPlan,
+        FaultSource, Fingerprint, GradeBenchReport, GradeRecord, PersistentSink, ProgressCounter,
+        ProgressEvent, ResumableRun, ResumeError, ResumeOptions, ShardPolicy, StreamAccumulator,
+        StreamedRun, VerdictSink, BENCH_SCHEMA, CKPT_SCHEMA, DEFAULT_CHECKPOINT_EVERY,
+        GRADE_BENCH_SCHEMA,
     };
     pub use seugrade_emulation::controller::{CampaignTiming, ClockHz, TimingConfig};
     pub use seugrade_emulation::hostlink::HostLinkModel;

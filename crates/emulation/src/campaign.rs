@@ -2,7 +2,10 @@
 
 use std::fmt;
 
-use seugrade_engine::{CampaignPlan, Engine, EngineStats, ShardPolicy, VerdictSink};
+use seugrade_engine::{
+    CampaignPlan, Engine, EngineError, EngineStats, PersistentSink, ResumeError, ResumeOptions,
+    ShardPolicy, VerdictSink,
+};
 use seugrade_faultsim::{Fault, FaultList, FaultOutcome, GradingSummary};
 use seugrade_netlist::Netlist;
 use seugrade_sim::{Testbench, TracePolicy};
@@ -212,6 +215,63 @@ impl AutonomousCampaign {
         }
     }
 
+    /// The **interruption-safe** variant of [`streamed`](Self::streamed):
+    /// grades through the engine's resumable path, persisting campaign
+    /// progress (including the online technique-timing fold) to the
+    /// checkpoint configured in `opts` and honouring its cancellation
+    /// token and chunk limit. When the run stops early the returned
+    /// status carries the cursor instead of reports; invoking this again
+    /// with [`ResumeOptions::resume_from`] continues where it stopped
+    /// and — once complete — yields [`EmulationReport`]s identical to an
+    /// uninterrupted [`streamed`](Self::streamed) campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test bench width does not match the circuit or the
+    /// policy is `Checkpoint(0)`.
+    pub fn streamed_resumable(
+        circuit: &Netlist,
+        tb: &Testbench,
+        timing_config: TimingConfig,
+        trace_policy: TracePolicy,
+        opts: &ResumeOptions,
+    ) -> Result<StreamedCampaignStatus, EngineError> {
+        let plan = CampaignPlan::builder(circuit, tb)
+            .policy(ShardPolicy::auto())
+            .trace_policy(trace_policy)
+            .build();
+        let engine = Engine::new(&plan);
+        let run = engine.run_streamed_resumable_with::<CampaignSink>(&plan, opts)?;
+        let (chunks_done, chunks_total) = (run.chunks_done, run.chunks_total);
+        let (faults_done, faults_total) = (run.faults_done, run.faults_total);
+        let (resumed_from, interrupted) = (run.resumed_from, run.interrupted);
+        let complete = run.is_complete().then(|| {
+            let timings =
+                run.sink.timing.finish(&timing_config, tb.num_cycles(), circuit.num_ffs());
+            StreamedCampaign {
+                summary: run.sink.summary,
+                timings,
+                ram_params: RamParams {
+                    num_inputs: circuit.num_inputs(),
+                    num_outputs: circuit.num_outputs(),
+                    num_ffs: circuit.num_ffs(),
+                    num_cycles: tb.num_cycles(),
+                    num_faults: faults_total,
+                },
+                stats: run.stats,
+            }
+        });
+        Ok(StreamedCampaignStatus {
+            complete,
+            chunks_done,
+            chunks_total,
+            faults_done,
+            faults_total,
+            resumed_from,
+            interrupted,
+        })
+    }
+
     /// Produces the emulation report for one technique.
     #[must_use]
     pub fn run(&self, technique: Technique) -> EmulationReport {
@@ -271,6 +331,37 @@ impl VerdictSink for CampaignSink {
     }
 }
 
+impl PersistentSink for CampaignSink {
+    fn save_lines(&self, out: &mut Vec<String>) {
+        use seugrade_faultsim::FaultClass;
+        out.push(format!(
+            "summary {} {} {}",
+            self.summary.count(FaultClass::Failure),
+            self.summary.count(FaultClass::Latent),
+            self.summary.count(FaultClass::Silent)
+        ));
+        out.push(self.timing.checkpoint_line());
+    }
+
+    fn restore_lines(lines: &[String], base_line: usize) -> Result<Self, ResumeError> {
+        let corrupt = |off: usize, msg: String| ResumeError::Corrupt { line: base_line + off, msg };
+        if lines.len() != 2 {
+            return Err(corrupt(0, format!("expected 2 sink lines, found {}", lines.len())));
+        }
+        let counts: Vec<usize> = lines[0]
+            .strip_prefix("summary ")
+            .map(|rest| rest.split(' ').filter_map(|t| t.parse().ok()).collect())
+            .unwrap_or_default();
+        if counts.len() != 3 {
+            return Err(corrupt(0, format!("malformed summary line {:?}", lines[0])));
+        }
+        let summary = GradingSummary::from_counts(counts[0], counts[1], counts[2]);
+        let timing = TimingAccumulator::from_checkpoint_line(&lines[1])
+            .ok_or_else(|| corrupt(1, format!("malformed timing line {:?}", lines[1])))?;
+        Ok(CampaignSink { summary, timing })
+    }
+}
+
 /// A finished memory-bounded campaign: summary, per-technique timings
 /// and RAM plans — no fault list, no outcome vector.
 ///
@@ -315,6 +406,31 @@ impl StreamedCampaign {
             ram: RamPlan::plan(technique, &self.ram_params),
         }
     }
+}
+
+/// Progress of a resumable streamed campaign
+/// ([`AutonomousCampaign::streamed_resumable`]).
+///
+/// `complete` holds the finished [`StreamedCampaign`] once every chunk
+/// has been graded (possibly across several interrupted-and-resumed
+/// invocations); until then the cursor fields say how far the persisted
+/// campaign has progressed.
+#[derive(Clone, Debug)]
+pub struct StreamedCampaignStatus {
+    /// The finished campaign, once all chunks are graded.
+    pub complete: Option<StreamedCampaign>,
+    /// Chunks graded so far (cumulative across resumes).
+    pub chunks_done: usize,
+    /// Total chunks in the campaign.
+    pub chunks_total: usize,
+    /// Faults graded so far (cumulative across resumes).
+    pub faults_done: usize,
+    /// Total faults in the campaign.
+    pub faults_total: usize,
+    /// Cursor this invocation started from (0 for fresh runs).
+    pub resumed_from: usize,
+    /// True when the invocation stopped before the last chunk.
+    pub interrupted: bool,
 }
 
 #[cfg(test)]
@@ -427,6 +543,54 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(Technique::MaskScan.label(), "Mask Scan");
         assert_eq!(Technique::TimeMux.to_string(), "Time Multiplex.");
+    }
+
+    #[test]
+    fn interrupted_and_resumed_campaign_matches_uninterrupted_reports() {
+        let circuit = generators::lfsr(10, &[9, 6]);
+        let tb = Testbench::constant_low(0, 30);
+        let reference = AutonomousCampaign::streamed(
+            &circuit,
+            &tb,
+            crate::controller::TimingConfig::default(),
+            TracePolicy::Dense,
+        );
+        let path = std::env::temp_dir().join(format!(
+            "seugrade-emulation-resume-{}.ckpt",
+            std::process::id()
+        ));
+        // First invocation: stop after 7 chunks (of 30), persisting the
+        // timing fold mid-flight.
+        let mut opts = ResumeOptions::checkpoint_to(&path);
+        opts.every = 3;
+        opts.limit = Some(7);
+        let partial = AutonomousCampaign::streamed_resumable(
+            &circuit,
+            &tb,
+            crate::controller::TimingConfig::default(),
+            TracePolicy::Dense,
+            &opts,
+        )
+        .unwrap();
+        assert!(partial.interrupted && partial.complete.is_none());
+        assert_eq!(partial.chunks_done, 7);
+        // Second invocation resumes from the file and finishes.
+        let resumed = AutonomousCampaign::streamed_resumable(
+            &circuit,
+            &tb,
+            crate::controller::TimingConfig::default(),
+            TracePolicy::Dense,
+            &ResumeOptions::resume_from(&path),
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from, 7);
+        assert!(!resumed.interrupted);
+        let done = resumed.complete.expect("campaign finished");
+        assert_eq!(done.summary(), reference.summary());
+        for tech in Technique::ALL {
+            assert_eq!(done.run(tech).timing, reference.run(tech).timing, "{tech}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

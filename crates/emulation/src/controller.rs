@@ -330,6 +330,76 @@ impl TimingAccumulator {
         self.latent_t_sum += other.latent_t_sum;
     }
 
+    /// Serializes the folded state as one single-line checkpoint record
+    /// (the `ff_seen` set travels as a `<len>:<hex>` nibble bitmap).
+    /// [`from_checkpoint_line`](Self::from_checkpoint_line) inverts it
+    /// exactly, so a resumed streamed campaign finishes into the same
+    /// Table-2 numbers as an uninterrupted one.
+    #[must_use]
+    pub fn checkpoint_line(&self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let mut bitmap = String::with_capacity(self.ff_seen.len() / 4 + 1);
+        for chunk in self.ff_seen.chunks(4) {
+            let mut nibble = 0usize;
+            for (j, &seen) in chunk.iter().enumerate() {
+                if seen {
+                    nibble |= 1 << j;
+                }
+            }
+            bitmap.push(HEX[nibble] as char);
+        }
+        format!(
+            "timing {} {} {} {} {} {} {} {} {}:{bitmap}",
+            self.num_faults,
+            self.mask_fail_replay,
+            self.undetected,
+            self.ss_fail_run,
+            self.undetected_t_sum,
+            self.tm_decided_run,
+            self.latent,
+            self.latent_t_sum,
+            self.ff_seen.len(),
+        )
+    }
+
+    /// Parses a [`checkpoint_line`](Self::checkpoint_line) record;
+    /// `None` if the line is not a well-formed timing record.
+    #[must_use]
+    pub fn from_checkpoint_line(line: &str) -> Option<Self> {
+        let rest = line.strip_prefix("timing ")?;
+        let fields: Vec<&str> = rest.split(' ').collect();
+        if fields.len() != 9 {
+            return None;
+        }
+        let int = |s: &str| s.parse::<u64>().ok();
+        let (len_str, bitmap) = fields[8].split_once(':')?;
+        let len: usize = len_str.parse().ok()?;
+        if bitmap.len() != len.div_ceil(4) {
+            return None;
+        }
+        let mut ff_seen = vec![false; len];
+        for (i, c) in bitmap.chars().enumerate() {
+            let nibble = c.to_digit(16)?;
+            for j in 0..4 {
+                let idx = i * 4 + j;
+                if idx < len {
+                    ff_seen[idx] = nibble & (1 << j) != 0;
+                }
+            }
+        }
+        Some(TimingAccumulator {
+            num_faults: int(fields[0])?,
+            ff_seen,
+            mask_fail_replay: int(fields[1])?,
+            undetected: int(fields[2])?,
+            ss_fail_run: int(fields[3])?,
+            undetected_t_sum: int(fields[4])?,
+            tm_decided_run: int(fields[5])?,
+            latent: int(fields[6])?,
+            latent_t_sum: int(fields[7])?,
+        })
+    }
+
     /// Produces the three per-technique timings, in
     /// [`Technique::ALL`] order — bit-identical to the batch models over
     /// the same `(fault, outcome)` set.
@@ -399,6 +469,40 @@ mod tests {
         assert_eq!(c.cycles_to_time(25_000_000), Duration::from_secs(1));
         let t = c.cycles_to_time(25); // 1 us
         assert!((t.as_secs_f64() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_accumulator_checkpoint_roundtrip() {
+        let mut acc = TimingAccumulator::default();
+        acc.observe(fault(0, 3), FaultOutcome::failure(7));
+        acc.observe(fault(6, 1), FaultOutcome::silent(4));
+        acc.observe(fault(2, 0), FaultOutcome::latent());
+        let line = acc.checkpoint_line();
+        let back = TimingAccumulator::from_checkpoint_line(&line).unwrap();
+        let cfg = cfg();
+        assert_eq!(back.finish(&cfg, 20, 7), acc.finish(&cfg, 20, 7));
+        // Restored accumulators keep folding identically.
+        let extra = (fault(5, 9), FaultOutcome::failure(12));
+        let mut a = acc.clone();
+        let mut b = back;
+        a.observe(extra.0, extra.1);
+        b.observe(extra.0, extra.1);
+        assert_eq!(a.finish(&cfg, 20, 7), b.finish(&cfg, 20, 7));
+    }
+
+    #[test]
+    fn timing_checkpoint_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "timing",
+            "timing 1 2 3",
+            "timing 1 2 3 4 5 6 7 8 9",      // bitmap field not len:hex
+            "timing 1 2 3 4 5 6 7 8 8:f",     // bitmap too short for len
+            "timing x 2 3 4 5 6 7 8 0:",      // non-numeric field
+            "other 1 2 3 4 5 6 7 8 0:",
+        ] {
+            assert!(TimingAccumulator::from_checkpoint_line(bad).is_none(), "{bad:?}");
+        }
     }
 
     #[test]

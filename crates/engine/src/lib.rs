@@ -16,6 +16,9 @@
 //! | [`plan`] | [`CampaignPlan`] builder: circuit × test bench × fault source × techniques × [`ShardPolicy`] × `TracePolicy` |
 //! | [`runtime`] | [`Engine`]: shard, dispatch, merge; [`CampaignRun`] / [`StreamedRun`] results |
 //! | [`stream`] | cycle-major chunk plans and online [`VerdictSink`]s — the memory-bounded campaign core |
+//! | [`resume`] | `seugrade-campaign-ckpt/v1` checkpoints, [`Fingerprint`] verification, [`PersistentSink`] — the interruption-safety layer |
+//! | [`error`] | [`EngineError`]: structured failures (worker panics, checkpoint problems) |
+//! | [`cancel`] | [`CancelToken`]: cooperative chunk-boundary cancellation |
 //! | [`progress`] | per-shard [`ProgressEvent`]s, [`ProgressCounter`], [`EngineStats`] |
 //! | [`mod@bench`] | [`throughput_harness`] and the stable `BENCH_engine.json` schema |
 //!
@@ -50,9 +53,12 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cancel;
+pub mod error;
 pub mod plan;
 mod pool;
 pub mod progress;
+pub mod resume;
 pub mod runtime;
 pub mod stream;
 
@@ -60,7 +66,13 @@ pub use bench::{
     throughput_harness, BenchRecord, BenchReport, GradeBenchReport, GradeRecord, BENCH_SCHEMA,
     GRADE_BENCH_SCHEMA,
 };
+pub use cancel::CancelToken;
+pub use error::EngineError;
 pub use plan::{CampaignPlan, CampaignPlanBuilder, FaultSource, ShardPolicy, Technique};
 pub use progress::{EngineStats, ProgressCounter, ProgressEvent};
-pub use runtime::{CampaignRun, Engine, FaultPlan, StreamedRun};
+pub use resume::{
+    Checkpoint, Fingerprint, PersistentSink, ResumeError, ResumeOptions, CKPT_SCHEMA,
+    DEFAULT_CHECKPOINT_EVERY,
+};
+pub use runtime::{CampaignRun, Engine, FaultPlan, ResumableRun, StreamedRun};
 pub use stream::{StreamAccumulator, VerdictSink};

@@ -7,8 +7,73 @@
 //! and every item's result is tagged with its index, so the caller can
 //! merge results **deterministically** regardless of which worker graded
 //! what and in which order.
+//!
+//! The folded entry points additionally provide the robustness layer the
+//! resumable campaign path builds on:
+//!
+//! - **Worker-panic containment.** Each item runs under
+//!   [`std::panic::catch_unwind`] with a *chunk-local* accumulator that
+//!   is merged into the worker's accumulator only on success, so a
+//!   panicked chunk never leaks a partial fold. The panicked chunk is
+//!   requeued (the worker's scratch is rebuilt first — a panic may have
+//!   left it mid-update) up to a bounded retry budget; a chunk that
+//!   panics on every attempt surfaces as
+//!   [`EngineError::WorkerPanic`] instead of poisoning the campaign.
+//! - **Cooperative cancellation.** A [`CancelToken`] is polled at chunk
+//!   boundaries only: on cancellation every worker finishes the chunk it
+//!   already claimed (and any requeued retries) before stopping, which
+//!   keeps the set of completed chunks an exact prefix `0..completed` of
+//!   the queue — the invariant that makes a checkpoint cursor
+//!   meaningful at any thread count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::cancel::CancelToken;
+use crate::error::EngineError;
+
+/// Default number of times a panicked chunk is requeued before the
+/// campaign gives up on it (total attempts = budget + 1).
+pub(crate) const DEFAULT_RETRY_BUDGET: usize = 2;
+
+/// Knobs of a fault-tolerant folded run.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FoldControl<'a> {
+    /// Polled at chunk boundaries; `None` never cancels.
+    pub cancel: Option<&'a CancelToken>,
+    /// Requeues per panicking chunk before [`EngineError::WorkerPanic`].
+    pub retry_budget: usize,
+}
+
+impl Default for FoldControl<'_> {
+    fn default() -> Self {
+        FoldControl { cancel: None, retry_budget: DEFAULT_RETRY_BUDGET }
+    }
+}
+
+/// Result of a cancellable folded run.
+#[derive(Debug)]
+pub(crate) struct FoldStatus<A> {
+    /// Per-worker accumulators, in worker-index order.
+    pub accs: Vec<A>,
+    /// Chunks completed — always the exact prefix `0..completed` of the
+    /// queue (equals `items` unless the run was cancelled).
+    pub completed: usize,
+}
+
+/// Renders a caught panic payload (`&str` / `String` payloads; anything
+/// else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Runs `work` over every index in `0..items` on up to `threads` workers
 /// and returns the results in index order.
@@ -84,49 +149,163 @@ where
 /// Returns the worker accumulators in worker-index order (a single
 /// accumulator when everything ran inline). The caller merges them;
 /// because workers race for items, only **order-insensitive**
-/// accumulators produce schedule-independent results.
+/// accumulators produce schedule-independent results. Worker panics are
+/// contained and retried under the default budget (see the module docs).
 ///
 /// # Panics
 ///
-/// Panics if `threads` is zero or a worker panics.
-pub(crate) fn run_folded<S, A, I, F, W>(
+/// Panics if `threads` is zero.
+pub(crate) fn run_folded<S, A, I, F, M, W>(
     items: usize,
     threads: usize,
     init: I,
     init_acc: F,
+    merge: M,
     work: W,
-) -> Vec<A>
+) -> Result<Vec<A>, EngineError>
 where
     A: Send,
     S: Send,
     I: Fn() -> S + Sync,
     F: Fn() -> A + Sync,
+    M: Fn(&mut A, A) + Sync,
+    W: Fn(&mut S, &mut A, usize) + Sync,
+{
+    run_folded_ctl(items, threads, init, init_acc, merge, work, &FoldControl::default())
+        .map(|s| s.accs)
+}
+
+/// [`run_folded`] with explicit cancellation and retry control; reports
+/// how many chunks actually completed (an exact queue prefix).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub(crate) fn run_folded_ctl<S, A, I, F, M, W>(
+    items: usize,
+    threads: usize,
+    init: I,
+    init_acc: F,
+    merge: M,
+    work: W,
+    ctl: &FoldControl<'_>,
+) -> Result<FoldStatus<A>, EngineError>
+where
+    A: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn() -> A + Sync,
+    M: Fn(&mut A, A) + Sync,
     W: Fn(&mut S, &mut A, usize) + Sync,
 {
     assert!(threads > 0, "the pool needs at least one thread");
     let threads = threads.min(items).max(1);
+    let cancelled = || ctl.cancel.is_some_and(CancelToken::is_cancelled);
+
     if items == 0 || threads == 1 {
+        // Inline reference schedule: immediate retries, cancellation
+        // between chunks.
         let mut scratch = init();
         let mut acc = init_acc();
+        let mut completed = 0usize;
         for i in 0..items {
-            work(&mut scratch, &mut acc, i);
+            if cancelled() {
+                break;
+            }
+            let mut attempts = 0usize;
+            loop {
+                attempts += 1;
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    let mut local = init_acc();
+                    work(&mut scratch, &mut local, i);
+                    local
+                }));
+                match run {
+                    Ok(local) => {
+                        merge(&mut acc, local);
+                        completed += 1;
+                        break;
+                    }
+                    Err(payload) => {
+                        // The panic may have left the scratch mid-update.
+                        scratch = init();
+                        if attempts > ctl.retry_budget {
+                            return Err(EngineError::WorkerPanic {
+                                chunk: i,
+                                attempts,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                    }
+                }
+            }
         }
-        return vec![acc];
+        return Ok(FoldStatus { accs: vec![acc], completed });
     }
 
     let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
+    let completed = AtomicUsize::new(0);
+    let fatal_flag = AtomicBool::new(false);
+    let fatal: Mutex<Option<EngineError>> = Mutex::new(None);
+    // Requeued chunks plus their panic counts. Retries are drained with
+    // priority — even after cancellation — so every *claimed* chunk
+    // eventually completes and the completed set stays a queue prefix.
+    let retries: Mutex<(Vec<usize>, HashMap<usize, usize>)> =
+        Mutex::new((Vec::new(), HashMap::new()));
+
+    let accs: Vec<A> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut scratch = init();
                     let mut acc = init_acc();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items {
+                        if fatal_flag.load(Ordering::SeqCst) {
                             break;
                         }
-                        work(&mut scratch, &mut acc, i);
+                        let requeued =
+                            retries.lock().expect("retry queue lock").0.pop();
+                        let item = match requeued {
+                            Some(i) => i,
+                            None => {
+                                if cancelled() {
+                                    break;
+                                }
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= items {
+                                    break;
+                                }
+                                i
+                            }
+                        };
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            let mut local = init_acc();
+                            work(&mut scratch, &mut local, item);
+                            local
+                        }));
+                        match run {
+                            Ok(local) => {
+                                merge(&mut acc, local);
+                                completed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(payload) => {
+                                scratch = init();
+                                let mut r = retries.lock().expect("retry queue lock");
+                                let attempts = r.1.entry(item).or_insert(0);
+                                *attempts += 1;
+                                if *attempts > ctl.retry_budget {
+                                    *fatal.lock().expect("fatal lock") =
+                                        Some(EngineError::WorkerPanic {
+                                            chunk: item,
+                                            attempts: *attempts,
+                                            message: panic_message(payload.as_ref()),
+                                        });
+                                    fatal_flag.store(true, Ordering::SeqCst);
+                                } else {
+                                    r.0.push(item);
+                                }
+                            }
+                        }
                     }
                     acc
                 })
@@ -134,14 +313,39 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("engine worker panicked"))
+            .map(|h| h.join().expect("worker panicked outside the contained region"))
             .collect()
-    })
+    });
+
+    if let Some(err) = fatal.into_inner().expect("fatal lock") {
+        return Err(err);
+    }
+    Ok(FoldStatus { accs, completed: completed.into_inner() })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn collect_folded(
+        items: usize,
+        threads: usize,
+        ctl: &FoldControl<'_>,
+        work: impl Fn(usize) + Sync,
+    ) -> Result<FoldStatus<Vec<usize>>, EngineError> {
+        run_folded_ctl(
+            items,
+            threads,
+            || (),
+            Vec::new,
+            |a: &mut Vec<usize>, b| a.extend(b),
+            |(), acc: &mut Vec<usize>, i| {
+                work(i);
+                acc.push(i);
+            },
+            ctl,
+        )
+    }
 
     #[test]
     fn folded_accumulators_cover_every_item_once() {
@@ -151,8 +355,10 @@ mod tests {
                 threads,
                 || (),
                 Vec::new,
+                |a: &mut Vec<usize>, b| a.extend(b),
                 |(), acc: &mut Vec<usize>, i| acc.push(i),
-            );
+            )
+            .unwrap();
             assert!(accs.len() <= threads);
             let mut all: Vec<usize> = accs.into_iter().flatten().collect();
             all.sort_unstable();
@@ -162,8 +368,86 @@ mod tests {
 
     #[test]
     fn folded_empty_queue_yields_one_empty_accumulator() {
-        let accs = run_folded(0, 4, || (), || 0usize, |(), acc, _| *acc += 1);
+        let accs = run_folded(
+            0,
+            4,
+            || (),
+            || 0usize,
+            |a, b| *a += b,
+            |(), acc, _| *acc += 1,
+        )
+        .unwrap();
         assert_eq!(accs, vec![0]);
+    }
+
+    #[test]
+    fn panicking_chunk_is_retried_and_contained() {
+        // Item 7 panics on its first attempt at every thread count; the
+        // retry must re-run it so the fold still covers the queue exactly
+        // once, with no partial observation from the failed attempt.
+        for threads in [1, 2, 4] {
+            let first_attempt = AtomicBool::new(true);
+            let status = collect_folded(20, threads, &FoldControl::default(), |i| {
+                if i == 7 && first_attempt.swap(false, Ordering::SeqCst) {
+                    panic!("injected chunk failure");
+                }
+            })
+            .unwrap();
+            assert_eq!(status.completed, 20, "{threads} threads");
+            let mut all: Vec<usize> = status.accs.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..20).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_worker_panic() {
+        for threads in [1, 3] {
+            let err = collect_folded(10, threads, &FoldControl::default(), |i| {
+                assert!(i != 3, "always-fatal chunk");
+            })
+            .unwrap_err();
+            match err {
+                EngineError::WorkerPanic { chunk, attempts, .. } => {
+                    assert_eq!(chunk, 3, "{threads} threads");
+                    assert_eq!(attempts, DEFAULT_RETRY_BUDGET + 1, "{threads} threads");
+                }
+                other => panic!("expected WorkerPanic, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_completes_an_exact_prefix() {
+        for threads in [1, 2, 4] {
+            let token = CancelToken::new();
+            let ctl = FoldControl { cancel: Some(&token), retry_budget: 0 };
+            let status = collect_folded(200, threads, &ctl, |i| {
+                if i == 10 {
+                    token.cancel();
+                }
+            })
+            .unwrap();
+            assert!(status.completed >= 11, "{threads} threads: in-flight chunks drain");
+            assert!(status.completed < 200, "{threads} threads: cancellation stops the queue");
+            let mut all: Vec<usize> = status.accs.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..status.completed).collect::<Vec<_>>(),
+                "{threads} threads: completed chunks form the exact queue prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_run_completes_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = FoldControl { cancel: Some(&token), retry_budget: 0 };
+        let status = collect_folded(50, 4, &ctl, |_| {}).unwrap();
+        assert_eq!(status.completed, 0);
+        assert!(status.accs.into_iter().all(|a| a.is_empty()));
     }
 
     #[test]

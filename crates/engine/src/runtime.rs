@@ -6,10 +6,16 @@ use seugrade_faultsim::{sampling, FaultList, FaultOutcome, Grader, GradingSummar
 use seugrade_netlist::Netlist;
 use seugrade_sim::{Testbench, TracePolicy};
 
+use crate::error::EngineError;
 use crate::plan::{CampaignPlan, FaultSource, Technique};
-use crate::pool::{run_folded, run_indexed};
+use crate::pool::{run_folded, run_folded_ctl, run_indexed, FoldControl};
 use crate::progress::{EngineStats, ProgressEvent};
+use crate::resume::{Checkpoint, Fingerprint, PersistentSink, ResumeError, ResumeOptions};
 use crate::stream::{ChunkPlan, StreamAccumulator, VerdictSink};
+
+/// Per-worker grading scratch of the streamed paths: simulator state,
+/// chunk fault buffer, 64-lane outcome array.
+type StreamedScratch = (seugrade_sim::SimState, Vec<seugrade_faultsim::Fault>, [FaultOutcome; 64]);
 
 /// The materialized faults of one campaign run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,6 +155,55 @@ impl StreamedRun {
     #[must_use]
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+}
+
+/// One invocation of the **resumable** streaming path: the folded sink
+/// so far, the thread-count-independent chunk cursor, and whether the
+/// run stopped early (cancelled or chunk-limited) or finished.
+///
+/// Produced by [`Engine::run_streamed_resumable`]. The cursor counts an
+/// exact prefix of the cycle-major chunk queue, so `chunks_done`
+/// identifies precisely which faults the sink has folded — the
+/// invariant that lets a later invocation continue from a checkpoint
+/// and land on the uninterrupted run's digest bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct ResumableRun<A> {
+    /// The folded sink — cumulative across all resumed invocations.
+    pub sink: A,
+    /// This invocation's cost (`faults`/`shards` are cumulative counts;
+    /// `wall_ns` covers only this invocation).
+    pub stats: EngineStats,
+    /// Chunks completed so far (cumulative).
+    pub chunks_done: usize,
+    /// Total chunks in the campaign.
+    pub chunks_total: usize,
+    /// Faults folded so far (cumulative).
+    pub faults_done: usize,
+    /// Total faults in the campaign.
+    pub faults_total: usize,
+    /// Cursor position this invocation started from (0 for fresh runs).
+    pub resumed_from: usize,
+    /// True when the run stopped before the last chunk (cancellation or
+    /// a chunk limit); a final checkpoint was written if one was
+    /// configured.
+    pub interrupted: bool,
+}
+
+impl<A> ResumableRun<A> {
+    /// True when every chunk has been graded.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.chunks_done == self.chunks_total
+    }
+}
+
+impl ResumableRun<StreamAccumulator> {
+    /// Converts a **complete** run into the plain streamed-run result;
+    /// `None` while chunks remain.
+    #[must_use]
+    pub fn into_streamed_run(self) -> Option<StreamedRun> {
+        self.is_complete().then(|| StreamedRun { acc: self.sink, stats: self.stats })
     }
 }
 
@@ -321,11 +376,12 @@ impl Engine {
     ///
     /// Panics under the same conditions as [`run`](Self::run), or if the
     /// plan's source is [`FaultSource::Multi`] (MBU campaigns go through
-    /// the materialized path).
+    /// the materialized path), or if a worker panic survives the retry
+    /// budget ([`try_run_streamed`](Self::try_run_streamed) reports that
+    /// as an error instead).
     #[must_use]
     pub fn run_streamed(&self, plan: &CampaignPlan<'_>) -> StreamedRun {
-        let (acc, stats) = self.run_streamed_with::<StreamAccumulator>(plan);
-        StreamedRun { acc, stats }
+        self.try_run_streamed(plan).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`run_streamed`](Self::run_streamed) with a caller-supplied
@@ -344,17 +400,35 @@ impl Engine {
         &self,
         plan: &CampaignPlan<'_>,
     ) -> (A, EngineStats) {
-        assert_eq!(
-            plan.testbench(),
-            self.grader.testbench(),
-            "plan test bench does not match engine"
-        );
-        assert!(
-            plan.circuit().name() == self.circuit_name
-                && plan.circuit().num_cells() == self.num_cells
-                && plan.circuit().num_ffs() == self.grader.sim().num_ffs(),
-            "plan circuit does not match engine"
-        );
+        self.try_run_streamed_with(plan).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-tolerant [`run_streamed`](Self::run_streamed): worker
+    /// panics are contained, retried up to a bounded budget, and
+    /// surfaced as [`EngineError::WorkerPanic`] instead of propagating.
+    ///
+    /// # Panics
+    ///
+    /// Panics on plan/engine mismatch or a [`FaultSource::Multi`] source
+    /// (programmer errors); grading failures are `Err`.
+    pub fn try_run_streamed(
+        &self,
+        plan: &CampaignPlan<'_>,
+    ) -> Result<StreamedRun, EngineError> {
+        let (acc, stats) = self.try_run_streamed_with::<StreamAccumulator>(plan)?;
+        Ok(StreamedRun { acc, stats })
+    }
+
+    /// Fault-tolerant [`run_streamed_with`](Self::run_streamed_with).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`try_run_streamed`](Self::try_run_streamed).
+    pub fn try_run_streamed_with<A: VerdictSink>(
+        &self,
+        plan: &CampaignPlan<'_>,
+    ) -> Result<(A, EngineStats), EngineError> {
+        self.check_streamed_plan(plan);
         let num_ffs = self.grader.sim().num_ffs();
         let num_cycles = self.grader.testbench().num_cycles();
         // Drawing a sample is the one source that inherently
@@ -374,32 +448,16 @@ impl Engine {
             }
         };
 
-        let mut threads = plan.policy().resolved_threads().max(1);
-        if chunks.num_faults() < plan.policy().serial_below {
-            threads = 1;
-        }
-
+        let threads = self.streamed_threads(plan, chunks.num_faults());
         let start = Instant::now();
         let accs: Vec<A> = run_folded(
             chunks.num_chunks(),
             threads,
-            || {
-                (
-                    self.grader.sim().new_state(),
-                    Vec::with_capacity(64),
-                    [FaultOutcome::latent(); 64],
-                )
-            },
+            || self.streamed_scratch(),
             A::default,
-            |(st, buf, out): &mut _, acc: &mut A, i| {
-                chunks.fill(i, buf);
-                let out = &mut out[..buf.len()];
-                self.grader.grade_cycle_chunk(st, buf, out);
-                for (&f, &o) in buf.iter().zip(out.iter()) {
-                    acc.observe(f, o);
-                }
-            },
-        );
+            |a: &mut A, b| a.merge(b),
+            |scratch, acc: &mut A, i| self.grade_streamed_chunk(&chunks, scratch, acc, i),
+        )?;
         let merged = accs
             .into_iter()
             .reduce(|mut a, b| {
@@ -413,7 +471,227 @@ impl Engine {
             threads: threads.min(chunks.num_chunks()).max(1),
             wall_ns: start.elapsed().as_nanos(),
         };
-        (merged, stats)
+        Ok((merged, stats))
+    }
+
+    /// The **interruption-safe** streaming path: grades in rounds of
+    /// [`ResumeOptions::every`] chunks, persisting an atomic checkpoint
+    /// (fingerprint + chunk cursor + folded sink) after every round, and
+    /// stopping cleanly at chunk boundaries on cancellation or a chunk
+    /// limit. With [`ResumeOptions::resume`] the campaign continues from
+    /// the checkpoint's cursor instead of starting over — completed
+    /// chunks are skipped arithmetically, never re-graded.
+    ///
+    /// Because completed chunks always form an exact queue prefix and
+    /// the sink is order-insensitive, any interleaving of interruptions
+    /// and resumes reproduces the uninterrupted run's digest exactly, at
+    /// every thread count and trace policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on plan/engine mismatch, a [`FaultSource::Multi`] source,
+    /// or `resume` without a checkpoint path (programmer errors). All
+    /// checkpoint and grading failures are `Err`.
+    pub fn run_streamed_resumable(
+        &self,
+        plan: &CampaignPlan<'_>,
+        opts: &ResumeOptions,
+    ) -> Result<ResumableRun<StreamAccumulator>, EngineError> {
+        self.run_streamed_resumable_with(plan, opts)
+    }
+
+    /// [`run_streamed_resumable`](Self::run_streamed_resumable) with a
+    /// caller-supplied [`PersistentSink`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as
+    /// [`run_streamed_resumable`](Self::run_streamed_resumable).
+    pub fn run_streamed_resumable_with<A: PersistentSink>(
+        &self,
+        plan: &CampaignPlan<'_>,
+        opts: &ResumeOptions,
+    ) -> Result<ResumableRun<A>, EngineError> {
+        self.check_streamed_plan(plan);
+        assert!(
+            !opts.resume || opts.checkpoint.is_some(),
+            "resuming requires a checkpoint path"
+        );
+        let num_ffs = self.grader.sim().num_ffs();
+        let num_cycles = self.grader.testbench().num_cycles();
+        let sample: FaultList;
+        let chunks = match plan.source() {
+            FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles),
+            FaultSource::Sampled { count, seed } => {
+                sample = FaultList::sampled(num_ffs, num_cycles, *count, *seed);
+                ChunkPlan::ordered(sample.as_slice(), num_cycles)
+            }
+            FaultSource::List(list) => ChunkPlan::ordered(list.as_slice(), num_cycles),
+            FaultSource::Multi(_) => {
+                panic!("streamed execution grades single-fault sources; use run() for MBUs")
+            }
+        };
+        let total_chunks = chunks.num_chunks();
+        let fingerprint = Fingerprint::of(plan, total_chunks, chunks.num_faults());
+
+        let mut sink = A::default();
+        let mut meta = opts.meta.clone();
+        let mut start_chunk = 0usize;
+        if opts.resume {
+            let path = opts.checkpoint.as_ref().expect("checked above");
+            let ck = Checkpoint::load(path)?;
+            ck.verify(&fingerprint)?;
+            // The cursor must sit on a real chunk boundary of *this*
+            // plan; the fingerprint matched, so a disagreement here
+            // means the file's cursor line was rewritten.
+            if ck.faults_done() != chunks.faults_before(ck.chunks_done()) {
+                return Err(ResumeError::Corrupt {
+                    line: 8,
+                    msg: format!(
+                        "cursor {} {} does not sit on a chunk boundary of this plan",
+                        ck.chunks_done(),
+                        ck.faults_done()
+                    ),
+                }
+                .into());
+            }
+            start_chunk = ck.chunks_done();
+            sink = ck.restore_sink::<A>()?;
+            meta = ck.meta().to_vec();
+        }
+
+        let threads = self.streamed_threads(plan, chunks.num_faults());
+        let every = opts.every.max(1);
+        let ctl = FoldControl { cancel: opts.cancel.as_ref(), retry_budget: opts.retry_budget };
+        let cancelled =
+            || opts.cancel.as_ref().is_some_and(crate::cancel::CancelToken::is_cancelled);
+
+        let start = Instant::now();
+        let mut done = start_chunk;
+        let mut interrupted = false;
+        while done < total_chunks {
+            let budget = opts
+                .limit
+                .map_or(usize::MAX, |l| l.saturating_sub(done - start_chunk));
+            if budget == 0 || cancelled() {
+                interrupted = true;
+                break;
+            }
+            let round = every.min(total_chunks - done).min(budget);
+            let status = run_folded_ctl(
+                round,
+                threads,
+                || self.streamed_scratch(),
+                A::default,
+                |a: &mut A, b| a.merge(b),
+                |scratch, acc: &mut A, i| {
+                    self.grade_streamed_chunk(&chunks, scratch, acc, done + i)
+                },
+                &ctl,
+            )?;
+            for acc in status.accs {
+                sink.merge(acc);
+            }
+            done += status.completed;
+            if status.completed < round {
+                interrupted = true;
+            }
+            if let Some(path) = &opts.checkpoint {
+                Checkpoint::new(
+                    fingerprint.clone(),
+                    done,
+                    chunks.faults_before(done),
+                    meta.clone(),
+                    &sink,
+                )
+                .write_atomic(path)?;
+            }
+            if interrupted {
+                break;
+            }
+        }
+        // Zero-round invocations (already complete, limit 0, pre-
+        // cancelled) still leave a valid checkpoint behind.
+        if let Some(path) = &opts.checkpoint {
+            if done == start_chunk {
+                Checkpoint::new(
+                    fingerprint.clone(),
+                    done,
+                    chunks.faults_before(done),
+                    meta.clone(),
+                    &sink,
+                )
+                .write_atomic(path)?;
+            }
+        }
+
+        let faults_done = chunks.faults_before(done);
+        Ok(ResumableRun {
+            stats: EngineStats {
+                faults: faults_done,
+                shards: done,
+                threads: threads.min(total_chunks.max(1)),
+                wall_ns: start.elapsed().as_nanos(),
+            },
+            sink,
+            chunks_done: done,
+            chunks_total: total_chunks,
+            faults_done,
+            faults_total: chunks.num_faults(),
+            resumed_from: start_chunk,
+            interrupted,
+        })
+    }
+
+    /// Rejects plans built for a different circuit or test bench.
+    fn check_streamed_plan(&self, plan: &CampaignPlan<'_>) {
+        assert_eq!(
+            plan.testbench(),
+            self.grader.testbench(),
+            "plan test bench does not match engine"
+        );
+        assert!(
+            plan.circuit().name() == self.circuit_name
+                && plan.circuit().num_cells() == self.num_cells
+                && plan.circuit().num_ffs() == self.grader.sim().num_ffs(),
+            "plan circuit does not match engine"
+        );
+    }
+
+    /// Worker count for a streamed run of `num_faults` faults.
+    fn streamed_threads(&self, plan: &CampaignPlan<'_>, num_faults: usize) -> usize {
+        let threads = plan.policy().resolved_threads().max(1);
+        if num_faults < plan.policy().serial_below {
+            1
+        } else {
+            threads
+        }
+    }
+
+    /// Per-worker grading scratch: a simulator state, the chunk fault
+    /// buffer, and the 64-lane outcome array.
+    fn streamed_scratch(&self) -> StreamedScratch {
+        (
+            self.grader.sim().new_state(),
+            Vec::with_capacity(64),
+            [FaultOutcome::latent(); 64],
+        )
+    }
+
+    /// Grades one chunk of the streamed plan into `acc`.
+    fn grade_streamed_chunk<A: VerdictSink>(
+        &self,
+        chunks: &ChunkPlan<'_>,
+        (st, buf, out): &mut StreamedScratch,
+        acc: &mut A,
+        i: usize,
+    ) {
+        chunks.fill(i, buf);
+        let out = &mut out[..buf.len()];
+        self.grader.grade_cycle_chunk(st, buf, out);
+        for (&f, &o) in buf.iter().zip(out.iter()) {
+            acc.observe(f, o);
+        }
     }
 
     /// Single-fault path: dispatch the plan's same-cycle 64-lane chunks

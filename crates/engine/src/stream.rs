@@ -122,6 +122,32 @@ impl<'a> ChunkPlan<'a> {
         }
     }
 
+    /// Faults covered by the chunks before `chunk` — the fault-space
+    /// position of a resume cursor. Pure arithmetic on the exhaustive
+    /// plan; a prefix-sum lookup on ordered plans (batches partition the
+    /// sorted list contiguously).
+    pub(crate) fn faults_before(&self, chunk: usize) -> usize {
+        match self {
+            ChunkPlan::Exhaustive { num_ffs, per_cycle, chunks, faults } => {
+                if chunk >= *chunks {
+                    return *faults;
+                }
+                // Within a cycle, chunk j starts at flip-flop j*64, and
+                // j*64 < num_ffs for every in-cycle index.
+                (chunk / per_cycle) * num_ffs + (chunk % per_cycle) * 64
+            }
+            ChunkPlan::Ordered { faults, batches, .. } => {
+                if chunk == 0 {
+                    0
+                } else if chunk >= batches.len() {
+                    faults.len()
+                } else {
+                    batches[chunk - 1].1
+                }
+            }
+        }
+    }
+
     /// Writes chunk `i`'s faults (all sharing one injection cycle) into
     /// `buf`.
     pub(crate) fn fill(&self, i: usize, buf: &mut Vec<Fault>) {
@@ -208,6 +234,18 @@ fn verdict_hash(fault: Fault, outcome: FaultOutcome) -> u64 {
 }
 
 impl StreamAccumulator {
+    /// Reassembles an accumulator from persisted parts (the inverse of
+    /// reading [`summary`](Self::summary), [`failure_map`](Self::failure_map)
+    /// and [`digest`](Self::digest)); used when restoring a campaign
+    /// checkpoint.
+    pub(crate) fn from_parts(
+        summary: GradingSummary,
+        failure_map: Vec<usize>,
+        digest: u64,
+    ) -> Self {
+        StreamAccumulator { summary, failure_map, digest }
+    }
+
     /// Pooled classification tallies.
     #[must_use]
     pub fn summary(&self) -> &GradingSummary {
@@ -309,6 +347,26 @@ mod tests {
             ordered.fill(i, &mut a);
             arithmetic.fill(i, &mut b);
             assert_eq!(a, b, "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn faults_before_matches_walked_prefix_sums() {
+        let list = FaultList::sampled(70, 9, 150, 3);
+        let plans = [
+            ChunkPlan::exhaustive(70, 3),
+            ChunkPlan::ordered(list.as_slice(), 9),
+        ];
+        for plan in &plans {
+            let mut buf = Vec::new();
+            let mut walked = 0usize;
+            for i in 0..plan.num_chunks() {
+                assert_eq!(plan.faults_before(i), walked, "chunk {i}");
+                plan.fill(i, &mut buf);
+                walked += buf.len();
+            }
+            assert_eq!(plan.faults_before(plan.num_chunks()), plan.num_faults());
+            assert_eq!(plan.faults_before(plan.num_chunks() + 10), plan.num_faults());
         }
     }
 

@@ -109,6 +109,14 @@ impl GradingSummary {
         s
     }
 
+    /// Rebuilds a summary from per-class counts — the inverse of reading
+    /// [`count`](Self::count) for every class, used when restoring a
+    /// persisted campaign checkpoint.
+    #[must_use]
+    pub fn from_counts(failures: usize, latents: usize, silents: usize) -> Self {
+        GradingSummary { failures, latents, silents }
+    }
+
     /// Adds one classified fault.
     pub fn add(&mut self, class: FaultClass) {
         match class {

@@ -52,7 +52,6 @@
 //! ```
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
 
 use crate::import::{lower, Stmt};
 use crate::{CellKind, GateKind, Netlist, NetlistError, SigId};
@@ -76,6 +75,15 @@ use crate::{CellKind, GateKind, Netlist, NetlistError, SigId};
 #[must_use]
 pub fn emit(netlist: &Netlist) -> String {
     let mut out = String::new();
+    // Formatting into a `String` cannot fail; `emit_into` threads
+    // `fmt::Result` anyway so the body stays `?`-based with a single
+    // audited expect at this boundary instead of an unwrap per line.
+    emit_into(netlist, &mut out).expect("formatting into a String never fails");
+    out
+}
+
+/// The `?`-based body of [`emit`], writing to any [`fmt::Write`] sink.
+fn emit_into(netlist: &Netlist, out: &mut impl std::fmt::Write) -> std::fmt::Result {
     let input_names: HashMap<SigId, &str> = netlist
         .inputs()
         .iter()
@@ -98,21 +106,21 @@ pub fn emit(netlist: &Netlist) -> String {
             |&name| name.to_owned(),
         )
     };
-    writeln!(out, "# {} (emitted by seugrade-netlist)", netlist.name()).unwrap();
+    writeln!(out, "# {} (emitted by seugrade-netlist)", netlist.name())?;
     for name in netlist.input_names() {
-        writeln!(out, "INPUT({name})").unwrap();
+        writeln!(out, "INPUT({name})")?;
     }
     let mut seen_outputs: HashMap<SigId, usize> = HashMap::new();
     for (_, sig) in netlist.outputs() {
         let aliases = seen_outputs.entry(*sig).or_insert(0);
         if *aliases == 0 {
-            writeln!(out, "OUTPUT({})", token(*sig)).unwrap();
+            writeln!(out, "OUTPUT({})", token(*sig))?;
         } else {
             // A net may be OUTPUT once; further ports alias it through
             // a buffer.
             let alias = format!("{}_o{aliases}", token(*sig));
-            writeln!(out, "{alias} = BUFF({})", token(*sig)).unwrap();
-            writeln!(out, "OUTPUT({alias})").unwrap();
+            writeln!(out, "{alias} = BUFF({})", token(*sig))?;
+            writeln!(out, "OUTPUT({alias})")?;
         }
         *aliases += 1;
     }
@@ -120,7 +128,7 @@ pub fn emit(netlist: &Netlist) -> String {
         match cell.kind() {
             CellKind::Input => {}
             CellKind::Const(v) => {
-                writeln!(out, "{} = CONST{}()", token(id), u8::from(v)).unwrap();
+                writeln!(out, "{} = CONST{}()", token(id), u8::from(v))?;
             }
             CellKind::Gate(kind) => {
                 let name = match kind {
@@ -128,17 +136,17 @@ pub fn emit(netlist: &Netlist) -> String {
                     k => k.mnemonic().to_ascii_uppercase(),
                 };
                 let pins: Vec<String> = cell.pins().iter().map(|&p| token(p)).collect();
-                writeln!(out, "{} = {name}({})", token(id), pins.join(", ")).unwrap();
+                writeln!(out, "{} = {name}({})", token(id), pins.join(", "))?;
             }
             CellKind::Dff { init } => {
-                writeln!(out, "{} = DFF({})", token(id), token(cell.pins()[0])).unwrap();
+                writeln!(out, "{} = DFF({})", token(id), token(cell.pins()[0]))?;
                 if init {
-                    writeln!(out, "#@ init {} 1", token(id)).unwrap();
+                    writeln!(out, "#@ init {} 1", token(id))?;
                 }
             }
         }
     }
-    out
+    Ok(())
 }
 
 /// Splits `NAME(arg, arg, ...)` into the head token and its arguments.

@@ -48,38 +48,51 @@ fn vcd_id(mut n: usize) -> String {
 /// ```
 #[must_use]
 pub fn dump_golden(netlist: &Netlist, tb: &Testbench) -> String {
+    let mut out = String::new();
+    // Formatting into a `String` cannot fail; the `_into` body threads
+    // `fmt::Result` so every line uses `?` behind this single audited
+    // boundary instead of an unwrap per `writeln!`.
+    dump_golden_into(netlist, tb, &mut out).expect("formatting into a String never fails");
+    out
+}
+
+/// The `?`-based body of [`dump_golden`].
+fn dump_golden_into(
+    netlist: &Netlist,
+    tb: &Testbench,
+    out: &mut String,
+) -> std::fmt::Result {
     let sim = CompiledSim::new(netlist);
     let mut state = sim.new_state();
 
-    let mut out = String::new();
-    writeln!(out, "$date seugrade $end").unwrap();
-    writeln!(out, "$version seugrade-sim $end").unwrap();
-    writeln!(out, "$timescale 1ns $end").unwrap();
-    writeln!(out, "$scope module {} $end", netlist.name()).unwrap();
+    writeln!(out, "$date seugrade $end")?;
+    writeln!(out, "$version seugrade-sim $end")?;
+    writeln!(out, "$timescale 1ns $end")?;
+    writeln!(out, "$scope module {} $end", netlist.name())?;
 
     let mut var = 0usize;
     let mut input_ids = Vec::new();
-    writeln!(out, " $scope module inputs $end").unwrap();
+    writeln!(out, " $scope module inputs $end")?;
     for name in netlist.input_names() {
         let id = vcd_id(var);
         var += 1;
-        writeln!(out, "  $var wire 1 {id} {name} $end").unwrap();
+        writeln!(out, "  $var wire 1 {id} {name} $end")?;
         input_ids.push(id);
     }
-    writeln!(out, " $upscope $end").unwrap();
+    writeln!(out, " $upscope $end")?;
 
     let mut output_ids = Vec::new();
-    writeln!(out, " $scope module outputs $end").unwrap();
+    writeln!(out, " $scope module outputs $end")?;
     for (name, _) in netlist.outputs() {
         let id = vcd_id(var);
         var += 1;
-        writeln!(out, "  $var wire 1 {id} {name} $end").unwrap();
+        writeln!(out, "  $var wire 1 {id} {name} $end")?;
         output_ids.push(id);
     }
-    writeln!(out, " $upscope $end").unwrap();
+    writeln!(out, " $upscope $end")?;
 
     let mut ff_ids = Vec::new();
-    writeln!(out, " $scope module state $end").unwrap();
+    writeln!(out, " $scope module state $end")?;
     for (i, &sig) in netlist.ffs().iter().enumerate() {
         let id = vcd_id(var);
         var += 1;
@@ -87,12 +100,12 @@ pub fn dump_golden(netlist: &Netlist, tb: &Testbench) -> String {
             .cell_name(sig)
             .map(str::to_owned)
             .unwrap_or_else(|| format!("ff{i}"));
-        writeln!(out, "  $var reg 1 {id} {label} $end").unwrap();
+        writeln!(out, "  $var reg 1 {id} {label} $end")?;
         ff_ids.push(id);
     }
-    writeln!(out, " $upscope $end").unwrap();
-    writeln!(out, "$upscope $end").unwrap();
-    writeln!(out, "$enddefinitions $end").unwrap();
+    writeln!(out, " $upscope $end")?;
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
 
     let mut prev: Option<(Vec<bool>, Vec<bool>, Vec<bool>)> = None;
     for (t, vector) in tb.iter().enumerate() {
@@ -100,22 +113,24 @@ pub fn dump_golden(netlist: &Netlist, tb: &Testbench) -> String {
         sim.eval(&mut state);
         let outs = sim.outputs_lane(&state, 0);
         let ffs = sim.state_lane(&state, 0);
-        writeln!(out, "#{}", t * 10).unwrap();
-        let mut emit_changes = |ids: &[String], now: &[bool], before: Option<&[bool]>| {
-            for (i, (&v, id)) in now.iter().zip(ids).enumerate() {
-                if before.map_or(true, |b| b[i] != v) {
-                    writeln!(out, "{}{id}", u8::from(v)).unwrap();
+        writeln!(out, "#{}", t * 10)?;
+        let emit_changes =
+            |out: &mut String, ids: &[String], now: &[bool], before: Option<&[bool]>| {
+                for (i, (&v, id)) in now.iter().zip(ids).enumerate() {
+                    if before.map_or(true, |b| b[i] != v) {
+                        writeln!(out, "{}{id}", u8::from(v))?;
+                    }
                 }
-            }
-        };
-        emit_changes(&input_ids, vector, prev.as_ref().map(|p| p.0.as_slice()));
-        emit_changes(&output_ids, &outs, prev.as_ref().map(|p| p.1.as_slice()));
-        emit_changes(&ff_ids, &ffs, prev.as_ref().map(|p| p.2.as_slice()));
+                Ok(())
+            };
+        emit_changes(out, &input_ids, vector, prev.as_ref().map(|p| p.0.as_slice()))?;
+        emit_changes(out, &output_ids, &outs, prev.as_ref().map(|p| p.1.as_slice()))?;
+        emit_changes(out, &ff_ids, &ffs, prev.as_ref().map(|p| p.2.as_slice()))?;
         prev = Some((vector.to_vec(), outs, ffs));
         sim.step(&mut state);
     }
-    writeln!(out, "#{}", tb.num_cycles() * 10).unwrap();
-    out
+    writeln!(out, "#{}", tb.num_cycles() * 10)?;
+    Ok(())
 }
 
 /// Simulates a golden and a faulty run side by side and renders both in
@@ -137,42 +152,64 @@ pub fn dump_fault(
     fault_cycle: usize,
 ) -> String {
     assert!(fault_cycle < tb.num_cycles(), "fault cycle out of range");
+    assert!(
+        ff.index() < netlist.num_ffs(),
+        "flip-flop {} out of range (circuit has {})",
+        ff.index(),
+        netlist.num_ffs()
+    );
+    let mut out = String::new();
+    // Same single-expect boundary as `dump_golden`: the `_into` body is
+    // pure `?`-threaded formatting.
+    dump_fault_into(netlist, tb, ff, fault_cycle, &mut out)
+        .expect("formatting into a String never fails");
+    out
+}
+
+/// The `?`-based body of [`dump_fault`]; bounds already checked.
+fn dump_fault_into(
+    netlist: &Netlist,
+    tb: &Testbench,
+    ff: seugrade_netlist::FfIndex,
+    fault_cycle: usize,
+    out: &mut String,
+) -> std::fmt::Result {
     let sim = CompiledSim::new(netlist);
     // Lane 0 = golden, lane 1 = faulty; inject by flipping lane 1 at the
     // start of the fault cycle.
     let mut state = sim.new_state();
 
-    let mut out = String::new();
-    use std::fmt::Write as _;
-    writeln!(out, "$date seugrade $end").unwrap();
-    writeln!(out, "$version seugrade-sim fault dump $end").unwrap();
-    writeln!(out, "$timescale 1ns $end").unwrap();
-    writeln!(out, "$scope module {} $end", netlist.name()).unwrap();
+    writeln!(out, "$date seugrade $end")?;
+    writeln!(out, "$version seugrade-sim fault dump $end")?;
+    writeln!(out, "$timescale 1ns $end")?;
+    writeln!(out, "$scope module {} $end", netlist.name())?;
     let mut var = 0usize;
-    let mut declare = |out: &mut String, scope: &str, names: &[String], kind: &str| -> Vec<String> {
-        writeln!(out, " $scope module {scope} $end").unwrap();
-        let ids: Vec<String> = names
-            .iter()
-            .map(|name| {
-                let id = vcd_id(var);
-                var += 1;
-                writeln!(out, "  $var {kind} 1 {id} {name} $end").unwrap();
-                id
-            })
-            .collect();
-        writeln!(out, " $upscope $end").unwrap();
-        ids
+    let mut declare = |out: &mut String,
+                       scope: &str,
+                       names: &[String],
+                       kind: &str|
+     -> Result<Vec<String>, std::fmt::Error> {
+        writeln!(out, " $scope module {scope} $end")?;
+        let mut ids = Vec::with_capacity(names.len());
+        for name in names {
+            let id = vcd_id(var);
+            var += 1;
+            writeln!(out, "  $var {kind} 1 {id} {name} $end")?;
+            ids.push(id);
+        }
+        writeln!(out, " $upscope $end")?;
+        Ok(ids)
     };
     let out_names: Vec<String> = netlist.outputs().iter().map(|(n, _)| n.clone()).collect();
     let ff_names: Vec<String> = (0..netlist.num_ffs()).map(|i| format!("ff{i}")).collect();
-    let g_out = declare(&mut out, "golden_outputs", &out_names, "wire");
-    let f_out = declare(&mut out, "faulty_outputs", &out_names, "wire");
-    let g_ff = declare(&mut out, "golden_state", &ff_names, "reg");
-    let f_ff = declare(&mut out, "faulty_state", &ff_names, "reg");
+    let g_out = declare(out, "golden_outputs", &out_names, "wire")?;
+    let f_out = declare(out, "faulty_outputs", &out_names, "wire")?;
+    let g_ff = declare(out, "golden_state", &ff_names, "reg")?;
+    let f_ff = declare(out, "faulty_state", &ff_names, "reg")?;
     let diff_names: Vec<String> = out_names.iter().map(|n| format!("diff_{n}")).collect();
-    let d_out = declare(&mut out, "diff", &diff_names, "wire");
-    writeln!(out, "$upscope $end").unwrap();
-    writeln!(out, "$enddefinitions $end").unwrap();
+    let d_out = declare(out, "diff", &diff_names, "wire")?;
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
 
     let mut prev: Option<Vec<bool>> = None;
     for (t, vector) in tb.iter().enumerate() {
@@ -201,17 +238,17 @@ pub fn dump_fault(
             .chain(&f_ff)
             .chain(&d_out)
             .collect();
-        writeln!(out, "#{}", t * 10).unwrap();
+        writeln!(out, "#{}", t * 10)?;
         for (i, (&v, id)) in now.iter().zip(&ids).enumerate() {
             if prev.as_ref().map_or(true, |p| p[i] != v) {
-                writeln!(out, "{}{id}", u8::from(v)).unwrap();
+                writeln!(out, "{}{id}", u8::from(v))?;
             }
         }
         prev = Some(now);
         sim.step(&mut state);
     }
-    writeln!(out, "#{}", tb.num_cycles() * 10).unwrap();
-    out
+    writeln!(out, "#{}", tb.num_cycles() * 10)?;
+    Ok(())
 }
 
 #[cfg(test)]

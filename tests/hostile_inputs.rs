@@ -1,0 +1,207 @@
+//! Hostile-input fuzzing: every on-disk grammar the workspace reads —
+//! `seugrade-campaign-ckpt/v1` checkpoints, ISCAS `.bench` and
+//! structural BLIF — must reject truncated or mutated files with a
+//! structured, line-numbered error. Never a panic, never partial state
+//! (a rejected checkpoint resumes nothing; a rejected netlist builds
+//! nothing).
+
+use proptest::prelude::*;
+use seugrade::prelude::*;
+use seugrade_netlist::{bench, blif};
+
+/// A real checkpoint, produced by an interrupted engine run rather than
+/// hand-assembled, so the fuzz targets exactly what `grade --checkpoint`
+/// writes.
+fn golden_checkpoint_text() -> String {
+    let circuit = generators::lfsr(8, &[7, 5, 4, 3]);
+    let tb = Testbench::random(circuit.num_inputs(), 24, 5);
+    let plan = CampaignPlan::builder(&circuit, &tb)
+        .policy(ShardPolicy { threads: 1, serial_below: 0 })
+        .build();
+    let engine = Engine::new(&plan);
+    let path = std::env::temp_dir()
+        .join(format!("seugrade-hostile-golden-{}.ckpt", std::process::id()));
+    let mut opts = ResumeOptions::checkpoint_to(&path);
+    opts.limit = Some(3);
+    opts.meta = vec![("target".to_owned(), "lfsr8".to_owned())];
+    engine.run_streamed_resumable(&plan, &opts).expect("seed checkpoint");
+    let text = std::fs::read_to_string(&path).expect("checkpoint written");
+    std::fs::remove_file(&path).ok();
+    text
+}
+
+const BENCH_SRC: &str = "\
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+const BLIF_SRC: &str = "\
+.model toggle
+.inputs en
+.outputs q
+.latch nq q re clk 0
+.names en q nq
+01 1
+10 1
+.end
+";
+
+/// Truncating anywhere must yield `Ok` (a shorter-but-valid prefix) or a
+/// structured error — never a panic. For checkpoints specifically, *no*
+/// strict prefix is valid: the `end` trailer is the last line.
+fn lines_in(text: &str) -> usize {
+    text.lines().count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_checkpoints_are_rejected_with_a_line_number(cut in 0usize..1000) {
+        let full = golden_checkpoint_text();
+        let cut = cut % full.len();
+        let text = &full[..cut];
+        let err = Checkpoint::parse(text).expect_err("no strict prefix is a valid checkpoint");
+        let line = err.line().expect("parse-layer rejection carries a line");
+        prop_assert!(line <= lines_in(text) + 1, "line {line} out of range: {err}");
+    }
+
+    #[test]
+    fn mutated_checkpoints_never_panic(pos in 0usize..1000, byte in 32u8..127) {
+        let full = golden_checkpoint_text();
+        let pos = pos % full.len();
+        let mut bytes = full.into_bytes();
+        if bytes[pos] != byte {
+            bytes[pos] = byte;
+            let text = String::from_utf8(bytes).expect("ASCII stays ASCII");
+            // A single-byte change is always caught: either a tag/field
+            // fails to parse, or the FNV trailer no longer matches the
+            // body.
+            let err = Checkpoint::parse(&text).expect_err("mutation must be detected");
+            prop_assert!(err.line().is_some(), "rejection must name a line: {err}");
+        }
+    }
+
+    #[test]
+    fn deleted_checkpoint_lines_never_resume(drop_line in 0usize..13) {
+        let full = golden_checkpoint_text();
+        let total = lines_in(&full);
+        let drop_line = drop_line % total;
+        let text: String = full
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != drop_line)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        prop_assert!(Checkpoint::parse(&text).is_err(), "dropping line {drop_line} must be caught");
+    }
+
+    #[test]
+    fn truncated_bench_sources_never_panic(cut in 0usize..1000) {
+        let cut = cut % BENCH_SRC.len();
+        match bench::parse(&BENCH_SRC[..cut]) {
+            Ok(_) => {} // a shorter prefix can still be a valid netlist
+            Err(e) => {
+                if let Some(line) = e.line() {
+                    prop_assert!(line <= lines_in(&BENCH_SRC[..cut]) + 1, "{e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_bench_sources_never_panic(pos in 0usize..1000, byte in 32u8..127) {
+        let pos = pos % BENCH_SRC.len();
+        let mut bytes = BENCH_SRC.as_bytes().to_vec();
+        bytes[pos] = byte;
+        let text = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        // Accept or reject — the only failure mode is a panic or a
+        // line number past the end of the file.
+        if let Err(e) = bench::parse(&text) {
+            if let Some(line) = e.line() {
+                prop_assert!(line <= lines_in(&text) + 1, "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_blif_sources_never_panic(cut in 0usize..1000) {
+        let cut = cut % BLIF_SRC.len();
+        if let Err(e) = blif::parse(&BLIF_SRC[..cut]) {
+            if let Some(line) = e.line() {
+                prop_assert!(line <= lines_in(&BLIF_SRC[..cut]) + 1, "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_blif_sources_never_panic(pos in 0usize..1000, byte in 32u8..127) {
+        let pos = pos % BLIF_SRC.len();
+        let mut bytes = BLIF_SRC.as_bytes().to_vec();
+        bytes[pos] = byte;
+        let text = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        if let Err(e) = blif::parse(&text) {
+            if let Some(line) = e.line() {
+                prop_assert!(line <= lines_in(&text) + 1, "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_garbage_is_never_a_checkpoint(
+        bytes in proptest::collection::vec(32u8..127, 0..200usize)
+    ) {
+        // The schema line is mandatory; arbitrary printable text must be
+        // rejected — random bytes cannot spell the schema header *and* a
+        // matching checksum trailer.
+        let garbage = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        if !garbage.starts_with(CKPT_SCHEMA) {
+            prop_assert!(Checkpoint::parse(&garbage).is_err());
+        }
+    }
+}
+
+/// Deterministic (non-proptest) spot checks on the rejected-state
+/// contract: a failed resume leaves no partial sink behind.
+#[test]
+fn rejected_checkpoint_resumes_nothing() {
+    let circuit = generators::lfsr(8, &[7, 5, 4, 3]);
+    let tb = Testbench::random(circuit.num_inputs(), 24, 5);
+    let plan = CampaignPlan::builder(&circuit, &tb)
+        .policy(ShardPolicy { threads: 1, serial_below: 0 })
+        .build();
+    let engine = Engine::new(&plan);
+    let path = std::env::temp_dir()
+        .join(format!("seugrade-hostile-reject-{}.ckpt", std::process::id()));
+    std::fs::write(&path, "not a checkpoint at all\n").expect("write garbage");
+    let err = engine
+        .run_streamed_resumable(&plan, &ResumeOptions::resume_from(&path))
+        .expect_err("garbage must not resume");
+    std::fs::remove_file(&path).ok();
+    assert!(matches!(err, EngineError::Resume(ResumeError::Corrupt { line: 1, .. })), "{err}");
+}
+
+#[test]
+fn missing_checkpoint_file_is_an_io_error_not_a_panic() {
+    let err = Checkpoint::load(std::path::Path::new("/nonexistent/dir/nope.ckpt"))
+        .expect_err("missing file");
+    assert!(matches!(err, ResumeError::Io { .. }), "{err}");
+    assert!(err.line().is_none());
+}

@@ -1,0 +1,384 @@
+//! Interruption/resume determinism: a campaign interrupted at any chunk
+//! boundary and resumed from its checkpoint must land on the *same*
+//! verdict digest and class counts as an uninterrupted run — at every
+//! thread count and trace policy.
+//!
+//! The engine makes this possible with two invariants: completed chunks
+//! are always an exact prefix of the cycle-major chunk queue (so a plain
+//! cursor identifies the folded faults), and verdict sinks merge
+//! commutatively (so the fold order across invocations cannot show).
+
+use seugrade::prelude::*;
+
+/// A unique temp path per (test, parameter) so parallel tests never
+/// share checkpoint files.
+fn ckpt_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("seugrade-resume-{tag}-{}.ckpt", std::process::id()))
+}
+
+fn fixture() -> (Netlist, Testbench) {
+    let circuit = generators::lfsr(12, &[11, 9, 7, 4]);
+    let tb = Testbench::random(circuit.num_inputs(), 40, 9);
+    (circuit, tb)
+}
+
+fn plan<'a>(
+    circuit: &'a Netlist,
+    tb: &'a Testbench,
+    threads: usize,
+    policy: TracePolicy,
+) -> CampaignPlan<'a> {
+    CampaignPlan::builder(circuit, tb)
+        .policy(ShardPolicy { threads, serial_below: 0 })
+        .trace_policy(policy)
+        .build()
+}
+
+/// Interrupt after `k` chunks (via the deterministic chunk limit), then
+/// resume to completion; the combined run must equal the uninterrupted
+/// reference bit for bit.
+fn interrupted_run_matches(threads: usize, policy: TracePolicy, k: usize, tag: &str) {
+    let (circuit, tb) = fixture();
+    let reference = {
+        let p = plan(&circuit, &tb, threads, policy);
+        Engine::new(&p).run_streamed(&p)
+    };
+
+    let path = ckpt_path(tag);
+    let p = plan(&circuit, &tb, threads, policy);
+    let engine = Engine::new(&p);
+    let mut first = ResumeOptions::checkpoint_to(&path);
+    first.every = 2;
+    first.limit = Some(k);
+    let partial = engine.run_streamed_resumable(&p, &first).expect("first leg");
+    assert_eq!(partial.chunks_done, k.min(partial.chunks_total), "limit honoured");
+    assert_eq!(partial.interrupted, partial.chunks_done < partial.chunks_total);
+
+    let mut second = ResumeOptions::resume_from(&path);
+    second.every = 3;
+    let resumed = engine.run_streamed_resumable(&p, &second).expect("second leg");
+    std::fs::remove_file(&path).ok();
+
+    assert!(resumed.is_complete(), "second leg finishes the campaign");
+    assert_eq!(resumed.resumed_from, partial.chunks_done);
+    assert_eq!(resumed.sink.digest(), reference.digest(), "digest must survive interruption");
+    assert_eq!(resumed.sink.summary(), reference.summary());
+    assert_eq!(resumed.sink.failure_map(), reference.failure_map());
+}
+
+#[test]
+fn interrupted_before_any_chunk() {
+    // k = 0: the first leg grades nothing but still writes a resumable
+    // checkpoint.
+    for threads in [1, 4] {
+        interrupted_run_matches(threads, TracePolicy::Dense, 0, &format!("k0-t{threads}"));
+    }
+}
+
+#[test]
+fn interrupted_after_one_chunk() {
+    for threads in [1, 2, 4, 8] {
+        interrupted_run_matches(threads, TracePolicy::Dense, 1, &format!("k1-t{threads}"));
+    }
+}
+
+#[test]
+fn interrupted_mid_campaign() {
+    let (circuit, tb) = fixture();
+    let p = plan(&circuit, &tb, 1, TracePolicy::Dense);
+    let total = Engine::new(&p)
+        .run_streamed_resumable(&p, &ResumeOptions::default())
+        .expect("counting run")
+        .chunks_total;
+    let mid = total / 2;
+    assert!(mid > 0, "fixture must span several chunks");
+    for threads in [1, 2, 4, 8] {
+        interrupted_run_matches(threads, TracePolicy::Dense, mid, &format!("kmid-t{threads}"));
+    }
+}
+
+#[test]
+fn interrupted_at_last_chunk() {
+    let (circuit, tb) = fixture();
+    let p = plan(&circuit, &tb, 1, TracePolicy::Dense);
+    let total = Engine::new(&p)
+        .run_streamed_resumable(&p, &ResumeOptions::default())
+        .expect("counting run")
+        .chunks_total;
+    for threads in [1, 4] {
+        // k = total - 1: one chunk left; and k = total: the "interrupted"
+        // leg already finished, resume is a no-op that must not re-grade.
+        interrupted_run_matches(threads, TracePolicy::Dense, total - 1, &format!("klast-t{threads}"));
+        interrupted_run_matches(threads, TracePolicy::Dense, total, &format!("kdone-t{threads}"));
+    }
+}
+
+#[test]
+fn checkpoint_trace_policy_resumes_identically() {
+    let (circuit, tb) = fixture();
+    let reference = {
+        let p = plan(&circuit, &tb, 1, TracePolicy::Dense);
+        Engine::new(&p).run_streamed(&p)
+    };
+    for threads in [1, 2, 4, 8] {
+        let tag = format!("ckpt64-t{threads}");
+        interrupted_run_matches(threads, TracePolicy::Checkpoint(64), 3, &tag);
+        // Dense and Checkpoint(64) agree with each other too.
+        let p = plan(&circuit, &tb, threads, TracePolicy::Checkpoint(64));
+        let run = Engine::new(&p).run_streamed(&p);
+        assert_eq!(run.digest(), reference.digest(), "trace policy must not change verdicts");
+    }
+}
+
+#[test]
+fn multi_leg_resume_chain_matches() {
+    // Interrupt *repeatedly*: 2 chunks per leg until done, each leg a
+    // fresh resume from the previous leg's checkpoint.
+    let (circuit, tb) = fixture();
+    let reference = {
+        let p = plan(&circuit, &tb, 2, TracePolicy::Dense);
+        Engine::new(&p).run_streamed(&p)
+    };
+    let path = ckpt_path("chain");
+    let p = plan(&circuit, &tb, 2, TracePolicy::Dense);
+    let engine = Engine::new(&p);
+
+    let mut opts = ResumeOptions::checkpoint_to(&path);
+    opts.every = 1;
+    opts.limit = Some(2);
+    let mut run = engine.run_streamed_resumable(&p, &opts).expect("leg 0");
+    let mut legs = 1usize;
+    while !run.is_complete() {
+        let mut next = ResumeOptions::resume_from(&path);
+        next.every = 1;
+        next.limit = Some(2);
+        run = engine.run_streamed_resumable(&p, &next).expect("resume leg");
+        legs += 1;
+        assert!(legs < 1000, "resume chain must terminate");
+    }
+    std::fs::remove_file(&path).ok();
+    assert!(legs > 3, "fixture must need several legs, took {legs}");
+    assert_eq!(run.sink.digest(), reference.digest());
+    assert_eq!(run.sink.summary(), reference.summary());
+}
+
+#[test]
+fn cancellation_drains_and_checkpoint_resumes() {
+    // A cancel token tripped before the run starts: zero chunks complete,
+    // the checkpoint is written, and a resume finishes the whole thing.
+    let (circuit, tb) = fixture();
+    let reference = {
+        let p = plan(&circuit, &tb, 4, TracePolicy::Dense);
+        Engine::new(&p).run_streamed(&p)
+    };
+    let path = ckpt_path("cancel");
+    let p = plan(&circuit, &tb, 4, TracePolicy::Dense);
+    let engine = Engine::new(&p);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let mut opts = ResumeOptions::checkpoint_to(&path);
+    opts.cancel = Some(token);
+    let stopped = engine.run_streamed_resumable(&p, &opts).expect("cancelled leg");
+    assert!(stopped.interrupted);
+    assert_eq!(stopped.chunks_done, 0);
+
+    let resumed = engine
+        .run_streamed_resumable(&p, &ResumeOptions::resume_from(&path))
+        .expect("resume after cancel");
+    std::fs::remove_file(&path).ok();
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.sink.digest(), reference.digest());
+}
+
+#[test]
+fn mismatched_checkpoint_is_rejected_per_field() {
+    // A checkpoint from one campaign must not resume another: vary the
+    // circuit, the bench and the trace policy; every mismatch must be a
+    // structured error, never a panic or a silent wrong digest.
+    let (circuit, tb) = fixture();
+    let path = ckpt_path("mismatch");
+    let p = plan(&circuit, &tb, 1, TracePolicy::Dense);
+    let engine = Engine::new(&p);
+    let mut opts = ResumeOptions::checkpoint_to(&path);
+    opts.limit = Some(1);
+    engine.run_streamed_resumable(&p, &opts).expect("seed checkpoint");
+
+    // Different circuit, same dimensions.
+    let other = generators::counter(12);
+    let p2 = CampaignPlan::builder(&other, &tb)
+        .policy(ShardPolicy { threads: 1, serial_below: 0 })
+        .build();
+    let err = Engine::new(&p2)
+        .run_streamed_resumable(&p2, &ResumeOptions::resume_from(&path))
+        .expect_err("foreign circuit must be rejected");
+    assert!(matches!(err, EngineError::Resume(ResumeError::Mismatch { .. })), "{err}");
+
+    // Different bench (the fixture has no inputs, so vary the length —
+    // the stimuli digest itself is covered by the engine's unit tests).
+    let tb2 = Testbench::random(circuit.num_inputs(), 44, 1234);
+    let p3 = plan(&circuit, &tb2, 1, TracePolicy::Dense);
+    let err = Engine::new(&p3)
+        .run_streamed_resumable(&p3, &ResumeOptions::resume_from(&path))
+        .expect_err("foreign bench must be rejected");
+    assert!(matches!(err, EngineError::Resume(ResumeError::Mismatch { .. })), "{err}");
+
+    // Different trace policy.
+    let p4 = plan(&circuit, &tb, 1, TracePolicy::Checkpoint(8));
+    let err = Engine::new(&p4)
+        .run_streamed_resumable(&p4, &ResumeOptions::resume_from(&path))
+        .expect_err("foreign trace policy must be rejected");
+    assert!(matches!(err, EngineError::Resume(ResumeError::Mismatch { field: "trace policy", .. })), "{err}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+/// A sink that panics mid-chunk a configured number of times, then
+/// behaves like the standard accumulator — the workload-level way to
+/// inject worker panics into the streamed path.
+mod panicky {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    use seugrade::prelude::*;
+
+    /// What the sink injects: nothing, one panic per listed cycle (a
+    /// fired cycle is removed so the pool's retry of that chunk
+    /// succeeds), or a panic on every observe (budget exhaustion).
+    #[derive(Debug, Default)]
+    pub enum Injection {
+        #[default]
+        Off,
+        Once(HashSet<u32>),
+        Always,
+    }
+
+    pub static INJECTION: Mutex<Injection> = Mutex::new(Injection::Off);
+
+    /// Serializes the tests that program [`PANIC_CYCLES`] — they run in
+    /// one process and must not see each other's injections.
+    pub static INJECTION_LOCK: Mutex<()> = Mutex::new(());
+
+    #[derive(Clone, Debug, Default)]
+    pub struct PanickySink(pub StreamAccumulator);
+
+    impl VerdictSink for PanickySink {
+        fn observe(&mut self, fault: Fault, outcome: FaultOutcome) {
+            // Panic *after* folding some state, so containment must also
+            // discard the chunk-local partial fold.
+            self.0.observe(fault, outcome);
+            let fire = {
+                let mut mode = INJECTION.lock().unwrap_or_else(|e| e.into_inner());
+                match &mut *mode {
+                    Injection::Off => false,
+                    Injection::Once(set) => set.remove(&fault.cycle),
+                    Injection::Always => true,
+                }
+            };
+            if fire {
+                panic!("injected fault-grading panic");
+            }
+        }
+
+        fn merge(&mut self, other: Self) {
+            self.0.merge(other.0);
+        }
+    }
+
+    impl PersistentSink for PanickySink {
+        fn save_lines(&self, out: &mut Vec<String>) {
+            self.0.save_lines(out);
+        }
+
+        fn restore_lines(lines: &[String], base_line: usize) -> Result<Self, ResumeError> {
+            StreamAccumulator::restore_lines(lines, base_line).map(PanickySink)
+        }
+    }
+}
+
+#[test]
+fn injected_worker_panics_are_retried_to_the_reference_digest() {
+    use panicky::{Injection, PanickySink, INJECTION, INJECTION_LOCK};
+    let _guard = INJECTION_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (circuit, tb) = fixture();
+    let reference = {
+        let p = plan(&circuit, &tb, 4, TracePolicy::Dense);
+        Engine::new(&p).run_streamed(&p)
+    };
+    let p = plan(&circuit, &tb, 4, TracePolicy::Dense);
+    let engine = Engine::new(&p);
+    // Chunks at cycles 3, 17 and 31 panic on their first attempt only:
+    // each is requeued, retried on a rebuilt scratch, and succeeds
+    // within the default retry budget — so the campaign completes.
+    *INJECTION.lock().unwrap_or_else(|e| e.into_inner()) =
+        Injection::Once([3u32, 17, 31].into_iter().collect());
+    let run = engine
+        .run_streamed_resumable_with::<PanickySink>(&p, &ResumeOptions::default())
+        .expect("retries must absorb the injected panics");
+    let mut mode = INJECTION.lock().unwrap_or_else(|e| e.into_inner());
+    match std::mem::take(&mut *mode) {
+        Injection::Once(leftover) => {
+            assert!(leftover.is_empty(), "all injections fired, left {leftover:?}");
+        }
+        other => panic!("injection mode clobbered: {other:?}"),
+    }
+    drop(mode);
+    assert!(run.is_complete());
+    assert_eq!(run.sink.0.digest(), reference.digest(), "retried chunks must not double-fold");
+    assert_eq!(run.sink.0.summary(), reference.summary());
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_structured_error() {
+    use panicky::{Injection, PanickySink, INJECTION, INJECTION_LOCK};
+    let _guard = INJECTION_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (circuit, tb) = fixture();
+    let p = plan(&circuit, &tb, 2, TracePolicy::Dense);
+    let engine = Engine::new(&p);
+    // Every observe panics: the first chunk burns through its whole
+    // retry budget and must surface WorkerPanic instead of hanging or
+    // aborting the process.
+    *INJECTION.lock().unwrap_or_else(|e| e.into_inner()) = Injection::Always;
+    let err = engine
+        .run_streamed_resumable_with::<PanickySink>(&p, &ResumeOptions::default())
+        .expect_err("budget exhaustion must surface");
+    *INJECTION.lock().unwrap_or_else(|e| e.into_inner()) = Injection::Off;
+    match err {
+        EngineError::WorkerPanic { attempts, message, .. } => {
+            assert!(attempts >= 1);
+            assert!(message.contains("injected"), "{message}");
+        }
+        other => panic!("expected WorkerPanic, got {other}"),
+    }
+}
+
+#[test]
+fn sampled_campaign_resumes_identically() {
+    let (circuit, tb) = fixture();
+    let build = |threads| {
+        CampaignPlan::builder(&circuit, &tb)
+            .sampled(200, 7)
+            .policy(ShardPolicy { threads, serial_below: 0 })
+            .build()
+    };
+    let reference = {
+        let p = build(1);
+        Engine::new(&p).run_streamed(&p)
+    };
+    for threads in [1, 4] {
+        let path = ckpt_path(&format!("sampled-t{threads}"));
+        let p = build(threads);
+        let engine = Engine::new(&p);
+        let mut opts = ResumeOptions::checkpoint_to(&path);
+        opts.every = 2;
+        opts.limit = Some(3);
+        engine.run_streamed_resumable(&p, &opts).expect("sampled first leg");
+        let resumed = engine
+            .run_streamed_resumable(&p, &ResumeOptions::resume_from(&path))
+            .expect("sampled resume");
+        std::fs::remove_file(&path).ok();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.sink.digest(), reference.digest());
+        assert_eq!(resumed.sink.summary(), reference.summary());
+    }
+}
