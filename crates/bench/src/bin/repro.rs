@@ -22,9 +22,12 @@
 //! to `BENCH_engine.json` (`--out PATH` overrides), then the streamed
 //! grading scaling rows — the s5378-class fixture under `dense` vs
 //! `checkpoint:64`, throughput and golden-trace memory — to the tracked
-//! `BENCH_grade.json` (`seugrade-grade-bench/v1`). It is deliberately
-//! *not* part of `all`: wall-clock measurement deserves an unloaded
-//! machine.
+//! `BENCH_grade.json` (`seugrade-grade-bench/v1`). `--trace-policy
+//! auto` widens the sweep to `checkpoint:K` for K ∈ {16, 64, 256,
+//! 1024}, reports the fastest policy against dense, and re-measures
+//! the winner with early fault collapse inverted (`--collapse on|off`
+//! picks the mode for every other row). It is deliberately *not* part
+//! of `all`: wall-clock measurement deserves an unloaded machine.
 //!
 //! `grade <target>` loads a circuit — a bundled registry name
 //! (`repro -- grade s5378g`) or an external netlist file (ISCAS
@@ -69,6 +72,10 @@ struct Options {
     vectors: usize,
     seed: u64,
     trace_policy: TracePolicy,
+    /// `--trace-policy auto`: sweep K ∈ {16, 64, 256, 1024} plus dense
+    /// in `bench` and report the fastest policy.
+    trace_policy_auto: bool,
+    collapse: Collapse,
     sample: Option<usize>,
     checkpoint: Option<String>,
     checkpoint_every: usize,
@@ -103,6 +110,8 @@ fn main() {
         vectors: 100,
         seed: 42,
         trace_policy: TracePolicy::Dense,
+        trace_policy_auto: false,
+        collapse: Collapse::Early,
         sample: None,
         checkpoint: None,
         checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
@@ -130,8 +139,22 @@ fn main() {
                     eprintln!("--trace-policy needs a value");
                     std::process::exit(2);
                 });
-                opts.trace_policy = TracePolicy::from_label(&v).unwrap_or_else(|| {
-                    eprintln!("--trace-policy expects dense|checkpoint:<K>, got `{v}`");
+                if v == "auto" {
+                    opts.trace_policy_auto = true;
+                } else {
+                    opts.trace_policy = TracePolicy::from_label(&v).unwrap_or_else(|| {
+                        eprintln!("--trace-policy expects dense|checkpoint:<K>|auto, got `{v}`");
+                        std::process::exit(2);
+                    });
+                }
+            }
+            "--collapse" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--collapse needs a value");
+                    std::process::exit(2);
+                });
+                opts.collapse = Collapse::from_label(&v).unwrap_or_else(|| {
+                    eprintln!("--collapse expects on|off, got `{v}`");
                     std::process::exit(2);
                 });
             }
@@ -186,6 +209,11 @@ fn main() {
     ];
     if !known.contains(&command) {
         eprintln!("unknown experiment `{command}`; expected one of {known:?}");
+        std::process::exit(2);
+    }
+
+    if opts.trace_policy_auto && command != "bench" {
+        eprintln!("--trace-policy auto is a bench sweep; pick a concrete policy for `{command}`");
         std::process::exit(2);
     }
 
@@ -375,8 +403,15 @@ fn run_engine_bench(opts: &Options) {
 
 /// The streamed-grading scaling rows of the `bench` subcommand: the
 /// s5378-class fixture (1536 FFs) over a long bench, dense vs
-/// `checkpoint:64`, measuring throughput *and* golden-trace memory —
+/// checkpointed, measuring throughput *and* golden-trace memory —
 /// written to the tracked `BENCH_grade.json` perf snapshot.
+///
+/// With `--trace-policy auto` the sweep covers `checkpoint:K` for
+/// K ∈ {16, 64, 256, 1024} alongside dense and reports the fastest
+/// policy; the default pair stays `dense` vs `checkpoint:64`. Every
+/// row is graded under the requested `--collapse` mode; with `auto`
+/// the winning checkpoint policy is re-measured with collapse
+/// inverted so the record shows what early collapse buys.
 fn run_grade_scaling(opts: &Options, threads: usize) {
     let circuit = registry::build("s5378g").expect("registered scale fixture");
     let (cycles, sample) = if opts.quick { (512, 8_192) } else { (4_096, 65_536) };
@@ -388,24 +423,34 @@ fn run_grade_scaling(opts: &Options, threads: usize) {
         sample,
         circuit.num_ffs() * cycles,
     );
+    let policies: Vec<TracePolicy> = if opts.trace_policy_auto {
+        let mut p = vec![TracePolicy::Dense];
+        p.extend([16, 64, 256, 1024].map(TracePolicy::Checkpoint));
+        p
+    } else {
+        vec![TracePolicy::Dense, TracePolicy::Checkpoint(64)]
+    };
     let mut grade_report = GradeBenchReport::new();
     let mut digests = Vec::new();
-    for policy in [TracePolicy::Dense, TracePolicy::Checkpoint(64)] {
+    let mut measure = |policy: TracePolicy, collapse: Collapse| -> f64 {
         let plan = CampaignPlan::builder(&circuit, &tb)
             .sampled(sample, 7)
             .policy(ShardPolicy { threads, serial_below: 0 })
             .trace_policy(policy)
+            .collapse(collapse)
             .build();
         let engine = Engine::new(&plan);
         let run = engine.run_streamed(&plan);
         digests.push(run.digest());
         let stored = engine.grader().golden().stored_bits();
         let dense_bits = engine.grader().golden().dense_equivalent_bits();
+        let rate = engine_bench::rate(run.stats().faults, run.stats().wall_ns);
         println!(
-            "{:<16} threads {:>2}: {:>12.0} faults/sec ({} faults), golden {} bits (dense {} bits, x{:.1})",
+            "{:<16} collapse {:<3} threads {:>2}: {:>12.0} faults/sec ({} faults), golden {} bits (dense {} bits, x{:.1})",
             policy.label(),
+            collapse.label(),
             run.stats().threads,
-            engine_bench::rate(run.stats().faults, run.stats().wall_ns),
+            rate,
             run.stats().faults,
             stored,
             dense_bits,
@@ -420,10 +465,40 @@ fn run_grade_scaling(opts: &Options, threads: usize) {
             faults: run.stats().faults,
             source: format!("sampled:{sample}"),
             wall_ns: run.stats().wall_ns,
-            faults_per_sec: engine_bench::rate(run.stats().faults, run.stats().wall_ns),
+            faults_per_sec: rate,
             golden_stored_bits: stored,
             golden_dense_bits: dense_bits,
+            collapse: collapse.label().to_owned(),
         });
+        rate
+    };
+    let mut rates = Vec::new();
+    for &policy in &policies {
+        rates.push((policy, measure(policy, opts.collapse)));
+    }
+    let dense_rate = rates[0].1;
+    if opts.trace_policy_auto {
+        let &(winner, winner_rate) = rates[1..]
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("auto sweep has checkpoint rows");
+        // Show what early collapse buys on the winning policy: one extra
+        // row with the collapse mode inverted.
+        let inverted = match opts.collapse {
+            Collapse::Early => Collapse::Horizon,
+            Collapse::Horizon => Collapse::Early,
+        };
+        let inverted_rate = measure(winner, inverted);
+        let (on_rate, off_rate) = match opts.collapse {
+            Collapse::Early => (winner_rate, inverted_rate),
+            Collapse::Horizon => (inverted_rate, winner_rate),
+        };
+        println!(
+            "auto-selected {} ({:.2}x dense; early collapse {:.2}x over horizon walks)",
+            winner.label(),
+            engine_bench::ratio(winner_rate, dense_rate),
+            engine_bench::ratio(on_rate, off_rate),
+        );
     }
     assert!(
         digests.windows(2).all(|w| w[0] == w[1]),
@@ -472,7 +547,8 @@ fn run_grade(target: &str, opts: &Options) {
 
     let mut builder = CampaignPlan::builder(&circuit, &tb)
         .policy(policy)
-        .trace_policy(opts.trace_policy);
+        .trace_policy(opts.trace_policy)
+        .collapse(opts.collapse);
     if let Some(count) = opts.sample {
         builder = builder.sampled(count, opts.seed);
     }
@@ -537,7 +613,8 @@ fn run_resume(path: &str, opts: &Options) {
     let tb = Testbench::random(circuit.num_inputs(), vectors, seed);
     let mut builder = CampaignPlan::builder(&circuit, &tb)
         .policy(policy)
-        .trace_policy(trace_policy);
+        .trace_policy(trace_policy)
+        .collapse(opts.collapse);
     if let Some(count) = sample {
         builder = builder.sampled(count, seed);
     }

@@ -69,8 +69,8 @@ pub mod prelude {
     pub use seugrade_emulation::instrument;
     pub use seugrade_faultsim::sampling::{estimate_classes, wilson_interval, ClassEstimate};
     pub use seugrade_faultsim::{
-        multi, report, Fault, FaultClass, FaultList, FaultOutcome, Grader, GradingSummary,
-        MultiFault,
+        multi, report, Collapse, Fault, FaultClass, FaultList, FaultOutcome, GradeScratch,
+        Grader, GradingSummary, MultiFault, DEFAULT_WINDOW_CACHE_SPANS,
     };
     pub use seugrade_harden::{dwc, tmr};
     pub use seugrade_netlist::{
@@ -80,7 +80,7 @@ pub mod prelude {
     pub use seugrade_rtl::{Reg, RtlBuilder, Word};
     pub use seugrade_sim::{
         equiv_check, CompiledSim, Counterexample, EventSim, GoldenTrace, SplitMix64, Testbench,
-        TracePolicy, TraceWindow,
+        TracePolicy, TraceWindow, WindowCache,
     };
     pub use seugrade_techmap::{map_luts, BramEstimate, MapperConfig, ResourceReport};
 }

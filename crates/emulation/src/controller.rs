@@ -149,6 +149,28 @@ pub fn mask_scan_timing(
     num_cycles: usize,
     cfg: &TimingConfig,
 ) -> CampaignTiming {
+    mask_scan_timing_collapsed(faults, outcomes, num_cycles, cfg, false)
+}
+
+/// [`mask_scan_timing`] with optional **early fault collapse**: when
+/// `collapse` is true a silent fault's replay aborts the cycle after its
+/// state re-converges with the golden machine (the comparator that spots
+/// failures also spots convergence), instead of walking to the horizon.
+/// Failure and latent faults are unchanged, as is every scan/overhead
+/// term — so with `collapse = false` this reproduces the paper-default
+/// numbers exactly.
+///
+/// # Panics
+///
+/// Panics if `faults` and `outcomes` lengths differ.
+#[must_use]
+pub fn mask_scan_timing_collapsed(
+    faults: &[Fault],
+    outcomes: &[FaultOutcome],
+    num_cycles: usize,
+    cfg: &TimingConfig,
+    collapse: bool,
+) -> CampaignTiming {
     assert_eq!(faults.len(), outcomes.len());
     let mut scan = 0u64;
     let mut run = 0u64;
@@ -159,7 +181,8 @@ pub fn mask_scan_timing(
     ffs.dedup();
     scan += ffs.len() as u64;
     for (f, o) in faults.iter().zip(outcomes) {
-        let replay_end = match o.detect_cycle {
+        let collapse_at = if collapse { o.converge_cycle } else { None };
+        let replay_end = match o.detect_cycle.or(collapse_at) {
             Some(u) => u as u64 + 1,
             None => num_cycles as u64,
         };
@@ -526,6 +549,25 @@ mod tests {
         // convergence.
         assert_eq!(t.run_cycles, 200);
         assert_eq!(t.scan_cycles, 2);
+    }
+
+    #[test]
+    fn mask_scan_early_collapse_retires_silent_faults_at_convergence() {
+        let faults = [fault(0, 50), fault(1, 10), fault(2, 5)];
+        let outcomes =
+            [FaultOutcome::latent(), FaultOutcome::silent(20), FaultOutcome::failure(8)];
+        let plain = mask_scan_timing(&faults, &outcomes, 100, &cfg());
+        let off = mask_scan_timing_collapsed(&faults, &outcomes, 100, &cfg(), false);
+        // collapse = false reproduces the default schedule exactly.
+        assert_eq!(plain, off);
+        let on = mask_scan_timing_collapsed(&faults, &outcomes, 100, &cfg(), true);
+        // Latent 100 + silent retired at 20+1 + failure aborted at 8+1;
+        // only the silent fault's run shrinks, all other terms match.
+        assert_eq!(on.run_cycles, 100 + 21 + 9);
+        assert_eq!(plain.run_cycles, 100 + 100 + 9);
+        assert_eq!(on.scan_cycles, plain.scan_cycles);
+        assert_eq!(on.overhead_cycles, plain.overhead_cycles);
+        assert!(on.total_cycles < plain.total_cycles);
     }
 
     #[test]

@@ -75,6 +75,10 @@ pub struct GradeRecord {
     pub golden_stored_bits: u64,
     /// What a dense golden trace of the same run would store.
     pub golden_dense_bits: u64,
+    /// Early-collapse label (`on` / `off`) the row was measured under.
+    /// Additive `seugrade-grade-bench/v1` field: appended after the v1
+    /// columns so existing consumers are unaffected.
+    pub collapse: String,
 }
 
 /// A streamed-grading scaling report, serializable to the stable
@@ -118,7 +122,7 @@ impl GradeBenchReport {
                 "\"circuit\": {}, \"policy\": {}, \"threads\": {}, \"ffs\": {}, \
                  \"cycles\": {}, \"faults\": {}, \"source\": {}, \"wall_ns\": {}, \
                  \"faults_per_sec\": {}, \"golden_stored_bits\": {}, \
-                 \"golden_dense_bits\": {}",
+                 \"golden_dense_bits\": {}, \"collapse\": {}",
                 json_string(&r.circuit),
                 json_string(&r.policy),
                 r.threads,
@@ -130,6 +134,7 @@ impl GradeBenchReport {
                 json_number(r.faults_per_sec),
                 r.golden_stored_bits,
                 r.golden_dense_bits,
+                json_string(&r.collapse),
             );
             s.push('}');
             if i + 1 < self.records.len() {
@@ -450,17 +455,22 @@ mod tests {
             faults_per_sec: 1e6,
             golden_stored_bits: 101_376,
             golden_dense_bits: 6_390_720,
+            collapse: "on".into(),
         });
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"seugrade-grade-bench/v1\""));
         assert!(json.contains("\"policy\": \"checkpoint:64\""));
         assert!(json.contains("\"golden_stored_bits\": 101376"));
         assert!(json.contains("\"source\": \"sampled:65536\""));
+        assert!(json.contains("\"collapse\": \"on\""));
         assert_eq!(report.find("checkpoint:64").unwrap().cycles, 4096);
         assert!(report.find("dense").is_none());
-        // Field order is part of the schema contract.
+        // Field order is part of the schema contract; the additive
+        // `collapse` column stays after every v1 field.
         let p = json.find("\"policy\"").unwrap();
         let f = json.find("\"ffs\"").unwrap();
-        assert!(p < f);
+        let d = json.find("\"golden_dense_bits\"").unwrap();
+        let cl = json.find("\"collapse\"").unwrap();
+        assert!(p < f && d < cl);
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use seugrade_faultsim::{FaultList, MultiFault};
+use seugrade_faultsim::{Collapse, FaultList, MultiFault, DEFAULT_WINDOW_CACHE_SPANS};
 use seugrade_netlist::Netlist;
 use seugrade_sim::{Testbench, TracePolicy};
 
@@ -148,13 +148,17 @@ pub struct CampaignPlan<'a> {
     techniques: Vec<Technique>,
     policy: ShardPolicy,
     trace_policy: TracePolicy,
+    collapse: Collapse,
+    window_cache: usize,
 }
 
 impl<'a> CampaignPlan<'a> {
     /// Starts a plan for one circuit / test-bench pair.
     ///
     /// Defaults: exhaustive fault list, all three techniques,
-    /// [`ShardPolicy::auto`], [`TracePolicy::Dense`].
+    /// [`ShardPolicy::auto`], [`TracePolicy::Dense`],
+    /// [`Collapse::Early`], a
+    /// [`DEFAULT_WINDOW_CACHE_SPANS`]-span window cache per worker.
     #[must_use]
     pub fn builder(circuit: &'a Netlist, tb: &'a Testbench) -> CampaignPlanBuilder<'a> {
         CampaignPlanBuilder {
@@ -164,6 +168,8 @@ impl<'a> CampaignPlan<'a> {
             techniques: Technique::ALL.to_vec(),
             policy: ShardPolicy::auto(),
             trace_policy: TracePolicy::Dense,
+            collapse: Collapse::Early,
+            window_cache: DEFAULT_WINDOW_CACHE_SPANS,
         }
     }
 
@@ -206,6 +212,22 @@ impl<'a> CampaignPlan<'a> {
         self.trace_policy
     }
 
+    /// The early-collapse mode grading runs under (verdicts are
+    /// collapse-independent; the work done is not).
+    #[must_use]
+    pub fn collapse(&self) -> Collapse {
+        self.collapse
+    }
+
+    /// Per-worker window-cache capacity in spans (0 disables caching).
+    /// Affects replay cost only, never verdicts — which is also why it
+    /// is excluded from resume fingerprints: a campaign checkpointed
+    /// under one cache size (or collapse mode) can resume under another.
+    #[must_use]
+    pub fn window_cache(&self) -> usize {
+        self.window_cache
+    }
+
     /// Builds an engine for this plan and runs it once.
     #[must_use]
     pub fn execute(&self) -> crate::CampaignRun {
@@ -230,6 +252,8 @@ pub struct CampaignPlanBuilder<'a> {
     techniques: Vec<Technique>,
     policy: ShardPolicy,
     trace_policy: TracePolicy,
+    collapse: Collapse,
+    window_cache: usize,
 }
 
 impl<'a> CampaignPlanBuilder<'a> {
@@ -300,6 +324,23 @@ impl<'a> CampaignPlanBuilder<'a> {
         self
     }
 
+    /// Sets the [`Collapse`] mode ([`Collapse::Horizon`] disables early
+    /// fault collapse — useful only as a benchmark baseline; verdicts
+    /// never change).
+    #[must_use]
+    pub fn collapse(mut self, collapse: Collapse) -> Self {
+        self.collapse = collapse;
+        self
+    }
+
+    /// Sets the per-worker window-cache capacity in replayed spans
+    /// (0 disables caching; verdicts never change).
+    #[must_use]
+    pub fn window_cache(mut self, spans: usize) -> Self {
+        self.window_cache = spans;
+        self
+    }
+
     /// Finalizes the plan.
     ///
     /// # Panics
@@ -320,6 +361,8 @@ impl<'a> CampaignPlanBuilder<'a> {
             techniques: self.techniques,
             policy: self.policy,
             trace_policy: self.trace_policy,
+            collapse: self.collapse,
+            window_cache: self.window_cache,
         }
     }
 }
@@ -338,6 +381,8 @@ mod tests {
         assert_eq!(plan.source(), &FaultSource::Exhaustive);
         assert_eq!(plan.techniques(), &Technique::ALL);
         assert_eq!(plan.policy(), &ShardPolicy::auto());
+        assert_eq!(plan.collapse(), Collapse::Early);
+        assert_eq!(plan.window_cache(), DEFAULT_WINDOW_CACHE_SPANS);
     }
 
     #[test]
@@ -348,9 +393,13 @@ mod tests {
             .sampled(10, 7)
             .techniques(&[Technique::TimeMux])
             .threads(2)
+            .collapse(Collapse::Horizon)
+            .window_cache(0)
             .build();
         assert_eq!(plan.source(), &FaultSource::Sampled { count: 10, seed: 7 });
         assert_eq!(plan.techniques(), &[Technique::TimeMux]);
+        assert_eq!(plan.collapse(), Collapse::Horizon);
+        assert_eq!(plan.window_cache(), 0);
         assert_eq!(plan.policy().threads, 2);
         assert_eq!(plan.policy().serial_below, 0);
     }

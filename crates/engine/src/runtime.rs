@@ -2,9 +2,11 @@
 
 use std::time::Instant;
 
-use seugrade_faultsim::{sampling, FaultList, FaultOutcome, Grader, GradingSummary, MultiFault};
+use seugrade_faultsim::{
+    sampling, Collapse, FaultList, FaultOutcome, GradeScratch, Grader, GradingSummary, MultiFault,
+};
 use seugrade_netlist::Netlist;
-use seugrade_sim::{Testbench, TracePolicy};
+use seugrade_sim::{Testbench, TracePolicy, WindowCache};
 
 use crate::error::EngineError;
 use crate::plan::{CampaignPlan, FaultSource, Technique};
@@ -13,9 +15,10 @@ use crate::progress::{EngineStats, ProgressEvent};
 use crate::resume::{Checkpoint, Fingerprint, PersistentSink, ResumeError, ResumeOptions};
 use crate::stream::{ChunkPlan, StreamAccumulator, VerdictSink};
 
-/// Per-worker grading scratch of the streamed paths: simulator state,
-/// chunk fault buffer, 64-lane outcome array.
-type StreamedScratch = (seugrade_sim::SimState, Vec<seugrade_faultsim::Fault>, [FaultOutcome; 64]);
+/// Per-worker grading scratch of the streamed paths: the grader's
+/// scratch (simulator state + window cache + collapse mode), the chunk
+/// fault buffer, and the 64-lane outcome array.
+type StreamedScratch = (GradeScratch, Vec<seugrade_faultsim::Fault>, [FaultOutcome; 64]);
 
 /// The materialized faults of one campaign run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -341,11 +344,12 @@ impl Engine {
                 // The exhaustive space chunks arithmetically (and its
                 // submission order is already cycle-major); anything
                 // else goes through the counting-sorted plan.
+                let lanes = self.grader.chunk_lanes();
                 let chunks = match plan.source() {
-                    FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles),
-                    _ => ChunkPlan::ordered(list.as_slice(), num_cycles),
+                    FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles, lanes),
+                    _ => ChunkPlan::ordered(list.as_slice(), num_cycles, lanes),
                 };
-                self.grade_single(&chunks, threads, &on_shard)
+                self.grade_single(&chunks, threads, plan.collapse(), plan.window_cache(), &on_shard)
             }
             FaultPlan::Multi(list) => self.grade_multi(list, threads, &on_shard),
         };
@@ -435,14 +439,15 @@ impl Engine {
         // materializes its fault list (a uniform draw needs the whole
         // space); explicit lists are borrowed, the exhaustive space is
         // arithmetic.
+        let lanes = self.grader.chunk_lanes();
         let sample: FaultList;
         let chunks = match plan.source() {
-            FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles),
+            FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles, lanes),
             FaultSource::Sampled { count, seed } => {
                 sample = FaultList::sampled(num_ffs, num_cycles, *count, *seed);
-                ChunkPlan::ordered(sample.as_slice(), num_cycles)
+                ChunkPlan::ordered(sample.as_slice(), num_cycles, lanes)
             }
-            FaultSource::List(list) => ChunkPlan::ordered(list.as_slice(), num_cycles),
+            FaultSource::List(list) => ChunkPlan::ordered(list.as_slice(), num_cycles, lanes),
             FaultSource::Multi(_) => {
                 panic!("streamed execution grades single-fault sources; use run() for MBUs")
             }
@@ -450,10 +455,11 @@ impl Engine {
 
         let threads = self.streamed_threads(plan, chunks.num_faults());
         let start = Instant::now();
+        let cache_root = WindowCache::shared(plan.window_cache());
         let accs: Vec<A> = run_folded(
             chunks.num_chunks(),
             threads,
-            || self.streamed_scratch(),
+            || self.streamed_scratch(plan, &cache_root),
             A::default,
             |a: &mut A, b| a.merge(b),
             |scratch, acc: &mut A, i| self.grade_streamed_chunk(&chunks, scratch, acc, i),
@@ -519,14 +525,15 @@ impl Engine {
         );
         let num_ffs = self.grader.sim().num_ffs();
         let num_cycles = self.grader.testbench().num_cycles();
+        let lanes = self.grader.chunk_lanes();
         let sample: FaultList;
         let chunks = match plan.source() {
-            FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles),
+            FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles, lanes),
             FaultSource::Sampled { count, seed } => {
                 sample = FaultList::sampled(num_ffs, num_cycles, *count, *seed);
-                ChunkPlan::ordered(sample.as_slice(), num_cycles)
+                ChunkPlan::ordered(sample.as_slice(), num_cycles, lanes)
             }
-            FaultSource::List(list) => ChunkPlan::ordered(list.as_slice(), num_cycles),
+            FaultSource::List(list) => ChunkPlan::ordered(list.as_slice(), num_cycles, lanes),
             FaultSource::Multi(_) => {
                 panic!("streamed execution grades single-fault sources; use run() for MBUs")
             }
@@ -569,6 +576,9 @@ impl Engine {
         let start = Instant::now();
         let mut done = start_chunk;
         let mut interrupted = false;
+        // One shared span store across every round: the per-round scratch
+        // rebuild must not throw replayed golden spans away.
+        let cache_root = WindowCache::shared(plan.window_cache());
         while done < total_chunks {
             let budget = opts
                 .limit
@@ -581,7 +591,7 @@ impl Engine {
             let status = run_folded_ctl(
                 round,
                 threads,
-                || self.streamed_scratch(),
+                || self.streamed_scratch(plan, &cache_root),
                 A::default,
                 |a: &mut A, b| a.merge(b),
                 |scratch, acc: &mut A, i| {
@@ -668,11 +678,13 @@ impl Engine {
         }
     }
 
-    /// Per-worker grading scratch: a simulator state, the chunk fault
-    /// buffer, and the 64-lane outcome array.
-    fn streamed_scratch(&self) -> StreamedScratch {
+    /// Per-worker grading scratch: the grader's scratch configured from
+    /// the plan's collapse mode and window-cache capacity, the chunk
+    /// fault buffer, and the 64-lane outcome array. Cheap to rebuild —
+    /// the pool recreates it after a contained worker panic.
+    fn streamed_scratch(&self, plan: &CampaignPlan<'_>, root: &WindowCache) -> StreamedScratch {
         (
-            self.grader.sim().new_state(),
+            self.grader.new_scratch_with_cache(plan.collapse(), root.clone_handle()),
             Vec::with_capacity(64),
             [FaultOutcome::latent(); 64],
         )
@@ -688,7 +700,7 @@ impl Engine {
     ) {
         chunks.fill(i, buf);
         let out = &mut out[..buf.len()];
-        self.grader.grade_cycle_chunk(st, buf, out);
+        self.grader.grade_chunk(st, buf, out);
         for (&f, &o) in buf.iter().zip(out.iter()) {
             acc.observe(f, o);
         }
@@ -701,17 +713,27 @@ impl Engine {
         &self,
         chunks: &ChunkPlan<'_>,
         threads: usize,
+        collapse: Collapse,
+        cache_spans: usize,
         on_shard: &(impl Fn(ProgressEvent) + Sync),
     ) -> (Vec<FaultOutcome>, GradingSummary, EngineStats) {
         let start = Instant::now();
+        // One span store for the whole pool: each worker gets a handle,
+        // so a span is replayed once per run, not once per worker.
+        let cache_root = WindowCache::shared(cache_spans);
         let graded: Vec<(Vec<FaultOutcome>, GradingSummary)> = run_indexed(
             chunks.num_chunks(),
             threads,
-            || (self.grader.sim().new_state(), Vec::with_capacity(64)),
+            || {
+                (
+                    self.grader.new_scratch_with_cache(collapse, cache_root.clone_handle()),
+                    Vec::with_capacity(64),
+                )
+            },
             |(st, buf): &mut _, i| {
                 chunks.fill(i, buf);
                 let mut out = vec![FaultOutcome::latent(); buf.len()];
-                self.grader.grade_cycle_chunk(st, buf, &mut out);
+                self.grader.grade_chunk(st, buf, &mut out);
                 let summary = GradingSummary::from_outcomes(&out);
                 on_shard(ProgressEvent {
                     shard: i,

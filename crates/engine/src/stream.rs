@@ -39,7 +39,10 @@ pub(crate) enum ChunkPlan<'a> {
     Exhaustive {
         /// Flip-flop dimension.
         num_ffs: usize,
-        /// Chunks per cycle: `ceil(num_ffs / 64)`.
+        /// Fault lanes per chunk (64 dense, 63 checkpointed — the
+        /// grader's golden companion machine reserves lane 63).
+        lanes: usize,
+        /// Chunks per cycle: `ceil(num_ffs / lanes)`.
         per_cycle: usize,
         /// Total chunks: `per_cycle × num_cycles`.
         chunks: usize,
@@ -60,11 +63,18 @@ pub(crate) enum ChunkPlan<'a> {
 
 impl<'a> ChunkPlan<'a> {
     /// Plans the exhaustive `num_ffs × num_cycles` space without
-    /// materializing it.
-    pub(crate) fn exhaustive(num_ffs: usize, num_cycles: usize) -> Self {
-        let per_cycle = num_ffs.div_ceil(64);
+    /// materializing it, cutting each cycle into chunks of at most
+    /// `lanes` faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds the 64-lane word width.
+    pub(crate) fn exhaustive(num_ffs: usize, num_cycles: usize, lanes: usize) -> Self {
+        assert!(lanes >= 1 && lanes <= 64, "chunk lanes out of range");
+        let per_cycle = num_ffs.div_ceil(lanes);
         ChunkPlan::Exhaustive {
             num_ffs,
+            lanes,
             per_cycle,
             chunks: per_cycle * num_cycles,
             faults: num_ffs * num_cycles,
@@ -72,12 +82,14 @@ impl<'a> ChunkPlan<'a> {
     }
 
     /// Plans an explicit fault list (stable counting sort by injection
-    /// cycle, then runs cut at 64).
+    /// cycle, then runs cut at `lanes`).
     ///
     /// # Panics
     ///
-    /// Panics if a fault's cycle is `>= num_cycles`.
-    pub(crate) fn ordered(faults: &'a [Fault], num_cycles: usize) -> Self {
+    /// Panics if a fault's cycle is `>= num_cycles`, or if `lanes` is 0
+    /// or exceeds the 64-lane word width.
+    pub(crate) fn ordered(faults: &'a [Fault], num_cycles: usize, lanes: usize) -> Self {
+        assert!(lanes >= 1 && lanes <= 64, "chunk lanes out of range");
         let mut counts = vec![0usize; num_cycles];
         for f in faults {
             assert!((f.cycle as usize) < num_cycles, "fault cycle out of range");
@@ -98,7 +110,7 @@ impl<'a> ChunkPlan<'a> {
         for c in 0..num_cycles {
             let (mut start, end) = (offsets[c], offsets[c + 1]);
             while start < end {
-                let stop = (start + 64).min(end);
+                let stop = (start + lanes).min(end);
                 batches.push((start, stop));
                 start = stop;
             }
@@ -128,13 +140,13 @@ impl<'a> ChunkPlan<'a> {
     /// sorted list contiguously).
     pub(crate) fn faults_before(&self, chunk: usize) -> usize {
         match self {
-            ChunkPlan::Exhaustive { num_ffs, per_cycle, chunks, faults } => {
+            ChunkPlan::Exhaustive { num_ffs, lanes, per_cycle, chunks, faults } => {
                 if chunk >= *chunks {
                     return *faults;
                 }
-                // Within a cycle, chunk j starts at flip-flop j*64, and
-                // j*64 < num_ffs for every in-cycle index.
-                (chunk / per_cycle) * num_ffs + (chunk % per_cycle) * 64
+                // Within a cycle, chunk j starts at flip-flop j*lanes,
+                // and j*lanes < num_ffs for every in-cycle index.
+                (chunk / per_cycle) * num_ffs + (chunk % per_cycle) * lanes
             }
             ChunkPlan::Ordered { faults, batches, .. } => {
                 if chunk == 0 {
@@ -153,10 +165,10 @@ impl<'a> ChunkPlan<'a> {
     pub(crate) fn fill(&self, i: usize, buf: &mut Vec<Fault>) {
         buf.clear();
         match self {
-            ChunkPlan::Exhaustive { num_ffs, per_cycle, .. } => {
+            ChunkPlan::Exhaustive { num_ffs, lanes, per_cycle, .. } => {
                 let cycle = (i / per_cycle) as u32;
-                let lo = (i % per_cycle) * 64;
-                let hi = (lo + 64).min(*num_ffs);
+                let lo = (i % per_cycle) * lanes;
+                let hi = (lo + lanes).min(*num_ffs);
                 buf.extend((lo..hi).map(|ff| Fault::new(FfIndex::new(ff), cycle)));
             }
             ChunkPlan::Ordered { faults, order, batches } => {
@@ -169,11 +181,11 @@ impl<'a> ChunkPlan<'a> {
     /// Scatters chunk `i`'s verdicts back into submission order.
     pub(crate) fn scatter(&self, i: usize, out: &[FaultOutcome], dest: &mut [FaultOutcome]) {
         match self {
-            ChunkPlan::Exhaustive { num_ffs, per_cycle, .. } => {
+            ChunkPlan::Exhaustive { num_ffs, lanes, per_cycle, .. } => {
                 // Exhaustive submission order *is* cycle-major, so the
                 // chunk lands contiguously.
                 let cycle = i / per_cycle;
-                let start = cycle * num_ffs + (i % per_cycle) * 64;
+                let start = cycle * num_ffs + (i % per_cycle) * lanes;
                 dest[start..start + out.len()].copy_from_slice(out);
             }
             ChunkPlan::Ordered { order, batches, .. } => {
@@ -320,7 +332,7 @@ mod tests {
 
     #[test]
     fn exhaustive_plan_covers_the_space_in_cycle_major_order() {
-        let plan = ChunkPlan::exhaustive(70, 3);
+        let plan = ChunkPlan::exhaustive(70, 3, 64);
         assert_eq!(plan.num_chunks(), 2 * 3);
         assert_eq!(plan.num_faults(), 210);
         let mut buf = Vec::new();
@@ -337,10 +349,28 @@ mod tests {
     }
 
     #[test]
+    fn narrower_lane_plans_cover_the_same_space() {
+        // 63-lane (companion) plans must enumerate exactly the same
+        // faults in the same cycle-major order, just in more chunks.
+        for (ffs, cycles) in [(70, 3), (64, 4), (63, 2), (1, 5)] {
+            let plan = ChunkPlan::exhaustive(ffs, cycles, 63);
+            let mut buf = Vec::new();
+            let mut all = Vec::new();
+            for i in 0..plan.num_chunks() {
+                plan.fill(i, &mut buf);
+                assert!(buf.len() <= 63 && !buf.is_empty());
+                all.extend_from_slice(&buf);
+            }
+            let reference = FaultList::exhaustive(ffs, cycles);
+            assert_eq!(all, reference.as_slice(), "{ffs}x{cycles}");
+        }
+    }
+
+    #[test]
     fn ordered_plan_matches_exhaustive_plan_on_the_same_list() {
         let list = FaultList::exhaustive(70, 3);
-        let ordered = ChunkPlan::ordered(list.as_slice(), 3);
-        let arithmetic = ChunkPlan::exhaustive(70, 3);
+        let ordered = ChunkPlan::ordered(list.as_slice(), 3, 64);
+        let arithmetic = ChunkPlan::exhaustive(70, 3, 64);
         assert_eq!(ordered.num_chunks(), arithmetic.num_chunks());
         let (mut a, mut b) = (Vec::new(), Vec::new());
         for i in 0..ordered.num_chunks() {
@@ -354,8 +384,11 @@ mod tests {
     fn faults_before_matches_walked_prefix_sums() {
         let list = FaultList::sampled(70, 9, 150, 3);
         let plans = [
-            ChunkPlan::exhaustive(70, 3),
-            ChunkPlan::ordered(list.as_slice(), 9),
+            ChunkPlan::exhaustive(70, 3, 64),
+            ChunkPlan::exhaustive(70, 3, 63),
+            ChunkPlan::exhaustive(64, 4, 63),
+            ChunkPlan::ordered(list.as_slice(), 9, 64),
+            ChunkPlan::ordered(list.as_slice(), 9, 63),
         ];
         for plan in &plans {
             let mut buf = Vec::new();
@@ -373,7 +406,7 @@ mod tests {
     #[test]
     fn scatter_inverts_fill() {
         let list = FaultList::sampled(10, 9, 40, 3);
-        let plan = ChunkPlan::ordered(list.as_slice(), 9);
+        let plan = ChunkPlan::ordered(list.as_slice(), 9, 64);
         let mut buf = Vec::new();
         let mut dest = vec![FaultOutcome::latent(); list.len()];
         for i in 0..plan.num_chunks() {

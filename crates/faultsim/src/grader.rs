@@ -3,9 +3,106 @@
 use seugrade_netlist::Netlist;
 use seugrade_sim::{
     broadcast, CompiledSim, GoldenTrace, SimState, Testbench, TracePolicy, TraceWindow,
+    WindowCache,
 };
 
 use crate::{Fault, FaultClass, FaultOutcome};
+
+/// Default [`WindowCache`] capacity (in spans) for grading scratch
+/// state: enough that a worker walking a cycle-major plan keeps its
+/// current span plus a few neighbours hot, small enough that per-worker
+/// memory stays `O(FFs × K)`.
+pub const DEFAULT_WINDOW_CACHE_SPANS: usize = 8;
+
+/// When a decided fault lane stops being simulated — the paper's
+/// mask-scan early-abort knob.
+///
+/// Every grading engine compares the faulty lanes against the golden
+/// machine *every cycle*, so a lane's verdict (first output mismatch =
+/// failure, first state reconvergence = silent) is known the cycle it
+/// happens. `Collapse` only controls what the engine does with the rest
+/// of the horizon:
+///
+/// - [`Early`](Collapse::Early) (default) — a chunk stops simulating the
+///   cycle its last live lane is decided, exactly like the autonomous
+///   emulator releasing the circuit for the next fault.
+/// - [`Horizon`](Collapse::Horizon) — the chunk runs to the observation
+///   horizon regardless; verdicts still record only the *first* event
+///   per lane.
+///
+/// Verdicts are bit-identical either way (the collapse-equivalence
+/// suite enforces digest equality); only the work differs. `Horizon`
+/// exists as the measurable baseline that shows what early collapse
+/// buys.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Collapse {
+    /// Retire lanes at their decision cycle; stop the chunk when all
+    /// lanes are decided.
+    #[default]
+    Early,
+    /// Simulate every chunk to the observation horizon.
+    Horizon,
+}
+
+impl Collapse {
+    /// Parses a collapse label: `on` (early) or `off` (horizon).
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "on" => Some(Collapse::Early),
+            "off" => Some(Collapse::Horizon),
+            _ => None,
+        }
+    }
+
+    /// The label form parsed by [`from_label`](Self::from_label).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Collapse::Early => "on",
+            Collapse::Horizon => "off",
+        }
+    }
+}
+
+/// Per-worker grading scratch: a reusable [`SimState`], a private
+/// [`WindowCache`], the [`Collapse`] mode, and work counters.
+///
+/// One `GradeScratch` belongs to exactly one worker thread (no sharing,
+/// no locks); the engine's thread pool creates one per worker via
+/// [`Grader::new_scratch`] and rebuilds it after a contained panic.
+/// Scratch configuration affects only *speed* — verdicts are identical
+/// for every collapse mode and cache capacity.
+#[derive(Debug)]
+pub struct GradeScratch {
+    st: SimState,
+    cache: WindowCache,
+    collapse: Collapse,
+    sim_steps: u64,
+}
+
+impl GradeScratch {
+    /// The collapse mode this scratch grades under.
+    #[must_use]
+    pub fn collapse(&self) -> Collapse {
+        self.collapse
+    }
+
+    /// The window cache (for hit/miss/replay statistics).
+    #[must_use]
+    pub fn cache(&self) -> &WindowCache {
+        &self.cache
+    }
+
+    /// Faulty-machine cycles simulated through this scratch (one per
+    /// `eval` of a chunk walk; golden replay cycles are counted by the
+    /// [`cache`](Self::cache) instead). The collapse-equivalence suite
+    /// uses this to prove a retired lane is never re-simulated.
+    #[must_use]
+    pub fn sim_steps(&self) -> u64 {
+        self.sim_steps
+    }
+}
 
 /// Fault grader: compiled simulator + golden trace for one
 /// (circuit, test bench) pair, with serial and bit-parallel engines.
@@ -80,15 +177,44 @@ impl Grader {
     /// the checkpoint-aligned `K`-cycle span containing `t` under
     /// `Checkpoint(K)`.
     pub(crate) fn first_window(&self, t: usize) -> TraceWindow<'_> {
+        let (start, end) = self.window_span(t);
+        self.golden.window(&self.sim, &self.tb, start, end)
+    }
+
+    /// The `start..end` cycle span [`first_window`](Self::first_window)
+    /// covers for an injection at cycle `t`.
+    fn window_span(&self, t: usize) -> (usize, usize) {
         let n = self.tb.num_cycles();
-        let (start, end) = match self.policy {
+        match self.policy {
             TracePolicy::Dense => (0, n),
             TracePolicy::Checkpoint(k) => {
                 let start = t - t % k;
                 (start, (start + k).min(n))
             }
+        }
+    }
+
+    /// [`first_window`](Self::first_window) served through a
+    /// [`WindowCache`].
+    fn first_window_cached(&self, t: usize, cache: &mut WindowCache) -> TraceWindow<'_> {
+        let (start, end) = self.window_span(t);
+        self.golden.window_cached(&self.sim, &self.tb, start, end, cache)
+    }
+
+    /// [`next_window`](Self::next_window) served through a
+    /// [`WindowCache`].
+    fn next_window_cached(
+        &self,
+        win: &TraceWindow<'_>,
+        cache: &mut WindowCache,
+    ) -> TraceWindow<'_> {
+        let n = self.tb.num_cycles();
+        let start = win.end();
+        let end = match self.policy {
+            TracePolicy::Dense => n,
+            TracePolicy::Checkpoint(k) => (start + k).min(n),
         };
-        self.golden.window(&self.sim, &self.tb, start, end)
+        self.golden.window_cached(&self.sim, &self.tb, start, end, cache)
     }
 
     /// The window following `win` (checkpoint-aligned, so the underlying
@@ -131,6 +257,21 @@ impl Grader {
     /// flip-flop index outside the circuit.
     #[must_use]
     pub fn classify_serial(&self, fault: Fault) -> FaultOutcome {
+        self.classify_serial_with(fault, Collapse::Early)
+    }
+
+    /// [`classify_serial`](Self::classify_serial) under an explicit
+    /// [`Collapse`] mode. The verdict is identical either way —
+    /// [`Collapse::Horizon`] merely keeps simulating the decided lane to
+    /// the observation horizon, which is what the collapse benchmarks
+    /// measure against.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`classify_serial`](Self::classify_serial).
+    #[must_use]
+    pub fn classify_serial_with(&self, fault: Fault, collapse: Collapse) -> FaultOutcome {
         let n_cycles = self.tb.num_cycles();
         let t = fault.cycle as usize;
         assert!(t < n_cycles, "fault cycle out of range");
@@ -138,21 +279,31 @@ impl Grader {
         let mut st = self.sim.new_state();
         self.sim.load_state(&mut st, win.state_at(t));
         self.sim.flip_ff_lane(&mut st, fault.ff, 0);
+        let mut verdict = FaultOutcome::latent();
+        let mut decided = false;
         for u in t..n_cycles {
             if u >= win.end() {
                 win = self.next_window(&win);
             }
             self.sim.set_inputs(&mut st, self.tb.cycle(u));
             self.sim.eval(&mut st);
-            if self.sim.outputs_lane(&st, 0) != win.output_at(u) {
-                return FaultOutcome::failure(u as u32);
+            if !decided && self.sim.outputs_lane(&st, 0) != win.output_at(u) {
+                verdict = FaultOutcome::failure(u as u32);
+                decided = true;
+            }
+            if decided && collapse == Collapse::Early {
+                return verdict;
             }
             self.sim.step(&mut st);
-            if self.sim.state_lane(&st, 0) == win.state_at(u + 1) {
-                return FaultOutcome::silent(u as u32);
+            if !decided && self.sim.state_lane(&st, 0) == win.state_at(u + 1) {
+                verdict = FaultOutcome::silent(u as u32);
+                decided = true;
+                if collapse == Collapse::Early {
+                    return verdict;
+                }
             }
         }
-        FaultOutcome::latent()
+        verdict
     }
 
     /// Grades a fault list serially, in order.
@@ -170,7 +321,7 @@ impl Grader {
     /// returned in the order of `faults`.
     #[must_use]
     pub fn run_parallel(&self, faults: &[Fault]) -> Vec<FaultOutcome> {
-        let mut st = self.sim.new_state();
+        let mut scratch = self.new_scratch(Collapse::Early, DEFAULT_WINDOW_CACHE_SPANS);
         let mut outcomes = vec![FaultOutcome::latent(); faults.len()];
         // Group indices by injection cycle, preserving order inside a group.
         let mut by_cycle: Vec<Vec<usize>> = vec![Vec::new(); self.tb.num_cycles()];
@@ -181,13 +332,14 @@ impl Grader {
             );
             by_cycle[f.cycle as usize].push(i);
         }
-        let mut buf = Vec::with_capacity(64);
+        let lanes = self.chunk_lanes();
+        let mut buf = Vec::with_capacity(lanes);
         let mut out_buf = [FaultOutcome::latent(); 64];
         for group in &by_cycle {
-            for chunk in group.chunks(64) {
+            for chunk in group.chunks(lanes) {
                 buf.clear();
                 buf.extend(chunk.iter().map(|&i| faults[i]));
-                self.grade_cycle_chunk(&mut st, &buf, &mut out_buf[..chunk.len()]);
+                self.grade_chunk(&mut scratch, &buf, &mut out_buf[..chunk.len()]);
                 for (k, &fi) in chunk.iter().enumerate() {
                     outcomes[fi] = out_buf[k];
                 }
@@ -213,6 +365,73 @@ impl Grader {
     /// injection cycles, targets an out-of-range cycle, or if `out` has a
     /// different length than `chunk`.
     pub fn grade_cycle_chunk(&self, st: &mut SimState, chunk: &[Fault], out: &mut [FaultOutcome]) {
+        let mut cache = WindowCache::disabled();
+        let mut sim_steps = 0;
+        self.grade_chunk_inner(st, &mut cache, Collapse::Early, &mut sim_steps, chunk, out);
+    }
+
+    /// The lane budget a same-cycle chunk should be cut to for this
+    /// grader: 64 under [`TracePolicy::Dense`], 63 under
+    /// [`TracePolicy::Checkpoint`] — checkpointed chunks reserve lane 63
+    /// for the golden companion machine, which rides the same
+    /// bit-parallel pass and replaces per-cycle window lookups entirely.
+    #[must_use]
+    pub fn chunk_lanes(&self) -> usize {
+        match self.policy {
+            TracePolicy::Dense => 64,
+            TracePolicy::Checkpoint(_) => 63,
+        }
+    }
+
+    /// Builds a per-worker [`GradeScratch`] with the given collapse mode
+    /// and window-cache capacity (in spans; 0 disables caching).
+    #[must_use]
+    pub fn new_scratch(&self, collapse: Collapse, cache_spans: usize) -> GradeScratch {
+        GradeScratch {
+            st: self.sim.new_state(),
+            cache: WindowCache::new(cache_spans),
+            collapse,
+            sim_steps: 0,
+        }
+    }
+
+    /// Builds a per-worker [`GradeScratch`] around an existing cache
+    /// handle — the engine hands every worker in a pool a
+    /// [`WindowCache::clone_handle`] of one shared per-run span store,
+    /// so the whole pool replays each golden span once in total.
+    #[must_use]
+    pub fn new_scratch_with_cache(&self, collapse: Collapse, cache: WindowCache) -> GradeScratch {
+        GradeScratch { st: self.sim.new_state(), cache, collapse, sim_steps: 0 }
+    }
+
+    /// [`grade_cycle_chunk`](Self::grade_cycle_chunk) against a
+    /// [`GradeScratch`]: the scratch's window cache shares replayed
+    /// golden spans across chunks, its collapse mode decides whether
+    /// decided chunks stop early, and its counters record the work done.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`grade_cycle_chunk`](Self::grade_cycle_chunk).
+    pub fn grade_chunk(
+        &self,
+        scratch: &mut GradeScratch,
+        chunk: &[Fault],
+        out: &mut [FaultOutcome],
+    ) {
+        let GradeScratch { st, cache, collapse, sim_steps } = scratch;
+        self.grade_chunk_inner(st, cache, *collapse, sim_steps, chunk, out);
+    }
+
+    fn grade_chunk_inner(
+        &self,
+        st: &mut SimState,
+        cache: &mut WindowCache,
+        collapse: Collapse,
+        sim_steps: &mut u64,
+        chunk: &[Fault],
+        out: &mut [FaultOutcome],
+    ) {
         assert!(!chunk.is_empty(), "empty chunk");
         assert!(chunk.len() <= 64, "a chunk holds at most 64 faults");
         assert_eq!(chunk.len(), out.len(), "outcome slice width");
@@ -224,26 +443,32 @@ impl Grader {
         let n_cycles = self.tb.num_cycles();
         assert!(t < n_cycles, "fault cycle out of range");
 
+        for o in out.iter_mut() {
+            *o = FaultOutcome::latent();
+        }
         let lanes_used: u64 = if chunk.len() == 64 {
             !0
         } else {
             (1u64 << chunk.len()) - 1
         };
-        let mut win = self.first_window(t);
+        if matches!(self.policy, TracePolicy::Checkpoint(_)) && chunk.len() < 64 {
+            self.grade_chunk_companion(st, cache, collapse, sim_steps, chunk, out, lanes_used);
+            return;
+        }
+
+        let mut win = self.first_window_cached(t, cache);
         self.sim.load_state(st, win.state_at(t));
         for (lane, f) in chunk.iter().enumerate() {
             self.sim.flip_ff_lane(st, f.ff, lane as u32);
         }
-        for o in out.iter_mut() {
-            *o = FaultOutcome::latent();
-        }
         let mut undecided = lanes_used;
         for u in t..n_cycles {
             if u >= win.end() {
-                win = self.next_window(&win);
+                win = self.next_window_cached(&win, cache);
             }
             self.sim.set_inputs(st, self.tb.cycle(u));
             self.sim.eval(st);
+            *sim_steps += 1;
             // Output mismatch mask across all outputs.
             let mut out_diff = 0u64;
             let golden_out = win.output_at(u);
@@ -258,17 +483,24 @@ impl Grader {
                     }
                 }
                 undecided &= !newly_failed;
-                if undecided == 0 {
+                if undecided == 0 && collapse == Collapse::Early {
                     return;
                 }
             }
             self.sim.step(st);
-            // State convergence mask.
+            // State convergence mask. Once every undecided lane has shown
+            // a differing flip-flop, no lane can go silent this cycle, so
+            // the rest of the scan is dead work — long latent tails hit
+            // this break within a handful of words instead of walking the
+            // full register file every cycle.
             let mut state_diff = 0u64;
             let golden_state = win.state_at(u + 1);
             for (ff, &g) in golden_state.iter().enumerate() {
                 let word = self.sim.ff_raw(st, seugrade_netlist::FfIndex::new(ff));
                 state_diff |= word ^ broadcast(g);
+                if state_diff & undecided == undecided {
+                    break;
+                }
             }
             let newly_silent = !state_diff & undecided;
             if newly_silent != 0 {
@@ -278,7 +510,92 @@ impl Grader {
                     }
                 }
                 undecided &= !newly_silent;
-                if undecided == 0 {
+                if undecided == 0 && collapse == Collapse::Early {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The golden-companion fast path for checkpointed chunks of at most
+    /// 63 faults: lane 63 is loaded with the golden state like every
+    /// other lane but never gets a fault flipped in, so it *is* the
+    /// golden machine, advanced for free by the same bit-parallel pass.
+    /// Per-cycle comparison then reduces to XOR-ing each signal word
+    /// against its own lane 63 broadcast (an arithmetic shift) — no
+    /// window replay, no window memory, regardless of how far a latent
+    /// tail walks. Only the injection-cycle state is fetched from the
+    /// golden trace (one span, served by the cache and shared with the
+    /// chunk's cycle-major neighbours).
+    ///
+    /// Verdicts are bit-identical to the windowed path: the compiled
+    /// simulator is deterministic per lane, so lane 63 carries exactly
+    /// the bits a replayed window would, and `lanes_used` keeps lane 63
+    /// out of every verdict mask.
+    #[allow(clippy::too_many_arguments)]
+    fn grade_chunk_companion(
+        &self,
+        st: &mut SimState,
+        cache: &mut WindowCache,
+        collapse: Collapse,
+        sim_steps: &mut u64,
+        chunk: &[Fault],
+        out: &mut [FaultOutcome],
+        lanes_used: u64,
+    ) {
+        let t = chunk[0].cycle as usize;
+        let n_cycles = self.tb.num_cycles();
+        let num_ffs = self.sim.num_ffs();
+        {
+            let win = self.first_window_cached(t, cache);
+            self.sim.load_state(st, win.state_at(t));
+        }
+        for (lane, f) in chunk.iter().enumerate() {
+            self.sim.flip_ff_lane(st, f.ff, lane as u32);
+        }
+        // Broadcast of a word's golden (lane 63) bit to all 64 lanes.
+        let golden = |word: u64| ((word as i64) >> 63) as u64;
+        let mut undecided = lanes_used;
+        for u in t..n_cycles {
+            self.sim.set_inputs(st, self.tb.cycle(u));
+            self.sim.eval(st);
+            *sim_steps += 1;
+            let mut out_diff = 0u64;
+            for word in self.sim.outputs_raw(st) {
+                out_diff |= word ^ golden(word);
+            }
+            let newly_failed = out_diff & undecided;
+            if newly_failed != 0 {
+                for (lane, o) in out.iter_mut().enumerate() {
+                    if newly_failed >> lane & 1 == 1 {
+                        *o = FaultOutcome::failure(u as u32);
+                    }
+                }
+                undecided &= !newly_failed;
+                if undecided == 0 && collapse == Collapse::Early {
+                    return;
+                }
+            }
+            self.sim.step(st);
+            // Same short-circuit as the windowed path: stop scanning the
+            // register file once every undecided lane has diverged.
+            let mut state_diff = 0u64;
+            for ff in 0..num_ffs {
+                let word = self.sim.ff_raw(st, seugrade_netlist::FfIndex::new(ff));
+                state_diff |= word ^ golden(word);
+                if state_diff & undecided == undecided {
+                    break;
+                }
+            }
+            let newly_silent = !state_diff & undecided;
+            if newly_silent != 0 {
+                for (lane, o) in out.iter_mut().enumerate() {
+                    if newly_silent >> lane & 1 == 1 {
+                        *o = FaultOutcome::silent(u as u32);
+                    }
+                }
+                undecided &= !newly_silent;
+                if undecided == 0 && collapse == Collapse::Early {
                     return;
                 }
             }
@@ -613,5 +930,103 @@ mod tests {
         let tb = Testbench::constant_low(0, 4);
         let g = Grader::new(&n, &tb);
         let _ = g.classify_serial(Fault::new(FfIndex::new(0), 99));
+    }
+
+    #[test]
+    fn collapse_labels_round_trip() {
+        for c in [Collapse::Early, Collapse::Horizon] {
+            assert_eq!(Collapse::from_label(c.label()), Some(c));
+        }
+        assert_eq!(Collapse::default(), Collapse::Early);
+        assert_eq!(Collapse::from_label("sometimes"), None);
+    }
+
+    #[test]
+    fn horizon_collapse_matches_early_verdicts() {
+        use seugrade_sim::TracePolicy;
+        let n = seugrade_circuits::registry::build("b06s").unwrap();
+        let tb = Testbench::random(n.num_inputs(), 25, 11);
+        let faults = FaultList::exhaustive(n.num_ffs(), 25);
+        for policy in [TracePolicy::Dense, TracePolicy::Checkpoint(4)] {
+            let g = Grader::with_policy(&n, &tb, policy);
+            let reference = g.run_serial(faults.as_slice());
+            for (i, &f) in faults.as_slice().iter().enumerate() {
+                assert_eq!(
+                    g.classify_serial_with(f, Collapse::Horizon),
+                    reference[i],
+                    "{f} under {policy}"
+                );
+            }
+            let mut scratch = g.new_scratch(Collapse::Horizon, 4);
+            let mut out = [FaultOutcome::latent(); 64];
+            // Exhaustive lists are cycle-major: each group shares a cycle.
+            for (group_start, group) in faults.as_slice().chunks(n.num_ffs()).enumerate() {
+                for (k0, chunk) in group.chunks(g.chunk_lanes()).enumerate() {
+                    g.grade_chunk(&mut scratch, chunk, &mut out[..chunk.len()]);
+                    let base = group_start * n.num_ffs() + k0 * g.chunk_lanes();
+                    for (k, o) in out[..chunk.len()].iter().enumerate() {
+                        assert_eq!(
+                            *o, reference[base + k],
+                            "chunked horizon verdict under {policy}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retired_chunk_is_never_resimulated_past_its_decision_cycle() {
+        use seugrade_sim::TracePolicy;
+        // q <= input every cycle: the fault is overwritten (silent) at
+        // its own injection cycle, so exactly one faulty cycle may run.
+        let mut b = NetlistBuilder::new("overwrite");
+        let a = b.input("a");
+        let q = b.dff(false);
+        b.connect_dff(q, a).unwrap();
+        b.output("y", a);
+        let n = b.finish().unwrap();
+        let tb = Testbench::random(1, 32, 5);
+        let g = Grader::with_policy(&n, &tb, TracePolicy::Checkpoint(8));
+        let mut scratch = g.new_scratch(Collapse::Early, 4);
+        let mut out = [FaultOutcome::latent()];
+        let t = 3;
+        g.grade_chunk(&mut scratch, &[Fault::new(FfIndex::new(0), t)], &mut out);
+        assert_eq!(out[0].class, FaultClass::Silent);
+        assert_eq!(out[0].converge_cycle, Some(t));
+        assert_eq!(
+            scratch.sim_steps(),
+            1,
+            "a lane decided at its injection cycle must simulate exactly one cycle"
+        );
+        // The same chunk without collapse walks all the way out.
+        let mut horizon = g.new_scratch(Collapse::Horizon, 4);
+        g.grade_chunk(&mut horizon, &[Fault::new(FfIndex::new(0), t)], &mut out);
+        assert_eq!(out[0].converge_cycle, Some(t), "verdict unchanged");
+        assert_eq!(horizon.sim_steps(), 32 - u64::from(t));
+    }
+
+    #[test]
+    fn companion_chunk_replays_only_the_seed_span() {
+        use seugrade_sim::TracePolicy;
+        // A latent-heavy circuit: the fault walks to the horizon, but the
+        // companion-lane path must still fetch exactly one golden span.
+        let n = generators::lfsr(12, &[11, 9, 7, 4]);
+        let tb = Testbench::random(0, 64, 9);
+        let g = Grader::with_policy(&n, &tb, TracePolicy::Checkpoint(8));
+        let mut scratch = g.new_scratch(Collapse::Early, 4);
+        let mut out = [FaultOutcome::latent(); 2];
+        let chunk = [Fault::new(FfIndex::new(0), 10), Fault::new(FfIndex::new(3), 10)];
+        g.grade_chunk(&mut scratch, &chunk, &mut out);
+        assert_eq!(
+            scratch.cache().misses(),
+            1,
+            "one span replay to seed the chunk, none for the walk"
+        );
+        // A same-span neighbour chunk is served from the cache.
+        let chunk2 = [Fault::new(FfIndex::new(5), 11)];
+        g.grade_chunk(&mut scratch, &chunk2, &mut out[..1]);
+        assert_eq!(scratch.cache().misses(), 1);
+        assert_eq!(scratch.cache().hits(), 1);
     }
 }

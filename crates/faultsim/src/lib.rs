@@ -66,6 +66,6 @@ pub mod report;
 pub mod sampling;
 
 pub use fault::{Fault, FaultList};
-pub use grader::Grader;
+pub use grader::{Collapse, GradeScratch, Grader, DEFAULT_WINDOW_CACHE_SPANS};
 pub use multi::MultiFault;
 pub use outcome::{FaultClass, FaultOutcome, GradingSummary};

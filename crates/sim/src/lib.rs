@@ -74,7 +74,7 @@ pub use equiv::{equiv_check, Counterexample};
 pub use event::EventSim;
 pub use rng::SplitMix64;
 pub use testbench::Testbench;
-pub use trace::{GoldenTrace, TracePolicy, TraceWindow};
+pub use trace::{GoldenTrace, TracePolicy, TraceWindow, WindowCache};
 
 /// All 64 lanes set: the broadcast form of `true`.
 pub const ALL_LANES: u64 = !0u64;

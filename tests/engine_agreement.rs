@@ -257,6 +257,50 @@ proptest! {
         );
     }
 
+    /// Random checkpoint interval, shuffled fault order, adversarial
+    /// window-cache capacities (disabled, one entry, effectively
+    /// unbounded): the streamed engine reproduces the serial no-cache
+    /// digest regardless — the cache only ever changes how often golden
+    /// spans are replayed, never a verdict.
+    #[test]
+    fn window_cache_never_changes_verdicts(
+        config in arb_config(),
+        seed in 0u64..1000,
+        k in 1usize..40,
+        shuffle_seed in 0u64..1000,
+    ) {
+        let circuit = random_sequential(&config, seed);
+        let cycles = 16usize;
+        let tb = Testbench::random(circuit.num_inputs(), cycles, seed ^ 0xCAC4E);
+        let mut faults: Vec<Fault> =
+            FaultList::exhaustive(circuit.num_ffs(), cycles).iter().collect();
+        // Deterministic Fisher–Yates: chunk order over the wire is
+        // whatever the shuffle says, not cycle-major.
+        let mut rng = SplitMix64::new(shuffle_seed);
+        for i in (1..faults.len()).rev() {
+            #[allow(clippy::cast_possible_truncation)]
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            faults.swap(i, j);
+        }
+        let dense = Grader::new(&circuit, &tb);
+        let serial = dense.run_serial(&faults);
+        let reference = StreamAccumulator::digest_of(&faults, &serial);
+        let list = FaultList::from_faults(faults, circuit.num_ffs(), cycles);
+        for cache in [0usize, 1, 1024] {
+            let plan = CampaignPlan::builder(&circuit, &tb)
+                .faults(list.clone())
+                .trace_policy(TracePolicy::Checkpoint(k))
+                .window_cache(cache)
+                .threads(2)
+                .build();
+            prop_assert_eq!(
+                plan.execute_streamed().digest(),
+                reference,
+                "cache {} K={}", cache, k
+            );
+        }
+    }
+
     /// Streamed and materialized fault sources agree at 1/2/4/8 threads
     /// on generated circuits (summary and fault-for-fault digest).
     #[test]
@@ -305,6 +349,70 @@ proptest! {
             prop_assert_eq!(run.outcomes(), serial.as_slice(), "{} threads", threads);
         }
     }
+}
+
+/// Cycle-major chunk order keeps the per-worker window cache hot: the
+/// K-aligned seed span changes only every `K` injection cycles, so a
+/// full exhaustive walk misses exactly once per distinct span and hits
+/// everywhere else.
+#[test]
+fn cycle_major_walk_mostly_hits_the_window_cache() {
+    let circuit = registry::build("b03s").expect("registered");
+    let cycles = 48;
+    let k = 16;
+    let tb = Testbench::random(circuit.num_inputs(), cycles, 77);
+    let grader = Grader::with_policy(&circuit, &tb, TracePolicy::Checkpoint(k));
+    let faults = FaultList::exhaustive(circuit.num_ffs(), cycles);
+    let mut scratch = grader.new_scratch(Collapse::Early, DEFAULT_WINDOW_CACHE_SPANS);
+    let mut out = vec![FaultOutcome::latent(); grader.chunk_lanes()];
+    for cycle_group in faults.as_slice().chunks(circuit.num_ffs()) {
+        for chunk in cycle_group.chunks(grader.chunk_lanes()) {
+            grader.grade_chunk(&mut scratch, chunk, &mut out[..chunk.len()]);
+        }
+    }
+    // b03s fits one chunk per cycle: 48 seed lookups over 3 spans.
+    assert_eq!(scratch.cache().misses(), (cycles / k) as u64);
+    assert_eq!(scratch.cache().hits(), (cycles - cycles / k) as u64);
+    assert!(scratch.cache().hits() > scratch.cache().misses());
+    // Each span is replayed once, so total replay work equals one golden
+    // pass over the bench — not one per chunk.
+    assert_eq!(scratch.cache().replayed_cycles(), cycles as u64);
+}
+
+/// The sampled streaming path reconstructs each golden span exactly
+/// once: sparse same-cycle chunks seed from the cache instead of
+/// re-replaying the span per chunk (the old per-chunk reconstruction
+/// tax this suite pins shut).
+#[test]
+fn sampled_checkpoint_grading_reconstructs_each_span_once() {
+    let circuit = registry::build("s344a").expect("registered");
+    let cycles = 60;
+    let k = 10;
+    let tb = Testbench::random(circuit.num_inputs(), cycles, 23);
+    let grader = Grader::with_policy(&circuit, &tb, TracePolicy::Checkpoint(k));
+    let sample = FaultList::sampled(circuit.num_ffs(), cycles, 120, 3);
+    // Group the sample cycle-major, exactly like ChunkPlan::ordered cuts
+    // a sorted streamed campaign.
+    let mut by_cycle: Vec<Vec<Fault>> = vec![Vec::new(); cycles];
+    for f in sample.iter() {
+        by_cycle[f.cycle as usize].push(f);
+    }
+    let mut scratch = grader.new_scratch(Collapse::Early, DEFAULT_WINDOW_CACHE_SPANS);
+    let mut lookups = 0u64;
+    let mut spans = std::collections::HashSet::new();
+    for group in by_cycle.iter().filter(|g| !g.is_empty()) {
+        for chunk in group.chunks(grader.chunk_lanes()) {
+            let mut out = vec![FaultOutcome::latent(); chunk.len()];
+            grader.grade_chunk(&mut scratch, chunk, &mut out);
+            lookups += 1;
+            spans.insert(chunk[0].cycle as usize / k);
+        }
+    }
+    // One reconstruction per distinct K-aligned span — every other seed
+    // lookup is a cache hit.
+    assert_eq!(scratch.cache().misses(), spans.len() as u64);
+    assert_eq!(scratch.cache().hits(), lookups - spans.len() as u64);
+    assert_eq!(scratch.cache().replayed_cycles(), (spans.len() * k) as u64);
 }
 
 /// Lane independence: grading the same fault in different lanes of the
