@@ -12,9 +12,9 @@
 //!
 //! Subcommands: `table1`, `table2`, `figure1`, `classification`, `speed`,
 //! `crossover`, `ablations`, `sampling`, `all`, `bench`, `grade`,
-//! `resume`. `--quick` shrinks the crossover sweep, sample sizes and the
-//! bench circuit. `--csv` additionally prints machine-readable CSV
-//! blocks.
+//! `resume`, `serve`, `submit`, `status`, `cancel`. `--quick` shrinks
+//! the crossover sweep, sample sizes and the bench circuit. `--csv`
+//! additionally prints machine-readable CSV blocks.
 //!
 //! `bench` measures the sharded campaign engine (serial reference,
 //! engine at 1/2/`--threads N` workers, plus the modelled autonomous
@@ -53,6 +53,22 @@
 //! digest is bit-identical to an uninterrupted run at any thread count.
 //! A corrupt, truncated or mismatched checkpoint is rejected with a
 //! line-numbered error and a non-zero exit, never a panic.
+//!
+//! `grade --progress json` additionally emits one `seugrade-serve/v1`
+//! chunk event per graded chunk as a JSON line on **stderr** (stdout
+//! keeps the human report) — the same serializer the daemon streams to
+//! its subscribers.
+//!
+//! `serve` runs the campaign daemon (`--addr HOST:PORT`, `--workers N`,
+//! `--spool DIR`): campaign jobs arrive as `seugrade-serve/v1` JSON
+//! lines, any number of concurrent campaigns multiplex over one shared
+//! worker pool, every job checkpoints to its spool directory, and
+//! SIGINT/SIGTERM (or a protocol `shutdown`) drains in-flight rounds,
+//! writes final checkpoints and exits 0 — a restarted daemon resumes
+//! every incomplete spooled job. `submit <circuit-or-file>` (grade-style
+//! flags; `--wait` blocks until terminal), `status [job]` (also honors
+//! `--wait`) and `cancel <job>` are the matching clients; see
+//! `docs/PROTOCOL.md`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -79,6 +95,12 @@ struct Options {
     sample: Option<usize>,
     checkpoint: Option<String>,
     checkpoint_every: usize,
+    /// `--progress json`: per-chunk `seugrade-serve/v1` events on stderr.
+    progress_json: bool,
+    addr: String,
+    workers: usize,
+    spool: String,
+    wait: bool,
 }
 
 /// Exit code for a run interrupted by SIGINT/SIGTERM after draining
@@ -115,6 +137,11 @@ fn main() {
         sample: None,
         checkpoint: None,
         checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        progress_json: false,
+        addr: seugrade_serve::DEFAULT_ADDR.to_owned(),
+        workers: seugrade_serve::DEFAULT_WORKERS,
+        spool: "serve-spool".to_owned(),
+        wait: false,
     };
     let mut commands: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -184,6 +211,31 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--progress" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--progress needs a value");
+                    std::process::exit(2);
+                });
+                if v != "json" {
+                    eprintln!("--progress expects json, got `{v}`");
+                    std::process::exit(2);
+                }
+                opts.progress_json = true;
+            }
+            "--addr" => {
+                opts.addr = it.next().unwrap_or_else(|| {
+                    eprintln!("--addr needs a host:port value");
+                    std::process::exit(2);
+                });
+            }
+            "--workers" => opts.workers = parse_count(&mut it, "--workers"),
+            "--spool" => {
+                opts.spool = it.next().unwrap_or_else(|| {
+                    eprintln!("--spool needs a directory");
+                    std::process::exit(2);
+                });
+            }
+            "--wait" => opts.wait = true,
             s if s.starts_with("--") => {
                 eprintln!("unknown flag `{s}`");
                 std::process::exit(2);
@@ -206,6 +258,10 @@ fn main() {
         "bench",
         "grade",
         "resume",
+        "serve",
+        "submit",
+        "status",
+        "cancel",
     ];
     if !known.contains(&command) {
         eprintln!("unknown experiment `{command}`; expected one of {known:?}");
@@ -243,6 +299,34 @@ fn main() {
         };
         run_resume(path, &opts);
         eprintln!("done in {:.1?}", start.elapsed());
+        return;
+    }
+    if command == "serve" {
+        run_serve(&opts);
+        return;
+    }
+    if command == "submit" {
+        let Some(target) = commands.get(1) else {
+            eprintln!(
+                "usage: repro -- submit <file-or-registry-name> [--addr HOST:PORT] \
+                 [--format bench|blif|snl] [--threads N] [--vectors N] [--seed S] \
+                 [--trace-policy dense|checkpoint:K] [--collapse on|off] [--sample N] [--wait]"
+            );
+            std::process::exit(2);
+        };
+        run_submit(target, &opts);
+        return;
+    }
+    if command == "status" {
+        run_status(commands.get(1).map(String::as_str), &opts);
+        return;
+    }
+    if command == "cancel" {
+        let Some(job) = commands.get(1) else {
+            eprintln!("usage: repro -- cancel <job-id> [--addr HOST:PORT]");
+            std::process::exit(2);
+        };
+        run_cancel(job, &opts);
         return;
     }
 
@@ -399,6 +483,49 @@ fn run_engine_bench(opts: &Options) {
     eprintln!("wrote {path} ({} records, schema {})", report.records.len(), BENCH_SCHEMA);
 
     run_grade_scaling(opts, threads);
+    run_serve_bench(opts, threads);
+}
+
+/// The multi-tenant serve rows of the `bench` subcommand: an in-process
+/// daemon grades 1, 4 and 16 concurrent copies of the same sampled
+/// campaign over a shared worker pool, every digest is checked against
+/// the solo reference, and jobs/sec plus aggregate faults/sec go to the
+/// tracked `BENCH_serve.json` (`seugrade-serve-bench/v1`).
+fn run_serve_bench(opts: &Options, threads: usize) {
+    let (name, vectors, sample, round) =
+        if opts.quick { ("b13s", 48, 256, 8) } else { ("s5378g", 256, 2_048, 16) };
+    let mut spec = JobSpec::registry(name);
+    spec.vectors = vectors;
+    spec.sample = Some(sample);
+    spec.round = round;
+    spec.trace_policy = opts.trace_policy;
+    spec.collapse = opts.collapse;
+    let workers = threads.clamp(1, 4);
+    eprintln!(
+        "serve bench: {name} ({sample} sampled faults/job, round {round}), {workers} workers, \
+         1/4/16 concurrent jobs..."
+    );
+    let report = seugrade_serve::bench::multi_tenant_sweep(&spec, workers).unwrap_or_else(|e| {
+        eprintln!("serve bench failed: {e}");
+        std::process::exit(1);
+    });
+    for r in &report.records {
+        println!(
+            "{:<8} workers {:>2} concurrent {:>2}: {:>8.2} jobs/sec, {:>12.0} faults/sec \
+             ({} jobs, all digests == solo)",
+            r.circuit, r.workers, r.concurrent, r.jobs_per_sec, r.faults_per_sec, r.jobs,
+        );
+    }
+    let path = "BENCH_serve.json";
+    std::fs::write(path, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "wrote {path} ({} records, schema {})",
+        report.records.len(),
+        seugrade_serve::SERVE_BENCH_SCHEMA
+    );
 }
 
 /// The streamed-grading scaling rows of the `bench` subcommand: the
@@ -560,15 +687,35 @@ fn run_grade(target: &str, opts: &Options) {
         ropts.every = opts.checkpoint_every;
         ropts.cancel = Some(signal_cancel_token());
         ropts.meta = grade_meta(target, opts);
+        ropts.progress = progress_hook(opts);
         let run = engine.run_streamed_resumable(&plan, &ropts).unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(1);
         });
         finish_resumable(&circuit, target, &engine, path, &run);
+    } else if opts.progress_json {
+        // Same one-shot semantics as the streamed path, but through the
+        // resumable runner (no checkpoint) so the per-chunk hook fires.
+        let mut ropts = ResumeOptions::default();
+        ropts.progress = progress_hook(opts);
+        let run = engine.run_streamed_resumable(&plan, &ropts).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        });
+        print_streamed_report(&circuit, target, &engine, run.sink.summary(), &run.stats, run.sink.digest());
     } else {
         let run = engine.run_streamed(&plan);
         print_streamed_report(&circuit, target, &engine, run.summary(), run.stats(), run.digest());
     }
+}
+
+/// With `--progress json`: a hook that prints each chunk's
+/// `seugrade-serve/v1` event line on stderr — the exact serializer the
+/// daemon streams to subscribers, minus the job tag.
+fn progress_hook(opts: &Options) -> Option<ProgressHook> {
+    opts.progress_json.then(|| {
+        ProgressHook::new(|ev| eprintln!("{}", seugrade_serve::proto::chunk_event_line(None, &ev)))
+    })
 }
 
 /// The `resume` subcommand: load a checkpoint, rebuild the campaign from
@@ -630,6 +777,131 @@ fn run_resume(path: &str, opts: &Options) {
         std::process::exit(1);
     });
     finish_resumable(&circuit, &target, &engine, path, &run);
+}
+
+/// The `serve` subcommand: run the campaign daemon until a protocol
+/// `shutdown` or SIGINT/SIGTERM, then drain in-flight jobs (each writes
+/// a final atomic checkpoint to its spool directory) and exit 0.
+fn run_serve(opts: &Options) {
+    let config = ServerConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        spool: opts.spool.clone().into(),
+    };
+    let mut server = Server::bind(&config).unwrap_or_else(|e| {
+        eprintln!("cannot start daemon on {}: {e}", config.addr);
+        std::process::exit(1);
+    });
+    eprintln!(
+        "seugrade-serve listening on {} ({} workers, spool {})",
+        server.local_addr(),
+        config.workers,
+        config.spool.display(),
+    );
+    server.serve_until(&signal_cancel_token());
+    eprintln!("shutting down: draining in-flight jobs and writing final checkpoints...");
+    server.shutdown();
+    eprintln!("daemon stopped; spool {} is consistent", config.spool.display());
+}
+
+/// Connects to the daemon at `--addr`, exiting 1 with a message when it
+/// is not reachable.
+fn connect_client(opts: &Options) -> Client {
+    Client::connect(&opts.addr as &str).unwrap_or_else(|e| {
+        eprintln!("cannot reach daemon at {}: {e}", opts.addr);
+        std::process::exit(1);
+    })
+}
+
+/// Unwraps a client call, exiting 1 with the server's (or transport's)
+/// message on failure.
+fn client_ok<T>(result: Result<T, ClientError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+/// The `submit` subcommand: build a job spec from grade-style flags —
+/// registry circuits travel by name, external netlist files inline —
+/// submit it, and with `--wait` block until the job is terminal.
+fn run_submit(target: &str, opts: &Options) {
+    let circuit = if registry::build(target).is_some() {
+        CircuitSource::Registry(target.to_owned())
+    } else {
+        let format = opts
+            .format
+            .or_else(|| {
+                let ext = std::path::Path::new(target).extension()?.to_str()?;
+                SourceFormat::from_label(ext)
+            })
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "`{target}` is not a registry circuit and its format is not recognizable \
+                     from the extension; pass --format bench|blif|snl"
+                );
+                std::process::exit(2);
+            });
+        let source = std::fs::read_to_string(target).unwrap_or_else(|e| {
+            eprintln!("cannot read {target}: {e}");
+            std::process::exit(1);
+        });
+        CircuitSource::Inline { format, source }
+    };
+    let spec = JobSpec {
+        circuit,
+        vectors: opts.vectors,
+        seed: opts.seed,
+        sample: opts.sample,
+        trace_policy: opts.trace_policy,
+        collapse: opts.collapse,
+        threads: opts.threads.unwrap_or(1),
+        round: opts.checkpoint_every,
+    };
+    let mut client = connect_client(opts);
+    let id = client_ok(client.submit(&spec));
+    eprintln!("submitted {target} as {id}");
+    if opts.wait {
+        let snapshot = client_ok(client.wait(&id, Duration::from_secs(3600)));
+        println!("{}", snapshot.to_line());
+        let state = snapshot.get("state").and_then(seugrade_serve::json::Value::as_str);
+        if state != Some("done") {
+            std::process::exit(1);
+        }
+    } else {
+        println!("{id}");
+    }
+}
+
+/// The `status` subcommand: one job's snapshot, or every job's. With
+/// `--wait`, block until the named job reaches a terminal state and
+/// exit 1 unless that state is `done`.
+fn run_status(job: Option<&str>, opts: &Options) {
+    let mut client = connect_client(opts);
+    match job {
+        Some(id) if opts.wait => {
+            let snapshot = client_ok(client.wait(id, Duration::from_secs(3600)));
+            println!("{}", snapshot.to_line());
+            let state = snapshot.get("state").and_then(seugrade_serve::json::Value::as_str);
+            if state != Some("done") {
+                std::process::exit(1);
+            }
+        }
+        Some(id) => println!("{}", client_ok(client.status(id)).to_line()),
+        None => {
+            for snapshot in client_ok(client.list()) {
+                println!("{}", snapshot.to_line());
+            }
+        }
+    }
+}
+
+/// The `cancel` subcommand: cooperative cancellation; the job's spooled
+/// checkpoint survives, so a protocol `resume` can continue it later.
+fn run_cancel(job: &str, opts: &Options) {
+    let mut client = connect_client(opts);
+    let v = client_ok(client.cancel(job));
+    println!("{}", v.to_line());
 }
 
 /// Resolves a grade/resume target: bundled registry name first, external

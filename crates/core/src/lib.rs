@@ -53,14 +53,16 @@ pub mod tables;
 pub mod prelude {
     pub use seugrade_circuits::{fixtures, generators, registry, small, stimuli, viper};
     pub use seugrade_emulation::campaign::{
-        AutonomousCampaign, EmulationReport, StreamedCampaign, StreamedCampaignStatus, Technique,
+        AutonomousCampaign, CampaignSink, EmulationReport, StreamedCampaign,
+        StreamedCampaignStatus, Technique,
     };
     pub use seugrade_engine::bench as engine_bench;
     pub use seugrade_engine::{
         throughput_harness, BenchRecord, BenchReport, CampaignPlan, CampaignPlanBuilder,
         CampaignRun, CancelToken, Checkpoint, Engine, EngineError, EngineStats, FaultPlan,
         FaultSource, Fingerprint, GradeBenchReport, GradeRecord, PersistentSink, ProgressCounter,
-        ProgressEvent, ResumableRun, ResumeError, ResumeOptions, ShardPolicy, StreamAccumulator,
+        ProgressEvent, ProgressHook, ResumableRun, ResumeError, ResumeOptions, ShardPolicy,
+        StreamAccumulator,
         StreamedRun, VerdictSink, BENCH_SCHEMA, CKPT_SCHEMA, DEFAULT_CHECKPOINT_EVERY,
         GRADE_BENCH_SCHEMA,
     };
@@ -78,6 +80,10 @@ pub mod prelude {
         NetlistBuilder, NetlistError, SigId, SourceFormat,
     };
     pub use seugrade_rtl::{Reg, RtlBuilder, Word};
+    pub use seugrade_serve::{
+        Client, ClientError, CircuitSource, JobSpec, JobState, Server, ServerConfig,
+        ServeBenchReport, SERVE_SCHEMA,
+    };
     pub use seugrade_sim::{
         equiv_check, CompiledSim, Counterexample, EventSim, GoldenTrace, SplitMix64, Testbench,
         TracePolicy, TraceWindow, WindowCache,

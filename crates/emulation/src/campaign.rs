@@ -4,7 +4,7 @@ use std::fmt;
 
 use seugrade_engine::{
     CampaignPlan, Engine, EngineError, EngineStats, PersistentSink, ResumeError, ResumeOptions,
-    ShardPolicy, VerdictSink,
+    ShardPolicy, StreamAccumulator, VerdictSink,
 };
 use seugrade_faultsim::{Fault, FaultList, FaultOutcome, GradingSummary};
 use seugrade_netlist::Netlist;
@@ -200,9 +200,10 @@ impl AutonomousCampaign {
             .build();
         let engine = Engine::new(&plan);
         let (sink, stats): (CampaignSink, EngineStats) = engine.run_streamed_with(&plan);
-        let timings = sink.timing.finish(&timing_config, tb.num_cycles(), circuit.num_ffs());
+        let timings = sink.finish_timings(&timing_config, tb.num_cycles(), circuit.num_ffs());
         StreamedCampaign {
-            summary: sink.summary,
+            summary: sink.summary().clone(),
+            digest: sink.digest(),
             timings,
             ram_params: RamParams {
                 num_inputs: circuit.num_inputs(),
@@ -247,9 +248,10 @@ impl AutonomousCampaign {
         let (resumed_from, interrupted) = (run.resumed_from, run.interrupted);
         let complete = run.is_complete().then(|| {
             let timings =
-                run.sink.timing.finish(&timing_config, tb.num_cycles(), circuit.num_ffs());
+                run.sink.finish_timings(&timing_config, tb.num_cycles(), circuit.num_ffs());
             StreamedCampaign {
-                summary: run.sink.summary,
+                summary: run.sink.summary().clone(),
+                digest: run.sink.digest(),
                 timings,
                 ram_params: RamParams {
                     num_inputs: circuit.num_inputs(),
@@ -310,55 +312,81 @@ impl AutonomousCampaign {
     }
 }
 
-/// The engine-side sink of a streamed campaign: class tallies plus the
-/// online technique timing fold. Order-insensitive by construction, as
+/// The engine-side sink of a streamed campaign: the engine's
+/// order-independent verdict accumulator (class tallies, per-flip-flop
+/// failure map, and the campaign's **verdict digest**) plus the online
+/// technique timing fold. Order-insensitive by construction, as
 /// [`VerdictSink`] requires.
+///
+/// Public so services multiplexing campaigns (`seugrade-serve`) can
+/// drive [`Engine::run_streamed_resumable_with`] directly and read the
+/// digest, summary and per-technique timings out of each job's sink.
 #[derive(Debug, Default)]
-struct CampaignSink {
-    summary: GradingSummary,
+pub struct CampaignSink {
+    acc: StreamAccumulator,
     timing: TimingAccumulator,
+}
+
+impl CampaignSink {
+    /// The classification tallies folded so far.
+    #[must_use]
+    pub fn summary(&self) -> &GradingSummary {
+        self.acc.summary()
+    }
+
+    /// The order-independent verdict digest folded so far (equal to
+    /// [`StreamAccumulator::digest`] over the same verdicts).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.acc.digest()
+    }
+
+    /// Per-flip-flop failure counts folded so far.
+    #[must_use]
+    pub fn failure_map(&self) -> &[usize] {
+        self.acc.failure_map()
+    }
+
+    /// Closes the online timing fold into the three per-technique
+    /// timings, in [`Technique::ALL`] order.
+    #[must_use]
+    pub fn finish_timings(
+        &self,
+        config: &TimingConfig,
+        num_cycles: usize,
+        num_ffs: usize,
+    ) -> [CampaignTiming; 3] {
+        self.timing.finish(config, num_cycles, num_ffs)
+    }
 }
 
 impl VerdictSink for CampaignSink {
     fn observe(&mut self, fault: Fault, outcome: FaultOutcome) {
-        self.summary.add(outcome.class);
+        self.acc.observe(fault, outcome);
         self.timing.observe(fault, outcome);
     }
 
     fn merge(&mut self, other: Self) {
-        self.summary.merge(&other.summary);
+        self.acc.merge(other.acc);
         self.timing.merge(&other.timing);
     }
 }
 
 impl PersistentSink for CampaignSink {
     fn save_lines(&self, out: &mut Vec<String>) {
-        use seugrade_faultsim::FaultClass;
-        out.push(format!(
-            "summary {} {} {}",
-            self.summary.count(FaultClass::Failure),
-            self.summary.count(FaultClass::Latent),
-            self.summary.count(FaultClass::Silent)
-        ));
+        self.acc.save_lines(out);
         out.push(self.timing.checkpoint_line());
     }
 
     fn restore_lines(lines: &[String], base_line: usize) -> Result<Self, ResumeError> {
         let corrupt = |off: usize, msg: String| ResumeError::Corrupt { line: base_line + off, msg };
-        if lines.len() != 2 {
-            return Err(corrupt(0, format!("expected 2 sink lines, found {}", lines.len())));
+        if lines.len() != 4 {
+            return Err(corrupt(0, format!("expected 4 sink lines, found {}", lines.len())));
         }
-        let counts: Vec<usize> = lines[0]
-            .strip_prefix("summary ")
-            .map(|rest| rest.split(' ').filter_map(|t| t.parse().ok()).collect())
-            .unwrap_or_default();
-        if counts.len() != 3 {
-            return Err(corrupt(0, format!("malformed summary line {:?}", lines[0])));
-        }
-        let summary = GradingSummary::from_counts(counts[0], counts[1], counts[2]);
-        let timing = TimingAccumulator::from_checkpoint_line(&lines[1])
-            .ok_or_else(|| corrupt(1, format!("malformed timing line {:?}", lines[1])))?;
-        Ok(CampaignSink { summary, timing })
+        let acc = StreamAccumulator::restore_lines(&lines[..3], base_line)?;
+        let timing = TimingAccumulator::from_checkpoint_line(&lines[3])
+            .ok_or_else(|| corrupt(3, format!("malformed timing line {:?}", lines[3])))?;
+        Ok(CampaignSink { acc, timing })
     }
 }
 
@@ -370,6 +398,7 @@ impl PersistentSink for CampaignSink {
 #[derive(Clone, Debug)]
 pub struct StreamedCampaign {
     summary: GradingSummary,
+    digest: u64,
     timings: [CampaignTiming; 3],
     ram_params: RamParams,
     stats: EngineStats,
@@ -380,6 +409,15 @@ impl StreamedCampaign {
     #[must_use]
     pub fn summary(&self) -> &GradingSummary {
         &self.summary
+    }
+
+    /// The order-independent verdict digest of the graded campaign —
+    /// equal to [`StreamAccumulator::digest`] over the same fault space,
+    /// so streamed, materialized and multiplexed (service) runs can be
+    /// compared bit-for-bit.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// What the streamed grading run cost on the host.

@@ -48,5 +48,8 @@ pub mod hostlink;
 pub mod instrument;
 pub mod ram;
 
-pub use campaign::{AutonomousCampaign, EmulationReport, StreamedCampaign, StreamedCampaignStatus, Technique};
+pub use campaign::{
+    AutonomousCampaign, CampaignSink, EmulationReport, StreamedCampaign, StreamedCampaignStatus,
+    Technique,
+};
 pub use controller::{CampaignTiming, ClockHz, TimingAccumulator};

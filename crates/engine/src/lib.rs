@@ -69,7 +69,7 @@ pub use bench::{
 pub use cancel::CancelToken;
 pub use error::EngineError;
 pub use plan::{CampaignPlan, CampaignPlanBuilder, FaultSource, ShardPolicy, Technique};
-pub use progress::{EngineStats, ProgressCounter, ProgressEvent};
+pub use progress::{EngineStats, ProgressCounter, ProgressEvent, ProgressHook};
 pub use resume::{
     Checkpoint, Fingerprint, PersistentSink, ResumeError, ResumeOptions, CKPT_SCHEMA,
     DEFAULT_CHECKPOINT_EVERY,

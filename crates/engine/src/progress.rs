@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use seugrade_faultsim::GradingSummary;
 
@@ -18,6 +19,36 @@ pub struct ProgressEvent {
     pub faults: usize,
     /// Classification tallies of this shard alone.
     pub summary: GradingSummary,
+}
+
+/// A shareable progress callback for the streamed resumable path.
+///
+/// Wraps an `Arc<dyn Fn(ProgressEvent)>` so the same hook can be handed
+/// to [`ResumeOptions`](crate::ResumeOptions) by value, cloned per run,
+/// and invoked **from worker threads** as chunks finish. The closure
+/// must therefore be cheap and lock-light — a couple of atomic adds or a
+/// bounded channel send, not a blocking write. Event order varies run to
+/// run (workers race); the graded verdicts do not.
+#[derive(Clone)]
+pub struct ProgressHook(Arc<dyn Fn(ProgressEvent) + Send + Sync>);
+
+impl ProgressHook {
+    /// Wraps a callback.
+    #[must_use]
+    pub fn new(f: impl Fn(ProgressEvent) + Send + Sync + 'static) -> Self {
+        ProgressHook(Arc::new(f))
+    }
+
+    /// Invokes the callback with one finished-chunk event.
+    pub fn call(&self, event: ProgressEvent) {
+        (self.0)(event);
+    }
+}
+
+impl fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
 }
 
 /// A thread-safe aggregator for [`ProgressEvent`]s — the simplest useful

@@ -41,6 +41,7 @@ use seugrade_sim::{Testbench, TracePolicy};
 
 use crate::cancel::CancelToken;
 use crate::plan::{CampaignPlan, FaultSource, Technique};
+use crate::progress::ProgressHook;
 use crate::stream::{StreamAccumulator, VerdictSink};
 
 /// First line of every checkpoint file; bump the suffix on breaking
@@ -830,6 +831,9 @@ pub struct ResumeOptions {
     pub meta: Vec<(String, String)>,
     /// Cooperative cancellation flag, polled at chunk boundaries.
     pub cancel: Option<CancelToken>,
+    /// Per-chunk progress callback, invoked from worker threads as
+    /// chunks finish (see [`ProgressHook`]). `None` costs nothing.
+    pub progress: Option<ProgressHook>,
 }
 
 impl Default for ResumeOptions {
@@ -842,6 +846,7 @@ impl Default for ResumeOptions {
             retry_budget: crate::pool::DEFAULT_RETRY_BUDGET,
             meta: Vec::new(),
             cancel: None,
+            progress: None,
         }
     }
 }

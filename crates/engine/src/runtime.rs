@@ -11,7 +11,7 @@ use seugrade_sim::{Testbench, TracePolicy, WindowCache};
 use crate::error::EngineError;
 use crate::plan::{CampaignPlan, FaultSource, Technique};
 use crate::pool::{run_folded, run_folded_ctl, run_indexed, FoldControl};
-use crate::progress::{EngineStats, ProgressEvent};
+use crate::progress::{EngineStats, ProgressEvent, ProgressHook};
 use crate::resume::{Checkpoint, Fingerprint, PersistentSink, ResumeError, ResumeOptions};
 use crate::stream::{ChunkPlan, StreamAccumulator, VerdictSink};
 
@@ -462,7 +462,7 @@ impl Engine {
             || self.streamed_scratch(plan, &cache_root),
             A::default,
             |a: &mut A, b| a.merge(b),
-            |scratch, acc: &mut A, i| self.grade_streamed_chunk(&chunks, scratch, acc, i),
+            |scratch, acc: &mut A, i| self.grade_streamed_chunk(&chunks, scratch, acc, i, None),
         )?;
         let merged = accs
             .into_iter()
@@ -595,7 +595,13 @@ impl Engine {
                 A::default,
                 |a: &mut A, b| a.merge(b),
                 |scratch, acc: &mut A, i| {
-                    self.grade_streamed_chunk(&chunks, scratch, acc, done + i)
+                    self.grade_streamed_chunk(
+                        &chunks,
+                        scratch,
+                        acc,
+                        done + i,
+                        opts.progress.as_ref(),
+                    )
                 },
                 &ctl,
             )?;
@@ -690,19 +696,28 @@ impl Engine {
         )
     }
 
-    /// Grades one chunk of the streamed plan into `acc`.
+    /// Grades one chunk of the streamed plan into `acc`, reporting the
+    /// chunk's tallies through `progress` when a hook is installed.
     fn grade_streamed_chunk<A: VerdictSink>(
         &self,
         chunks: &ChunkPlan<'_>,
         (st, buf, out): &mut StreamedScratch,
         acc: &mut A,
         i: usize,
+        progress: Option<&ProgressHook>,
     ) {
         chunks.fill(i, buf);
         let out = &mut out[..buf.len()];
         self.grader.grade_chunk(st, buf, out);
         for (&f, &o) in buf.iter().zip(out.iter()) {
             acc.observe(f, o);
+        }
+        if let Some(hook) = progress {
+            hook.call(ProgressEvent {
+                shard: i,
+                faults: buf.len(),
+                summary: GradingSummary::from_outcomes(out),
+            });
         }
     }
 

@@ -1,0 +1,214 @@
+//! Multi-tenant throughput measurement: how many campaigns per second
+//! (and aggregate faults per second) one daemon sustains as the number
+//! of concurrent identical jobs grows.
+//!
+//! The harness spins an in-process [`Server`] on an
+//! ephemeral port with a temp spool, submits `concurrent` copies of the
+//! same spec, waits for all of them, and asserts every digest matches
+//! the solo reference — a bench run that loses determinism is a failed
+//! run, not a fast one.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::client::Client;
+use crate::json::Value;
+use crate::proto::JobSpec;
+use crate::server::{Server, ServerConfig};
+
+/// Schema tag stamped into `BENCH_serve.json`.
+pub const SERVE_BENCH_SCHEMA: &str = "seugrade-serve-bench/v1";
+
+/// One measured concurrency level.
+#[derive(Clone, Debug)]
+pub struct ServeBenchRecord {
+    /// Circuit graded by every job.
+    pub circuit: String,
+    /// Worker-pool width of the daemon.
+    pub workers: usize,
+    /// Number of identical jobs submitted together.
+    pub concurrent: usize,
+    /// Jobs completed (== `concurrent` on success).
+    pub jobs: usize,
+    /// Aggregate faults graded across all jobs.
+    pub faults: u64,
+    /// Wall time from first submit to last completion.
+    pub wall_ns: u128,
+    /// Completed campaigns per second.
+    pub jobs_per_sec: f64,
+    /// Aggregate graded faults per second.
+    pub faults_per_sec: f64,
+}
+
+impl ServeBenchRecord {
+    fn to_value(&self) -> Value {
+        Value::obj(vec![
+            ("circuit", Value::str(self.circuit.clone())),
+            ("workers", Value::count(self.workers)),
+            ("concurrent", Value::count(self.concurrent)),
+            ("jobs", Value::count(self.jobs)),
+            ("faults", Value::Num(self.faults as f64)),
+            ("wall_ns", Value::Num(self.wall_ns as f64)),
+            ("jobs_per_sec", Value::Num(self.jobs_per_sec)),
+            ("faults_per_sec", Value::Num(self.faults_per_sec)),
+        ])
+    }
+}
+
+/// The full report written to `BENCH_serve.json`.
+#[derive(Clone, Debug, Default)]
+pub struct ServeBenchReport {
+    /// One record per concurrency level.
+    pub records: Vec<ServeBenchRecord>,
+}
+
+impl ServeBenchReport {
+    /// Renders the report as pretty-printed JSON (stable field order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{SERVE_BENCH_SCHEMA}\",");
+        let _ = writeln!(out, "  \"records\": [");
+        for (i, record) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{}", record.to_value().to_line(), comma);
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
+    }
+}
+
+/// Runs one concurrency level against a fresh in-process daemon and
+/// returns its record.
+///
+/// # Errors
+///
+/// Reports daemon/spool/protocol failures, jobs that end in any state
+/// other than `done`, and digests that diverge from the solo reference.
+///
+/// # Panics
+///
+/// Never — failures are returned as `Err`.
+pub fn multi_tenant_level(
+    spec: &JobSpec,
+    workers: usize,
+    concurrent: usize,
+) -> Result<ServeBenchRecord, String> {
+    let (reference_digest, _) = crate::reference_run(spec)?;
+    let spool = std::env::temp_dir().join(format!(
+        "seugrade-serve-bench-{}-{}",
+        std::process::id(),
+        concurrent
+    ));
+    let _ = std::fs::remove_dir_all(&spool);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        spool: spool.clone(),
+    };
+    let mut server = Server::bind(&config).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let result = run_level(addr, spec, concurrent, reference_digest);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+    let (jobs, faults, wall_ns) = result?;
+    let secs = wall_ns as f64 / 1e9;
+    Ok(ServeBenchRecord {
+        circuit: spec.circuit_label(),
+        workers,
+        concurrent,
+        jobs,
+        faults,
+        wall_ns,
+        jobs_per_sec: if secs > 0.0 { jobs as f64 / secs } else { 0.0 },
+        faults_per_sec: if secs > 0.0 { faults as f64 / secs } else { 0.0 },
+    })
+}
+
+fn run_level(
+    addr: std::net::SocketAddr,
+    spec: &JobSpec,
+    concurrent: usize,
+    reference_digest: u64,
+) -> Result<(usize, u64, u128), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let start = Instant::now();
+    let mut ids = Vec::with_capacity(concurrent);
+    for _ in 0..concurrent {
+        ids.push(client.submit(spec).map_err(|e| format!("submit: {e}"))?);
+    }
+    let mut faults = 0u64;
+    for id in &ids {
+        let snapshot = client
+            .wait(id, std::time::Duration::from_secs(600))
+            .map_err(|e| format!("wait {id}: {e}"))?;
+        let state = snapshot.get("state").and_then(Value::as_str).unwrap_or("?");
+        if state != "done" {
+            return Err(format!("job {id} ended {state}, expected done"));
+        }
+        let digest = snapshot
+            .get("digest")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("job {id} finished without a digest"))?
+            .to_owned();
+        let expected = crate::proto::digest_hex(reference_digest);
+        if digest != expected {
+            return Err(format!("job {id} digest {digest} != solo reference {expected}"));
+        }
+        faults += snapshot.get("faults_done").and_then(Value::as_u64).unwrap_or(0);
+    }
+    let wall_ns = start.elapsed().as_nanos();
+    Ok((ids.len(), faults, wall_ns))
+}
+
+/// Runs the standard 1/4/16-concurrency sweep for one spec.
+///
+/// # Errors
+///
+/// Propagates the first failing level.
+pub fn multi_tenant_sweep(spec: &JobSpec, workers: usize) -> Result<ServeBenchReport, String> {
+    let mut report = ServeBenchReport::default();
+    for concurrent in [1usize, 4, 16] {
+        report.records.push(multi_tenant_level(spec, workers, concurrent)?);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_report_renders_valid_json() {
+        let report = ServeBenchReport {
+            records: vec![ServeBenchRecord {
+                circuit: "s27".to_owned(),
+                workers: 2,
+                concurrent: 4,
+                jobs: 4,
+                faults: 256,
+                wall_ns: 1_000_000,
+                jobs_per_sec: 4000.0,
+                faults_per_sec: 256_000.0,
+            }],
+        };
+        let text = report.to_json();
+        assert!(text.contains(SERVE_BENCH_SCHEMA));
+        // Each record line must itself be parseable JSON.
+        let line = text.lines().find(|l| l.contains("\"circuit\"")).unwrap();
+        let v = crate::json::parse(line.trim().trim_end_matches(',')).unwrap();
+        assert_eq!(v.get("concurrent").and_then(Value::as_usize), Some(4));
+    }
+
+    #[test]
+    fn a_small_sweep_level_matches_the_solo_reference() {
+        let mut spec = JobSpec::registry("s27");
+        spec.vectors = 16;
+        spec.round = 8;
+        let record = multi_tenant_level(&spec, 2, 2).unwrap();
+        assert_eq!(record.jobs, 2);
+        assert!(record.faults > 0);
+    }
+}

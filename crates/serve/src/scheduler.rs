@@ -1,0 +1,561 @@
+//! The job queue and the shared worker pool.
+//!
+//! N daemon workers multiplex any number of campaigns by grading in
+//! **rounds**: a worker pops a job, drives one round of
+//! [`JobSpec::round`] chunks through
+//! `Engine::run_streamed_resumable_with::<CampaignSink>` (which writes
+//! the job's spooled checkpoint atomically at the round boundary), and
+//! re-enqueues the job at the back of the queue if chunks remain —
+//! round-robin fairness across tenants over one pool. Determinism
+//! holds because completed chunks always form an exact queue prefix
+//! and the sink digest is order-independent: any interleaving of
+//! rounds, workers, daemon restarts and resumes reproduces the solo
+//! one-shot digest bit-for-bit (`tests/serve_determinism.rs`).
+//!
+//! The engine (plan + golden trace) is rebuilt per round rather than
+//! cached across rounds: a plan borrows its circuit, so caching would
+//! need a self-referential job — and one golden replay per round is
+//! noise next to the thousands of fault windows the round grades.
+//! Queued jobs therefore hold only their netlist and test bench.
+
+use std::collections::VecDeque;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use seugrade_emulation::controller::TimingConfig;
+use seugrade_emulation::CampaignSink;
+use seugrade_engine::{Engine, ProgressHook, ResumeOptions};
+use seugrade_faultsim::GradingSummary;
+
+use crate::job::{build_plan, Job, JobState, JobStatus};
+use crate::json::Value;
+use crate::proto::{self, JobSpec};
+use crate::spool::Spool;
+
+/// The queue, registry and pool shared by workers and connections.
+pub(crate) struct SchedCore {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    jobs: Mutex<Vec<Arc<Job>>>,
+    next_id: AtomicU64,
+    spool: Spool,
+    stopping: AtomicBool,
+}
+
+/// The scheduler: owns the worker threads and the shared core.
+pub(crate) struct Scheduler {
+    core: Arc<SchedCore>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Scans the spool, rebuilds every spooled job (terminal ones as
+    /// history, incomplete ones back onto the queue), and starts
+    /// `workers` pool threads.
+    pub(crate) fn start(spool: Spool, workers: usize) -> io::Result<Scheduler> {
+        let core = Arc::new(SchedCore {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            spool,
+            stopping: AtomicBool::new(false),
+        });
+        let mut max_num = 0;
+        for spooled in core.spool.scan()? {
+            max_num = max_num.max(spooled.num);
+            let job = match Job::build(spooled.id.clone(), spooled.spec) {
+                Ok(job) => Arc::new(job),
+                Err(e) => {
+                    eprintln!("spool: cannot rebuild {}: {e}", spooled.id);
+                    continue;
+                }
+            };
+            if let Some(result) = &spooled.result {
+                restore_terminal_status(&job, result);
+            } else {
+                // Incomplete: the round loop resumes from job.ckpt if
+                // one exists (fresh otherwise) — enqueue and go.
+                core.queue.lock().expect("queue lock").push_back(Arc::clone(&job));
+            }
+            core.jobs.lock().expect("jobs lock").push(job);
+        }
+        core.next_id.store(max_num + 1, Ordering::SeqCst);
+
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let core = Arc::clone(&core);
+                thread::spawn(move || worker_loop(&core))
+            })
+            .collect();
+        Ok(Scheduler { core, workers: Mutex::new(handles) })
+    }
+
+    /// Validates and enqueues a new job; returns its handle.
+    pub(crate) fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, String> {
+        let num = self.core.next_id.fetch_add(1, Ordering::SeqCst);
+        let id = format!("j{num}");
+        let job = Arc::new(Job::build(id.clone(), spec)?);
+        self.core
+            .spool
+            .write_spec(&id, &job.spec)
+            .map_err(|e| format!("cannot spool {id}: {e}"))?;
+        self.core.jobs.lock().expect("jobs lock").push(Arc::clone(&job));
+        self.core.queue.lock().expect("queue lock").push_back(Arc::clone(&job));
+        self.core.queue_cv.notify_one();
+        Ok(job)
+    }
+
+    /// Looks a job up by id.
+    pub(crate) fn job(&self, id: &str) -> Option<Arc<Job>> {
+        self.core.jobs.lock().expect("jobs lock").iter().find(|j| j.id == id).cloned()
+    }
+
+    /// Every job the daemon knows, in submission order.
+    pub(crate) fn jobs(&self) -> Vec<Arc<Job>> {
+        self.core.jobs.lock().expect("jobs lock").clone()
+    }
+
+    /// Cancels a job cooperatively. Queued jobs flip straight to
+    /// `Cancelled`; running jobs drain their in-flight round, write a
+    /// final checkpoint and transition at the round boundary.
+    pub(crate) fn cancel(&self, id: &str) -> Result<JobState, String> {
+        let job = self.job(id).ok_or_else(|| format!("unknown job {id:?}"))?;
+        let mut flipped = None;
+        job.update_status(|st| match st.state {
+            JobState::Queued => {
+                st.state = JobState::Cancelled;
+                flipped = Some(st.clone());
+            }
+            JobState::Running => job.cancel(),
+            _ => {}
+        });
+        if let Some(st) = flipped {
+            job.broadcast_terminal(&st);
+            return Ok(JobState::Cancelled);
+        }
+        let state = job.status().state;
+        if state.is_terminal() && state != JobState::Cancelled {
+            return Err(format!("job {id} is already {}", state.label()));
+        }
+        Ok(state)
+    }
+
+    /// Re-enqueues a cancelled or failed job; it resumes from its
+    /// spooled checkpoint (or restarts from chunk 0 if none exists).
+    pub(crate) fn resume(&self, id: &str) -> Result<(), String> {
+        let job = self.job(id).ok_or_else(|| format!("unknown job {id:?}"))?;
+        let mut ok = false;
+        job.update_status(|st| {
+            if matches!(st.state, JobState::Cancelled | JobState::Failed) {
+                st.state = JobState::Queued;
+                st.error = None;
+                ok = true;
+            }
+        });
+        if !ok {
+            return Err(format!(
+                "job {id} is {}; only cancelled or failed jobs resume",
+                job.status().state.label()
+            ));
+        }
+        job.refresh_cancel_token();
+        self.core.queue.lock().expect("queue lock").push_back(job);
+        self.core.queue_cv.notify_one();
+        Ok(())
+    }
+
+    /// Graceful stop: cancels every non-terminal job (their in-flight
+    /// rounds drain and checkpoint), wakes and joins every worker.
+    /// After this returns the spool is consistent: every incomplete
+    /// job's cursor is at a round boundary, ready for the next daemon
+    /// life to resume.
+    pub(crate) fn stop(&self) {
+        self.core.stopping.store(true, Ordering::SeqCst);
+        for job in self.jobs() {
+            if !job.status().state.is_terminal() {
+                job.cancel();
+            }
+        }
+        self.core.queue_cv.notify_all();
+        let handles: Vec<_> = self.workers.lock().expect("workers lock").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One pool thread: pop a job, grade one round, requeue if incomplete.
+fn worker_loop(core: &Arc<SchedCore>) {
+    loop {
+        let job = {
+            let mut q = core.queue.lock().expect("queue lock");
+            loop {
+                if core.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = core
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(200))
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        if run_round(core, &job) && !core.stopping.load(Ordering::SeqCst) {
+            core.queue.lock().expect("queue lock").push_back(job);
+            core.queue_cv.notify_one();
+        }
+    }
+}
+
+/// Grades one round of `job`; returns true when the job should be
+/// re-enqueued (more chunks remain and nobody stopped it).
+fn run_round(core: &Arc<SchedCore>, job: &Arc<Job>) -> bool {
+    // Claim under the status lock: a cancel that already flipped a
+    // queued job wins, and the worker skips it.
+    let mut claimed = false;
+    job.update_status(|st| {
+        if st.state == JobState::Queued {
+            st.state = JobState::Running;
+            claimed = true;
+        }
+    });
+    if !claimed {
+        return false;
+    }
+
+    // Panic containment mirrors the engine pool: one poisoned round
+    // fails one job, never the daemon.
+    let outcome = catch_unwind(AssertUnwindSafe(|| grade_round(core, job)));
+    job.reset_live_faults();
+    match outcome {
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "round panicked".to_owned());
+            finalize_failed(core, job, &format!("round panicked: {msg}"));
+            false
+        }
+        Ok(Err(msg)) => {
+            finalize_failed(core, job, &msg);
+            false
+        }
+        Ok(Ok(round)) => {
+            job.update_status(|st| {
+                st.chunks_done = round.chunks_done;
+                st.chunks_total = round.chunks_total;
+                st.faults_done = round.faults_done;
+                st.faults_total = round.faults_total;
+                st.summary = round.summary.clone();
+                st.digest = Some(round.digest);
+                st.wall_ns += round.wall_ns;
+            });
+            if round.complete {
+                finalize_done(core, job, round.timings);
+                false
+            } else if core.stopping.load(Ordering::SeqCst) {
+                // Daemon shutdown: the round drained and checkpointed;
+                // leave the job queued-on-disk for the next life.
+                job.update_status(|st| st.state = JobState::Queued);
+                false
+            } else if job.cancel_token().is_cancelled() {
+                let mut snapshot = None;
+                job.update_status(|st| {
+                    st.state = JobState::Cancelled;
+                    snapshot = Some(st.clone());
+                });
+                job.broadcast_terminal(&snapshot.expect("status set above"));
+                false
+            } else {
+                let mut snapshot = None;
+                job.update_status(|st| {
+                    st.state = JobState::Queued;
+                    snapshot = Some(st.clone());
+                });
+                broadcast_progress(job, &snapshot.expect("status set above"));
+                true
+            }
+        }
+    }
+}
+
+/// What one graded round reports back to the worker.
+struct RoundReport {
+    chunks_done: usize,
+    chunks_total: usize,
+    faults_done: usize,
+    faults_total: usize,
+    summary: GradingSummary,
+    digest: u64,
+    wall_ns: u128,
+    complete: bool,
+    timings: Option<[seugrade_emulation::controller::CampaignTiming; 3]>,
+}
+
+/// Builds the plan and engine for `job` and grades one round through
+/// the resumable path (checkpointing to the job's spool).
+fn grade_round(core: &Arc<SchedCore>, job: &Arc<Job>) -> Result<RoundReport, String> {
+    let plan = build_plan(&job.spec, &job.circuit, &job.testbench);
+    let engine = Engine::new(&plan);
+    let ckpt = core.spool.ckpt_path(&job.id);
+    let mut opts = ResumeOptions::checkpoint_to(&ckpt);
+    opts.every = job.spec.round;
+    opts.limit = Some(job.spec.round);
+    opts.resume = ckpt.exists();
+    opts.cancel = Some(job.cancel_token());
+    let hooked = Arc::clone(job);
+    opts.progress = Some(ProgressHook::new(move |ev| {
+        hooked.note_live_faults(ev.faults);
+        hooked.broadcast(&proto::chunk_event_line(Some(&hooked.id), &ev));
+    }));
+
+    let run = engine
+        .run_streamed_resumable_with::<CampaignSink>(&plan, &opts)
+        .map_err(|e| e.to_string())?;
+    let complete = run.is_complete();
+    let timings = complete.then(|| {
+        run.sink.finish_timings(
+            &TimingConfig::default(),
+            job.testbench.num_cycles(),
+            job.circuit.num_ffs(),
+        )
+    });
+    Ok(RoundReport {
+        chunks_done: run.chunks_done,
+        chunks_total: run.chunks_total,
+        faults_done: run.faults_done,
+        faults_total: run.faults_total,
+        summary: run.sink.summary().clone(),
+        digest: run.sink.digest(),
+        wall_ns: run.stats.wall_ns,
+        complete,
+        timings,
+    })
+}
+
+/// Marks the job done, writes its terminal `result.json` and tells the
+/// subscribers.
+fn finalize_done(
+    core: &Arc<SchedCore>,
+    job: &Arc<Job>,
+    timings: Option<[seugrade_emulation::controller::CampaignTiming; 3]>,
+) {
+    let mut snapshot = None;
+    job.update_status(|st| {
+        st.state = JobState::Done;
+        snapshot = Some(st.clone());
+    });
+    let status = snapshot.expect("status set above");
+    let result = result_value(job, &status, timings.as_ref());
+    if let Err(e) = core.spool.write_result(&job.id, &result) {
+        eprintln!("spool: cannot write result for {}: {e}", job.id);
+    }
+    job.broadcast_terminal(&status);
+}
+
+/// Marks the job failed, persists the failure and tells the subscribers.
+fn finalize_failed(core: &Arc<SchedCore>, job: &Arc<Job>, msg: &str) {
+    let mut snapshot = None;
+    job.update_status(|st| {
+        st.state = JobState::Failed;
+        st.error = Some(msg.to_owned());
+        snapshot = Some(st.clone());
+    });
+    let status = snapshot.expect("status set above");
+    let result = result_value(job, &status, None);
+    if let Err(e) = core.spool.write_result(&job.id, &result) {
+        eprintln!("spool: cannot write result for {}: {e}", job.id);
+    }
+    job.broadcast_terminal(&status);
+}
+
+/// The terminal `result.json` document: the snapshot plus cumulative
+/// wall time and (for completed jobs) the per-technique autonomous
+/// emulation timings out of the job's [`CampaignSink`].
+fn result_value(
+    job: &Job,
+    status: &JobStatus,
+    timings: Option<&[seugrade_emulation::controller::CampaignTiming; 3]>,
+) -> Value {
+    let Value::Obj(mut pairs) = job.snapshot_value() else {
+        unreachable!("snapshots are objects");
+    };
+    pairs.push(("schema".to_owned(), Value::str(proto::SERVE_SCHEMA)));
+    pairs.push(("wall_ns".to_owned(), Value::count(status.wall_ns as usize)));
+    if let Some(timings) = timings {
+        let rows = timings
+            .iter()
+            .map(|t| {
+                Value::obj(vec![
+                    ("technique", Value::str(t.technique.label())),
+                    ("millis", Value::num(t.millis())),
+                    ("us_per_fault", Value::num(t.us_per_fault())),
+                    ("total_cycles", Value::count(t.total_cycles as usize)),
+                ])
+            })
+            .collect();
+        pairs.push(("techniques".to_owned(), Value::Arr(rows)));
+    }
+    Value::Obj(pairs)
+}
+
+/// A between-rounds progress event for stream subscribers.
+fn broadcast_progress(job: &Job, status: &JobStatus) {
+    job.broadcast(&proto::job_event_line(
+        "state",
+        &job.id,
+        vec![
+            ("state", Value::str(status.state.label())),
+            ("chunks_done", Value::count(status.chunks_done)),
+            ("chunks_total", Value::count(status.chunks_total)),
+            ("faults_done", Value::count(status.faults_done)),
+            ("faults_total", Value::count(status.faults_total)),
+        ],
+    ));
+}
+
+/// Restores a terminal job's status from its spooled `result.json`.
+fn restore_terminal_status(job: &Job, result: &Value) {
+    let count = |key: &str| result.get(key).and_then(Value::as_usize).unwrap_or(0);
+    let state = match result.get("state").and_then(Value::as_str) {
+        Some("done") => JobState::Done,
+        Some("cancelled") => JobState::Cancelled,
+        _ => JobState::Failed,
+    };
+    job.update_status(|st| {
+        st.state = state;
+        st.chunks_done = count("chunks_done");
+        st.chunks_total = count("chunks_total");
+        st.faults_done = count("faults_done");
+        st.faults_total = count("faults_total").max(st.faults_total);
+        st.summary =
+            GradingSummary::from_counts(count("failures"), count("latents"), count("silents"));
+        st.digest = result
+            .get("digest")
+            .and_then(Value::as_str)
+            .and_then(|h| u64::from_str_radix(h, 16).ok());
+        st.error = result.get("error").and_then(Value::as_str).map(str::to_owned);
+        st.wall_ns = count("wall_ns") as u128;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_run;
+
+    fn temp_spool(tag: &str) -> Spool {
+        let dir = std::env::temp_dir()
+            .join(format!("seugrade-serve-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Spool::open(dir).unwrap()
+    }
+
+    fn tiny_spec() -> JobSpec {
+        let mut spec = JobSpec::registry("s27");
+        spec.vectors = 24;
+        spec.round = 4;
+        spec
+    }
+
+    fn wait_terminal(job: &Arc<Job>) -> JobStatus {
+        for _ in 0..2000 {
+            let st = job.status();
+            if st.state.is_terminal() {
+                return st;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        panic!("job {} never reached a terminal state", job.id);
+    }
+
+    #[test]
+    fn one_job_reproduces_the_solo_digest() {
+        let spool = temp_spool("solo");
+        let root = spool.root().to_path_buf();
+        let sched = Scheduler::start(spool, 2).unwrap();
+        let job = sched.submit(tiny_spec()).unwrap();
+        let st = wait_terminal(&job);
+        assert_eq!(st.state, JobState::Done);
+        let (digest, summary) = reference_run(&tiny_spec()).unwrap();
+        assert_eq!(st.digest, Some(digest));
+        assert_eq!(st.summary, summary);
+        assert!(root.join(&job.id).join("result.json").exists());
+        sched.stop();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cancel_then_resume_completes_to_the_same_digest() {
+        let spool = temp_spool("cancel");
+        let root = spool.root().to_path_buf();
+        let sched = Scheduler::start(spool, 1).unwrap();
+        let mut spec = tiny_spec();
+        spec.round = 1; // many short rounds: plenty of cancel windows
+        let job = sched.submit(spec.clone()).unwrap();
+        let _ = sched.cancel(&job.id);
+        let st = wait_terminal(&job);
+        assert_eq!(st.state, JobState::Cancelled);
+        sched.resume(&job.id).unwrap();
+        let st = wait_terminal(&job);
+        assert_eq!(st.state, JobState::Done);
+        let (digest, _) = reference_run(&spec).unwrap();
+        assert_eq!(st.digest, Some(digest));
+        sched.stop();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bad_submit_is_an_error_not_a_job() {
+        let spool = temp_spool("bad");
+        let root = spool.root().to_path_buf();
+        let sched = Scheduler::start(spool, 1).unwrap();
+        assert!(sched.submit(JobSpec::registry("no-such-circuit")).is_err());
+        assert!(sched.jobs().is_empty());
+        sched.stop();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stop_respools_incomplete_jobs_and_restart_finishes_them() {
+        let spool = temp_spool("restart");
+        let root = spool.root().to_path_buf();
+        let sched = Scheduler::start(spool, 1).unwrap();
+        let mut spec = tiny_spec();
+        spec.round = 1;
+        let job = sched.submit(spec.clone()).unwrap();
+        // Let at least one round land, then stop the daemon mid-flight.
+        for _ in 0..2000 {
+            if job.status().chunks_done > 0 || job.status().state.is_terminal() {
+                break;
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+        sched.stop();
+        drop(sched);
+
+        let sched = Scheduler::start(Spool::open(&root).unwrap(), 1).unwrap();
+        let job = sched.job(&job.id).expect("respooled job");
+        let st = wait_terminal(&job);
+        assert_eq!(st.state, JobState::Done);
+        let (digest, _) = reference_run(&spec).unwrap();
+        assert_eq!(st.digest, Some(digest), "restart must resume to the solo digest");
+        // A second restart sees the terminal result, not a fresh run.
+        sched.stop();
+        let sched = Scheduler::start(Spool::open(&root).unwrap(), 1).unwrap();
+        let job = sched.job(&job.id).expect("terminal job listed");
+        assert_eq!(job.status().state, JobState::Done);
+        assert_eq!(job.status().digest, Some(digest));
+        sched.stop();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

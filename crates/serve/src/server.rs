@@ -1,0 +1,337 @@
+//! The daemon: a `std::net::TcpListener` accept loop, one thread per
+//! connection, one scheduler shared by all of them.
+//!
+//! Everything polls — the listener is non-blocking and connection
+//! reads carry a short timeout — so a shutdown request (protocol
+//! `shutdown`, SIGINT/SIGTERM via the CLI's cancel token, or a test
+//! calling [`Server::shutdown`]) is observed within a poll interval by
+//! every thread: the accept loop stops, in-flight rounds drain and
+//! write final checkpoints, workers join, and the spool is left
+//! consistent. A hostile or hung client can therefore never wedge the
+//! daemon's exit.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use seugrade_engine::CancelToken;
+
+use crate::json::Value;
+use crate::proto::{self, Request};
+use crate::scheduler::Scheduler;
+use crate::spool::Spool;
+
+/// Default listen address of `repro -- serve`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7463";
+
+/// Default worker-pool width.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Hard cap on one request line; a longer line is rejected with a
+/// structured error and the connection closes (there is no way to
+/// resynchronize). Generous because inline netlists travel in-line.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024 * 1024;
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 binds an ephemeral port).
+    pub addr: String,
+    /// Worker-pool width — how many campaign rounds run concurrently.
+    pub workers: usize,
+    /// Spool root for per-job checkpoints, specs and results.
+    pub spool: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: DEFAULT_ADDR.to_owned(),
+            workers: DEFAULT_WORKERS,
+            spool: PathBuf::from("serve-spool"),
+        }
+    }
+}
+
+/// Shared by the accept loop and every connection thread.
+struct Daemon {
+    scheduler: Scheduler,
+    shutdown: AtomicBool,
+}
+
+impl Daemon {
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running daemon. Dropping it (or calling
+/// [`shutdown`](Server::shutdown)) stops it gracefully.
+pub struct Server {
+    daemon: Arc<Daemon>,
+    accept: Option<thread::JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listener, scans the spool (resuming every incomplete
+    /// spooled job) and starts the worker pool and accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and spool I/O failures.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let spool = Spool::open(&config.spool)?;
+        let scheduler = Scheduler::start(spool, config.workers)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let daemon = Arc::new(Daemon { scheduler, shutdown: AtomicBool::new(false) });
+        let accept_daemon = Arc::clone(&daemon);
+        let accept = thread::spawn(move || accept_loop(&listener, &accept_daemon));
+        Ok(Server { daemon, accept: Some(accept), local_addr })
+    }
+
+    /// The bound address (the actual port when `addr` asked for `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Raises the shutdown flag without blocking (the accept loop,
+    /// connections and workers observe it within a poll interval).
+    pub fn request_shutdown(&self) {
+        self.daemon.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested from any side.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.daemon.shutdown_requested()
+    }
+
+    /// Blocks until shutdown is requested — by a protocol `shutdown`
+    /// command or by `external` (the CLI's SIGINT/SIGTERM token)
+    /// tripping. Does not stop the daemon; call
+    /// [`shutdown`](Server::shutdown) next.
+    pub fn serve_until(&self, external: &CancelToken) {
+        while !self.daemon.shutdown_requested() && !external.is_cancelled() {
+            thread::sleep(POLL);
+        }
+    }
+
+    /// Graceful stop: cancels every in-flight job cooperatively (each
+    /// drains its round and writes a final atomic checkpoint), joins
+    /// the workers and the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.request_shutdown();
+        self.daemon.scheduler.stop();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, daemon: &Arc<Daemon>) {
+    loop {
+        if daemon.shutdown_requested() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let daemon = Arc::clone(daemon);
+                thread::spawn(move || handle_connection(&daemon, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// Reads newline-delimited requests off one connection with a bounded
+/// buffer and a read timeout, so shutdown is never blocked on a silent
+/// peer.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+enum ReadLine {
+    Line(Vec<u8>),
+    Eof,
+    TooLong,
+    Shutdown,
+}
+
+impl LineReader {
+    fn next(&mut self, daemon: &Daemon) -> ReadLine {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return ReadLine::Line(line);
+            }
+            if self.buf.len() > MAX_REQUEST_BYTES {
+                return ReadLine::TooLong;
+            }
+            if daemon.shutdown_requested() {
+                return ReadLine::Shutdown;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadLine::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => return ReadLine::Eof,
+            }
+        }
+    }
+}
+
+fn handle_connection(daemon: &Arc<Daemon>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = LineReader { stream, buf: Vec::new() };
+    let mut line_no = 0usize;
+    loop {
+        let line = match reader.next(daemon) {
+            ReadLine::Line(line) => line,
+            ReadLine::Eof | ReadLine::Shutdown => return,
+            ReadLine::TooLong => {
+                let msg =
+                    format!("request line exceeds {MAX_REQUEST_BYTES} bytes; closing connection");
+                let _ = send(&mut writer, &proto::err_response(line_no + 1, &msg));
+                return;
+            }
+        };
+        line_no += 1;
+        let Ok(text) = String::from_utf8(line) else {
+            if send(&mut writer, &proto::err_response(line_no, "request is not valid UTF-8"))
+                .is_err()
+            {
+                return;
+            }
+            continue;
+        };
+        if text.trim().is_empty() {
+            // Blank keep-alive lines are tolerated and not numbered as
+            // requests.
+            line_no -= 1;
+            continue;
+        }
+        if !dispatch(daemon, &text, line_no, &mut writer) {
+            return;
+        }
+    }
+}
+
+/// Handles one request line; returns false when the connection should
+/// close (write failure, or a stream that ended at shutdown).
+fn dispatch(daemon: &Arc<Daemon>, line: &str, line_no: usize, writer: &mut TcpStream) -> bool {
+    let request = match proto::parse_request(line) {
+        Ok(request) => request,
+        Err(e) => return send(writer, &proto::err_response(line_no, &e.msg)).is_ok(),
+    };
+    let response = match request {
+        Request::Ping => proto::ok_response(vec![("pong", Value::Bool(true))]),
+        Request::Submit(spec) => match daemon.scheduler.submit(*spec) {
+            Ok(job) => proto::ok_response(vec![("job", Value::str(job.id.clone()))]),
+            Err(msg) => proto::err_response(line_no, &msg),
+        },
+        Request::Status { job } => match daemon.scheduler.job(&job) {
+            Some(job) => proto::ok_response(vec![("job", job.snapshot_value())]),
+            None => proto::err_response(line_no, &format!("unknown job {job:?}")),
+        },
+        Request::List => {
+            let jobs = daemon.scheduler.jobs().iter().map(|j| j.snapshot_value()).collect();
+            proto::ok_response(vec![("jobs", Value::Arr(jobs))])
+        }
+        Request::Cancel { job } => match daemon.scheduler.cancel(&job) {
+            Ok(state) => proto::ok_response(vec![
+                ("job", Value::str(job)),
+                ("state", Value::str(state.label())),
+            ]),
+            Err(msg) => proto::err_response(line_no, &msg),
+        },
+        Request::Resume { job } => match daemon.scheduler.resume(&job) {
+            Ok(()) => proto::ok_response(vec![
+                ("job", Value::str(job)),
+                ("state", Value::str("queued")),
+            ]),
+            Err(msg) => proto::err_response(line_no, &msg),
+        },
+        Request::Shutdown => {
+            let response = proto::ok_response(vec![("stopping", Value::Bool(true))]);
+            let sent = send(writer, &response).is_ok();
+            daemon.shutdown.store(true, Ordering::SeqCst);
+            return sent;
+        }
+        Request::Stream { job } => {
+            let Some(job) = daemon.scheduler.job(&job) else {
+                let msg = format!("unknown job {job:?}");
+                return send(writer, &proto::err_response(line_no, &msg)).is_ok();
+            };
+            if send(
+                writer,
+                &proto::ok_response(vec![("streaming", Value::str(job.id.clone()))]),
+            )
+            .is_err()
+            {
+                return false;
+            }
+            return stream_events(daemon, &job, writer);
+        }
+    };
+    send(writer, &response).is_ok()
+}
+
+/// Forwards a job's event lines until the job reaches a terminal state
+/// (its channel closes), the client hangs up, or the daemon shuts
+/// down. Returns whether the connection may continue in request mode.
+fn stream_events(daemon: &Daemon, job: &crate::job::Job, writer: &mut TcpStream) -> bool {
+    let rx = job.subscribe();
+    loop {
+        match rx.recv_timeout(POLL) {
+            Ok(line) => {
+                if send(writer, &line).is_err() {
+                    return false;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if daemon.shutdown_requested() {
+                    return false;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return true,
+        }
+    }
+}
+
+fn send(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

@@ -1,9 +1,10 @@
-//! Hostile-input fuzzing: every on-disk grammar the workspace reads —
-//! `seugrade-campaign-ckpt/v1` checkpoints, ISCAS `.bench` and
-//! structural BLIF — must reject truncated or mutated files with a
-//! structured, line-numbered error. Never a panic, never partial state
-//! (a rejected checkpoint resumes nothing; a rejected netlist builds
-//! nothing).
+//! Hostile-input fuzzing: every grammar the workspace reads —
+//! `seugrade-campaign-ckpt/v1` checkpoints, ISCAS `.bench`, structural
+//! BLIF, and the `seugrade-serve/v1` wire protocol — must reject
+//! truncated or mutated input with a structured, line-numbered error.
+//! Never a panic, never partial state (a rejected checkpoint resumes
+//! nothing; a rejected netlist builds nothing; a rejected request
+//! creates no job and leaves the connection open).
 
 use proptest::prelude::*;
 use seugrade::prelude::*;
@@ -51,6 +52,18 @@ G11 = NOR(G5, G9)
 G12 = NOR(G1, G7)
 G13 = NOR(G2, G12)
 ";
+
+/// A realistic, all-ASCII `submit` request line (inline netlist, every
+/// optional knob present) — the richest single line the protocol
+/// accepts, and therefore the best truncation/mutation target.
+mod serve_proto {
+    pub fn parse_roundtrip_line() -> String {
+        let spec = r#"{"cmd":"submit","job":{"netlist":{"format":"bench","source":"INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n"},"vectors":32,"seed":7,"sample":16,"trace_policy":"checkpoint:8","collapse":"on","threads":2,"round":4}}"#;
+        // Guard: the exemplar itself must parse, or the fuzz is vacuous.
+        seugrade_serve::proto::parse_request(spec).expect("exemplar request parses");
+        spec.to_owned()
+    }
+}
 
 const BLIF_SRC: &str = "\
 .model toggle
@@ -165,6 +178,56 @@ proptest! {
     }
 
     #[test]
+    fn truncated_serve_requests_never_panic(cut in 0usize..1000) {
+        // A real submit request, cut anywhere: every strict prefix is
+        // invalid JSON (or a non-request), so it must parse to a
+        // structured error — never a panic, never a request.
+        let full = serve_proto::parse_roundtrip_line();
+        let cut = cut % full.len();
+        let e = seugrade_serve::proto::parse_request(&full[..cut])
+            .expect_err("no strict prefix of a request object is valid JSON");
+        prop_assert!(!e.msg.is_empty());
+    }
+
+    #[test]
+    fn mutated_serve_requests_never_panic(pos in 0usize..1000, byte in 32u8..127) {
+        let full = serve_proto::parse_roundtrip_line();
+        let pos = pos % full.len();
+        let mut bytes = full.into_bytes();
+        bytes[pos] = byte;
+        let text = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        // Accept (a one-byte change can still be a valid request) or
+        // reject with a message — the only failure mode is a panic.
+        if let Err(e) = seugrade_serve::proto::parse_request(&text) {
+            prop_assert!(!e.msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn garbage_serve_requests_are_rejected_with_a_message(
+        bytes in proptest::collection::vec(32u8..127, 0..200usize)
+    ) {
+        let garbage = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        // Random printable bytes essentially never spell a valid
+        // request object; when they do parse, they must be a Request —
+        // anything else is a structured error.
+        if let Err(e) = seugrade_serve::proto::parse_request(&garbage) {
+            prop_assert!(!e.msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn deep_json_bombs_are_rejected_not_overflowed(depth in 30usize..400) {
+        // Nesting past the parser's depth bound must be a structured
+        // error, not a stack overflow.
+        let bomb = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        let result = seugrade_serve::json::parse(&bomb);
+        if depth > 32 {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
     fn random_garbage_is_never_a_checkpoint(
         bytes in proptest::collection::vec(32u8..127, 0..200usize)
     ) {
@@ -196,6 +259,51 @@ fn rejected_checkpoint_resumes_nothing() {
         .expect_err("garbage must not resume");
     std::fs::remove_file(&path).ok();
     assert!(matches!(err, EngineError::Resume(ResumeError::Corrupt { line: 1, .. })), "{err}");
+}
+
+/// Live-daemon leg of the protocol contract: garbage lines on a real
+/// connection get structured, line-numbered error responses; the
+/// connection stays open and a subsequent valid request still works.
+#[test]
+fn hostile_lines_on_a_live_connection_get_line_numbered_errors() {
+    use seugrade_serve::json::Value;
+    use seugrade_serve::{Client, ClientError, Server, ServerConfig};
+
+    let spool = std::env::temp_dir()
+        .join(format!("seugrade-hostile-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        spool: spool.clone(),
+    };
+    let server = Server::bind(&config).expect("bind daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Three hostile lines, then a valid one — all on the same connection.
+    for (line_no, garbage) in
+        [(1, "this is not json"), (2, r#"{"cmd":"warp"}"#), (3, r#"[1,2,3]"#)]
+    {
+        match client.request_line(garbage) {
+            Err(ClientError::Server { line, msg }) => {
+                assert_eq!(line, line_no, "server must number request lines 1-based");
+                assert!(!msg.is_empty());
+            }
+            other => panic!("garbage line {line_no} must be a structured error, got {other:?}"),
+        }
+    }
+    let v = client.request_line(r#"{"cmd":"ping"}"#).expect("connection survives garbage");
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+
+    // A hostile submit is an error, not a job.
+    let err = client
+        .request_line(r#"{"cmd":"submit","job":{"circuit":"no-such-circuit"}}"#)
+        .expect_err("unknown circuit must be rejected");
+    assert!(matches!(err, ClientError::Server { line: 5, .. }), "{err:?}");
+    assert!(client.list().expect("list").is_empty(), "rejected submits must not create jobs");
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&spool);
 }
 
 #[test]
