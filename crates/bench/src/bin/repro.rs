@@ -32,7 +32,7 @@
 //! `grade <target>` loads a circuit — a bundled registry name
 //! (`repro -- grade s5378g`) or an external netlist file (ISCAS
 //! `.bench`, structural BLIF or the native SNL format — auto-detected
-//! from the extension, overridable with `--format bench|blif|snl`) —
+//! from the extension, overridable with `--format bench|blif|snl|verilog|vhdl`) —
 //! drives it with a seeded random test bench (`--vectors N`,
 //! `--seed S`) and grades the `flip-flops × cycles` SEU fault space
 //! (or a seeded uniform `--sample N` of it) through the engine's
@@ -201,7 +201,7 @@ fn main() {
                     std::process::exit(2);
                 });
                 opts.format = Some(SourceFormat::from_label(&v).unwrap_or_else(|| {
-                    eprintln!("--format expects bench|blif|snl, got `{v}`");
+                    eprintln!("--format expects bench|blif|snl|verilog|vhdl, got `{v}`");
                     std::process::exit(2);
                 }));
             }
@@ -282,7 +282,7 @@ fn main() {
     if command == "grade" {
         let Some(target) = commands.get(1) else {
             eprintln!(
-                "usage: repro -- grade <file-or-registry-name> [--format bench|blif|snl] \
+                "usage: repro -- grade <file-or-registry-name> [--format bench|blif|snl|verilog|vhdl] \
                  [--threads N] [--vectors N] [--seed S] [--trace-policy dense|checkpoint:K] \
                  [--sample N] [--checkpoint PATH] [--checkpoint-every N]"
             );
@@ -309,7 +309,7 @@ fn main() {
         let Some(target) = commands.get(1) else {
             eprintln!(
                 "usage: repro -- submit <file-or-registry-name> [--addr HOST:PORT] \
-                 [--format bench|blif|snl] [--threads N] [--vectors N] [--seed S] \
+                 [--format bench|blif|snl|verilog|vhdl] [--threads N] [--vectors N] [--seed S] \
                  [--trace-policy dense|checkpoint:K] [--collapse on|off] [--sample N] [--wait]"
             );
             std::process::exit(2);
@@ -838,7 +838,7 @@ fn run_submit(target: &str, opts: &Options) {
             .unwrap_or_else(|| {
                 eprintln!(
                     "`{target}` is not a registry circuit and its format is not recognizable \
-                     from the extension; pass --format bench|blif|snl"
+                     from the extension; pass --format bench|blif|snl|verilog|vhdl"
                 );
                 std::process::exit(2);
             });

@@ -26,6 +26,18 @@ pub const S208A_BENCH: &str = include_str!("../../../fixtures/s208a.bench");
 /// The s344-class loadable-LFSR fixture, `.bench` source.
 pub const S344A_BENCH: &str = include_str!("../../../fixtures/s344a.bench");
 
+/// The structural-Verilog twin of [`S27_BENCH`].
+pub const S27_VLOG: &str = include_str!("../../../fixtures/s27.v");
+
+/// The structural-Verilog twin of [`S208A_BENCH`].
+pub const S208A_VLOG: &str = include_str!("../../../fixtures/s208a.v");
+
+/// The structural-Verilog twin of [`S344A_BENCH`].
+pub const S344A_VLOG: &str = include_str!("../../../fixtures/s344a.v");
+
+/// The b14-interface-class VHDL fixture (32 in, 54 out, 245 FFs).
+pub const B14C_VHDL: &str = include_str!("../../../fixtures/b14c.vhd");
+
 fn build(src: &str, format: SourceFormat, name: &str) -> Netlist {
     import_str(src, format)
         .unwrap_or_else(|e| panic!("bundled fixture {name} failed to import: {e}"))
@@ -55,6 +67,32 @@ pub fn s208a() -> Netlist {
 #[must_use]
 pub fn s344a() -> Netlist {
     build(S344A_BENCH, SourceFormat::Bench, "s344a")
+}
+
+/// The Verilog twin of [`s27`] (same ports, same logic, same init
+/// values), registered as `s27v`.
+#[must_use]
+pub fn s27v() -> Netlist {
+    build(S27_VLOG, SourceFormat::Verilog, "s27v")
+}
+
+/// The Verilog twin of [`s208a`], registered as `s208av`.
+#[must_use]
+pub fn s208av() -> Netlist {
+    build(S208A_VLOG, SourceFormat::Verilog, "s208av")
+}
+
+/// The Verilog twin of [`s344a`], registered as `s344av`.
+#[must_use]
+pub fn s344av() -> Netlist {
+    build(S344A_VLOG, SourceFormat::Verilog, "s344av")
+}
+
+/// b14-interface-class VHDL fixture: 32 inputs, 54 outputs, 245
+/// flip-flops, in the interface shape of ITC'99 b14.
+#[must_use]
+pub fn b14c() -> Netlist {
+    build(B14C_VHDL, SourceFormat::Vhdl, "b14c")
 }
 
 #[cfg(test)]
@@ -98,5 +136,32 @@ mod tests {
         // The pragma in s344a.bench sets S0's power-on value.
         assert!(n.ff_init_values()[0]);
         assert!(!n.ff_init_values()[1]);
+    }
+
+    #[test]
+    fn verilog_twins_match_their_bench_interfaces() {
+        for (bench, vlog) in [
+            (s27(), s27v()),
+            (s208a(), s208av()),
+            (s344a(), s344av()),
+        ] {
+            assert_eq!(bench.num_inputs(), vlog.num_inputs(), "{}", vlog.name());
+            assert_eq!(bench.num_outputs(), vlog.num_outputs(), "{}", vlog.name());
+            assert_eq!(bench.num_ffs(), vlog.num_ffs(), "{}", vlog.name());
+            assert_eq!(bench.ff_init_values(), vlog.ff_init_values(), "{}", vlog.name());
+            assert_eq!(bench.input_names(), vlog.input_names(), "{}", vlog.name());
+        }
+    }
+
+    #[test]
+    fn b14c_has_the_itc99_b14_interface() {
+        let n = b14c();
+        assert_eq!(
+            (n.num_inputs(), n.num_outputs(), n.num_ffs()),
+            (32, 54, 245),
+            "b14c"
+        );
+        // Three banks carry a non-zero power-on bit.
+        assert_eq!(n.ff_init_values().iter().filter(|&&v| v).count(), 3);
     }
 }

@@ -10,11 +10,14 @@ use crate::{fixtures, generators, small, viper};
 /// benchmark fixtures under `fixtures/` (see [`fixtures`]), imported
 /// through the `seugrade-netlist` ingestion layer — so the
 /// external-format path is exercised by every registry-driven suite.
-/// `s5378g` is the generator-produced s5378-class scale fixture
+/// The `*v` entries are their structural-Verilog twins and `b14c` is
+/// the b14-interface-class VHDL fixture (32 in, 54 out, 245 FFs), so
+/// both HDL frontends ride the same suites. `s5378g` is the
+/// generator-produced s5378-class scale fixture
 /// ([`generators::s5378_class`], 1536 flip-flops): the workload the
 /// streaming campaign core (`TracePolicy::Checkpoint`, streamed fault
 /// sources) exists for.
-pub const NAMES: [&str; 14] = [
+pub const NAMES: [&str; 18] = [
     "viper",
     "b01s",
     "b02s",
@@ -22,9 +25,13 @@ pub const NAMES: [&str; 14] = [
     "b06s",
     "b09s",
     "b13s",
+    "b14c",
     "s27",
+    "s27v",
     "s208a",
+    "s208av",
     "s344a",
+    "s344av",
     "s5378g",
     "lfsr16",
     "counter8",
@@ -50,9 +57,13 @@ pub fn build(name: &str) -> Option<Netlist> {
         "b06s" => Some(small::b06_style()),
         "b09s" => Some(small::b09_style()),
         "b13s" => Some(small::b13_style()),
+        "b14c" => Some(fixtures::b14c()),
         "s27" => Some(fixtures::s27()),
+        "s27v" => Some(fixtures::s27v()),
         "s208a" => Some(fixtures::s208a()),
+        "s208av" => Some(fixtures::s208av()),
         "s344a" => Some(fixtures::s344a()),
+        "s344av" => Some(fixtures::s344av()),
         "s5378g" => Some(generators::s5378_class()),
         "lfsr16" => Some(generators::lfsr(16, &[15, 13, 12, 10])),
         "counter8" => Some(generators::counter(8)),

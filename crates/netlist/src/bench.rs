@@ -53,14 +53,17 @@
 
 use std::collections::HashMap;
 
+use crate::ident::EmitNames;
 use crate::import::{lower, Stmt};
 use crate::{CellKind, GateKind, Netlist, NetlistError, SigId};
 
 /// Serializes a netlist to ISCAS `.bench` text — the interop emitter
 /// pairing [`parse`].
 ///
-/// Inputs are referenced by their port names; every other net uses its
-/// stable `n<i>` id. Flip-flops become `DFF(...)` statements with a
+/// Inputs are referenced by their port names (legalized through the
+/// shared escaping pass (`ident`) when they contain characters
+/// the grammar reserves); every other net uses its stable `n<i>` id.
+/// Flip-flops become `DFF(...)` statements with a
 /// `#@ init <net> 1` pragma for every non-zero power-on value, and
 /// constants become `CONST0()`/`CONST1()`. `.bench` identifies output
 /// ports with the nets they observe, so when several ports share one
@@ -84,42 +87,22 @@ pub fn emit(netlist: &Netlist) -> String {
 
 /// The `?`-based body of [`emit`], writing to any [`fmt::Write`] sink.
 fn emit_into(netlist: &Netlist, out: &mut impl std::fmt::Write) -> std::fmt::Result {
-    let input_names: HashMap<SigId, &str> = netlist
-        .inputs()
-        .iter()
-        .zip(netlist.input_names())
-        .map(|(&sig, name)| (sig, name.as_str()))
-        .collect();
-    // Internal nets are numbered `<prefix><id>`; grow the prefix until
-    // no input name can collide with it (real suites routinely name
-    // inputs `n1`, `n2`, …).
-    let mut prefix = "n".to_owned();
-    while netlist.input_names().iter().any(|name| {
-        name.strip_prefix(&prefix)
-            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
-    }) {
-        prefix.push('_');
-    }
-    let token = |sig: SigId| -> String {
-        input_names.get(&sig).map_or_else(
-            || format!("{prefix}{}", sig.index()),
-            |&name| name.to_owned(),
-        )
-    };
+    let mut names = EmitNames::new(netlist, crate::ident::bench_legal);
     writeln!(out, "# {} (emitted by seugrade-netlist)", netlist.name())?;
-    for name in netlist.input_names() {
-        writeln!(out, "INPUT({name})")?;
+    for &sig in netlist.inputs() {
+        writeln!(out, "INPUT({})", names.token(sig))?;
     }
     let mut seen_outputs: HashMap<SigId, usize> = HashMap::new();
     for (_, sig) in netlist.outputs() {
         let aliases = seen_outputs.entry(*sig).or_insert(0);
         if *aliases == 0 {
-            writeln!(out, "OUTPUT({})", token(*sig))?;
+            writeln!(out, "OUTPUT({})", names.token(*sig))?;
         } else {
             // A net may be OUTPUT once; further ports alias it through
             // a buffer.
-            let alias = format!("{}_o{aliases}", token(*sig));
-            writeln!(out, "{alias} = BUFF({})", token(*sig))?;
+            let want = format!("{}_o{aliases}", names.token(*sig));
+            let alias = names.fresh(&want);
+            writeln!(out, "{alias} = BUFF({})", names.token(*sig))?;
             writeln!(out, "OUTPUT({alias})")?;
         }
         *aliases += 1;
@@ -128,20 +111,21 @@ fn emit_into(netlist: &Netlist, out: &mut impl std::fmt::Write) -> std::fmt::Res
         match cell.kind() {
             CellKind::Input => {}
             CellKind::Const(v) => {
-                writeln!(out, "{} = CONST{}()", token(id), u8::from(v))?;
+                writeln!(out, "{} = CONST{}()", names.token(id), u8::from(v))?;
             }
             CellKind::Gate(kind) => {
                 let name = match kind {
                     GateKind::Buf => "BUFF".to_owned(),
                     k => k.mnemonic().to_ascii_uppercase(),
                 };
-                let pins: Vec<String> = cell.pins().iter().map(|&p| token(p)).collect();
-                writeln!(out, "{} = {name}({})", token(id), pins.join(", "))?;
+                let pins: Vec<String> =
+                    cell.pins().iter().map(|&p| names.token(p).to_owned()).collect();
+                writeln!(out, "{} = {name}({})", names.token(id), pins.join(", "))?;
             }
             CellKind::Dff { init } => {
-                writeln!(out, "{} = DFF({})", token(id), token(cell.pins()[0]))?;
+                writeln!(out, "{} = DFF({})", names.token(id), names.token(cell.pins()[0]))?;
                 if init {
-                    writeln!(out, "#@ init {} 1", token(id))?;
+                    writeln!(out, "#@ init {} 1", names.token(id))?;
                 }
             }
         }

@@ -1,5 +1,5 @@
-//! Structural BLIF frontend (the Berkeley Logic Interchange Format
-//! subset used by mapped benchmark netlists).
+//! Structural BLIF frontend and emitter (the Berkeley Logic Interchange
+//! Format subset used by mapped benchmark netlists).
 //!
 //! Supported directives:
 //!
@@ -66,8 +66,181 @@
 //! # Ok::<(), seugrade_netlist::NetlistError>(())
 //! ```
 
+use std::collections::HashMap;
+
+use crate::ident::EmitNames;
 use crate::import::{lower, Stmt};
-use crate::{GateKind, Netlist, NetlistError};
+use crate::{CellKind, GateKind, Netlist, NetlistError, SigId};
+
+/// Serializes a netlist to structural BLIF — the emitter pairing
+/// [`parse`], completing the crate's emit×import round-trip matrix.
+///
+/// Inputs are referenced by their port names (legalized through the
+/// shared escaping pass (`ident`) when a name would read as a
+/// directive, comment or continuation); every other net uses its stable
+/// `n<i>` id. Gates become single-gate `.names` covers (the shapes the
+/// parser's pattern matcher recognizes, so a round-trip is cell-for-cell
+/// stable for 2-input logic), flip-flops become `.latch <d> <q> re clk
+/// <init>` and constants empty/`1` covers. Wide XOR/XNOR gates — whose
+/// parity covers would need 2^(n-1) rows — are decomposed into 2-input
+/// chains, and MUX cells are emitted as their two-term sum-of-products
+/// cover; both re-import as equivalent logic. `.outputs` identifies
+/// ports by net, so when several ports share one driver the later ports
+/// go through buffer-cover aliases (swept away again on re-import) and
+/// original output port *names* are dropped, exactly as in `.bench`.
+#[must_use]
+pub fn emit(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    // Formatting into a `String` cannot fail; `emit_into` threads
+    // `fmt::Result` anyway so the body stays `?`-based with a single
+    // audited expect at this boundary instead of an unwrap per line.
+    emit_into(netlist, &mut out).expect("formatting into a String never fails");
+    out
+}
+
+/// The `?`-based body of [`emit`], writing to any [`fmt::Write`] sink.
+fn emit_into(netlist: &Netlist, out: &mut impl std::fmt::Write) -> std::fmt::Result {
+    let mut names = EmitNames::new(netlist, crate::ident::blif_legal);
+    let model = crate::ident::legalize(netlist.name(), crate::ident::blif_legal);
+    writeln!(out, "# {} (emitted by seugrade-netlist)", netlist.name())?;
+    writeln!(out, ".model {model}")?;
+    if !netlist.inputs().is_empty() {
+        let ins: Vec<&str> = netlist.inputs().iter().map(|&s| names.token(s)).collect();
+        writeln!(out, ".inputs {}", ins.join(" "))?;
+    }
+    // `.outputs` lists nets; a net may appear once, so later ports that
+    // share a driver are emitted through buffer-cover aliases.
+    let mut seen_outputs: HashMap<SigId, usize> = HashMap::new();
+    let mut out_tokens: Vec<String> = Vec::new();
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    for (_, sig) in netlist.outputs() {
+        let count = seen_outputs.entry(*sig).or_insert(0);
+        let target = names.token(*sig).to_owned();
+        if *count == 0 {
+            out_tokens.push(target);
+        } else {
+            let alias = names.fresh(&format!("{target}_o{count}"));
+            aliases.push((alias.clone(), target));
+            out_tokens.push(alias);
+        }
+        *count += 1;
+    }
+    if !out_tokens.is_empty() {
+        writeln!(out, ".outputs {}", out_tokens.join(" "))?;
+    }
+    for (id, cell) in netlist.iter_cells() {
+        match cell.kind() {
+            CellKind::Input => {}
+            CellKind::Const(v) => {
+                writeln!(out, ".names {}", names.token(id))?;
+                if v {
+                    writeln!(out, "1")?;
+                }
+            }
+            CellKind::Dff { init } => {
+                writeln!(
+                    out,
+                    ".latch {} {} re clk {}",
+                    names.token(cell.pins()[0]),
+                    names.token(id),
+                    u8::from(init)
+                )?;
+            }
+            CellKind::Gate(kind) => {
+                let pins: Vec<String> =
+                    cell.pins().iter().map(|&p| names.token(p).to_owned()).collect();
+                let target = names.token(id).to_owned();
+                emit_gate_cover(out, &mut names, kind, &pins, &target)?;
+            }
+        }
+    }
+    for (alias, target) in &aliases {
+        writeln!(out, ".names {target} {alias}")?;
+        writeln!(out, "1 1")?;
+    }
+    writeln!(out, ".end")
+}
+
+/// Emits one gate as `.names` cover(s). Everything is a single cover
+/// except wide XOR/XNOR, which would need an exponential parity cover
+/// and is chained through fresh 2-input stages instead.
+fn emit_gate_cover(
+    out: &mut impl std::fmt::Write,
+    names: &mut EmitNames,
+    kind: GateKind,
+    pins: &[String],
+    target: &str,
+) -> std::fmt::Result {
+    let n = pins.len();
+    let header =
+        |out: &mut dyn std::fmt::Write, pins: &[String], target: &str| -> std::fmt::Result {
+            writeln!(out, ".names {} {target}", pins.join(" "))
+        };
+    match kind {
+        GateKind::Buf => {
+            header(out, pins, target)?;
+            writeln!(out, "1 1")
+        }
+        GateKind::Not => {
+            header(out, pins, target)?;
+            writeln!(out, "0 1")
+        }
+        GateKind::And => {
+            header(out, pins, target)?;
+            writeln!(out, "{} 1", "1".repeat(n))
+        }
+        GateKind::Nor => {
+            header(out, pins, target)?;
+            writeln!(out, "{} 1", "0".repeat(n))
+        }
+        GateKind::Or | GateKind::Nand => {
+            // One row per input: the hot column is `1` (OR) or `0`
+            // (NAND), everything else don't-care.
+            let hot = if kind == GateKind::Or { '1' } else { '0' };
+            header(out, pins, target)?;
+            for i in 0..n {
+                let row: String =
+                    (0..n).map(|j| if j == i { hot } else { '-' }).collect();
+                writeln!(out, "{row} 1")?;
+            }
+            Ok(())
+        }
+        GateKind::Xor | GateKind::Xnor if n == 2 => {
+            header(out, pins, target)?;
+            if kind == GateKind::Xor {
+                writeln!(out, "10 1")?;
+                writeln!(out, "01 1")
+            } else {
+                writeln!(out, "11 1")?;
+                writeln!(out, "00 1")
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // Parity chain: XOR stages for all but the last pin, with
+            // the final stage carrying the (possibly inverted) kind.
+            let mut acc = pins[0].clone();
+            for (i, pin) in pins.iter().enumerate().skip(1) {
+                let last = i == n - 1;
+                let stage_kind = if last { kind } else { GateKind::Xor };
+                let stage_out = if last {
+                    target.to_owned()
+                } else {
+                    names.fresh(&format!("{target}_x{i}"))
+                };
+                let stage_pins = [acc.clone(), pin.clone()];
+                emit_gate_cover(out, names, stage_kind, &stage_pins, &stage_out)?;
+                acc = stage_out;
+            }
+            Ok(())
+        }
+        GateKind::Mux => {
+            // Pins are `[sel, d0, d1]`: d0 when sel is 0, d1 when 1.
+            header(out, pins, target)?;
+            writeln!(out, "01- 1")?;
+            writeln!(out, "1-1 1")
+        }
+    }
+}
 
 /// Synthesizes a finished cover into gate statements.
 ///
@@ -675,6 +848,72 @@ mod tests {
         let err = parse(src).unwrap_err();
         assert!(matches!(err, NetlistError::Parse { line: 3, .. }), "{err:?}");
         assert!(err.to_string().contains("declared twice"));
+    }
+
+    #[test]
+    fn emit_round_trips_every_gate_kind() {
+        let mut b = crate::NetlistBuilder::new("kinds");
+        let a = b.input("a");
+        let c = b.input("b");
+        let s = b.input("s");
+        let q = b.dff(true);
+        let g_and = b.and2(a, c);
+        let g_or = b.or2(a, c);
+        let g_nand = b.nand2(a, c);
+        let g_nor = b.nor2(a, c);
+        let g_xor = b.xor2(a, c);
+        let g_xnor = b.xnor2(a, c);
+        let g_not = b.not(a);
+        let g_mux = b.mux(s, g_and, g_or);
+        let wide_xor = b.gate(GateKind::Xor, &[a, c, s, q]);
+        let wide_xnor = b.gate(GateKind::Xnor, &[g_not, g_nand, g_nor]);
+        let k0 = b.constant(false);
+        let k1 = b.constant(true);
+        let all = b.gate(
+            GateKind::Or,
+            &[g_xor, g_xnor, g_mux, wide_xor, wide_xnor, k0, k1],
+        );
+        b.connect_dff(q, all).unwrap();
+        b.output("y", all);
+        b.output("q", q);
+        let n = b.finish().unwrap();
+        let text = emit(&n);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(back.num_inputs(), n.num_inputs());
+        assert_eq!(back.num_outputs(), n.num_outputs());
+        assert_eq!(back.ff_init_values(), n.ff_init_values());
+        crate::testutil::assert_agree(&n, &back, 0xD1CE, 16);
+    }
+
+    #[test]
+    fn emit_aliases_shared_output_nets() {
+        let mut b = crate::NetlistBuilder::new("shared");
+        let a = b.input("a");
+        let g = b.not(a);
+        b.output("y0", g);
+        b.output("y1", g);
+        b.output("y2", g);
+        let n = b.finish().unwrap();
+        let text = emit(&n);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(back.num_outputs(), 3);
+    }
+
+    #[test]
+    fn emit_escapes_hostile_net_names() {
+        // `.x` would read as a directive, `a b` would split into two
+        // tokens, `#c` would vanish as a comment.
+        let mut b = crate::NetlistBuilder::new("hostile");
+        let x = b.input(".x");
+        let y = b.input("a b");
+        let z = b.input("#c");
+        let g = b.gate(GateKind::And, &[x, y, z]);
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let text = emit(&n);
+        let back = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_gates(), 1);
     }
 
     #[test]

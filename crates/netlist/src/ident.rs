@@ -1,0 +1,223 @@
+//! Shared emitter identifier legalization.
+//!
+//! Net names that are perfectly legal in one format can be reserved or
+//! unrepresentable in another: `module` is a fine `.bench` net but a
+//! Verilog keyword, `a.b` survives SNL but a leading `.` would turn a
+//! BLIF token into a directive, and whitespace breaks every one of the
+//! line-oriented grammars. Every emitter therefore funnels its tokens
+//! through [`EmitNames`], which keeps names that are already legal and
+//! unique for the target format verbatim (so round-trips preserve real
+//! benchmark names) and deterministically rewrites the rest.
+//!
+//! The rewrite rules are:
+//!
+//! 1. characters outside `[A-Za-z0-9_]` become `_`;
+//! 2. names that are still illegal (keywords, leading digits, empty
+//!    strings) gain an `esc_` prefix — the result is alphabetic-led and
+//!    alphanumeric, which is legal in all supported formats;
+//! 3. collisions append `_2`, `_3`, … until the token is unique.
+//!
+//! Internal (non-input) nets are numbered `<prefix><id>` where the
+//! prefix starts at `n` and grows underscores until no claimed token
+//! could collide with it — the scheme the `.bench` emitter has always
+//! used, now shared by every format.
+
+use std::collections::HashSet;
+
+use crate::{CellKind, Netlist, SigId};
+
+/// Per-format token legality predicate.
+pub(crate) type Legal = fn(&str) -> bool;
+
+/// `.bench` tokens: printable ASCII without the structural characters
+/// of the grammar (`(`, `)`, `,`, `=`) or the comment introducer `#`.
+pub(crate) fn bench_legal(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_graphic() && !"(),=#".contains(c))
+}
+
+/// BLIF tokens: printable ASCII, no `#` (comment), no `\` (line
+/// continuation), and no leading `.` (would read as a directive).
+pub(crate) fn blif_legal(s: &str) -> bool {
+    !s.is_empty()
+        && !s.starts_with('.')
+        && s.chars().all(|c| c.is_ascii_graphic() && c != '#' && c != '\\')
+}
+
+/// SNL tokens: printable ASCII without the comment introducer `#`.
+/// Keywords are fine — net tokens never appear in statement-head
+/// position in the SNL grammar.
+pub(crate) fn snl_legal(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_graphic() && c != '#')
+}
+
+/// Keywords of the structural Verilog subset (plus the common reserved
+/// words a downstream Verilog tool would trip over).
+const VLOG_KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "inout", "wire", "reg", "assign",
+    "and", "or", "nand", "nor", "xor", "xnor", "not", "buf", "mux", "dff",
+    "begin", "end", "always", "initial", "if", "else", "case", "endcase",
+    "posedge", "negedge", "parameter", "supply0", "supply1",
+];
+
+/// Verilog simple identifiers: `[A-Za-z_][A-Za-z0-9_$]*`, not a keyword.
+pub(crate) fn vlog_legal(s: &str) -> bool {
+    let mut chars = s.chars();
+    let head_ok = matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_');
+    head_ok
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+        && !VLOG_KEYWORDS.contains(&s)
+}
+
+/// Legalizes one free-standing name (a model/module name, outside any
+/// net namespace).
+pub(crate) fn legalize(raw: &str, legal: Legal) -> String {
+    if legal(raw) {
+        return raw.to_owned();
+    }
+    let mut t: String = raw
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if !legal(&t) {
+        t = format!("esc_{t}");
+    }
+    debug_assert!(legal(&t), "legalization failed for `{raw}`");
+    t
+}
+
+/// A per-emitter mapping from signals to target-format tokens.
+pub(crate) struct EmitNames {
+    tokens: Vec<String>,
+    used: HashSet<String>,
+    legal: Legal,
+}
+
+impl EmitNames {
+    /// Plans tokens for every cell of `netlist`: inputs keep their port
+    /// names where legal and unique, everything else is `<prefix><id>`.
+    pub(crate) fn new(netlist: &Netlist, legal: Legal) -> Self {
+        let mut this = EmitNames {
+            tokens: Vec::with_capacity(netlist.num_cells()),
+            used: HashSet::new(),
+            legal,
+        };
+        let input_tokens: Vec<String> = netlist
+            .input_names()
+            .iter()
+            .map(|name| this.fresh(name))
+            .collect();
+
+        // Internal nets are numbered `<prefix><id>`; grow the prefix
+        // until no claimed token can collide with it (real suites
+        // routinely name inputs `n1`, `n2`, …).
+        let mut prefix = "n".to_owned();
+        while this.used.iter().any(|t| {
+            t.strip_prefix(&prefix)
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+        }) {
+            prefix.push('_');
+        }
+
+        for (id, cell) in netlist.iter_cells() {
+            let token = if matches!(cell.kind(), CellKind::Input) {
+                let pos = netlist
+                    .inputs()
+                    .iter()
+                    .position(|&i| i == id)
+                    .expect("input cell is registered as an input");
+                input_tokens[pos].clone()
+            } else {
+                let t = format!("{prefix}{}", id.index());
+                this.used.insert(t.clone());
+                t
+            };
+            this.tokens.push(token);
+        }
+        this
+    }
+
+    /// The planned token for a signal.
+    pub(crate) fn token(&self, sig: SigId) -> &str {
+        &self.tokens[sig.index()]
+    }
+
+    /// Claims one more token (an output-port alias, a synthesized
+    /// intermediate net): `want` is kept when legal and unused, and
+    /// legalized/deduplicated otherwise.
+    pub(crate) fn fresh(&mut self, want: &str) -> String {
+        let base = legalize(want, self.legal);
+        let mut candidate = base.clone();
+        let mut k = 2;
+        while !self.used.insert(candidate.clone()) {
+            candidate = format!("{base}_{k}");
+            k += 1;
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    #[test]
+    fn legality_predicates() {
+        assert!(bench_legal("G17") && !bench_legal("a,b") && !bench_legal("a b"));
+        assert!(!bench_legal("x=y") && !bench_legal("") && !bench_legal("a#b"));
+        assert!(blif_legal("n1") && !blif_legal(".names") && !blif_legal("a\\b"));
+        assert!(snl_legal("a.b$c") && !snl_legal("a b") && !snl_legal("#x"));
+        assert!(vlog_legal("_q$1") && !vlog_legal("module") && !vlog_legal("2x"));
+        assert!(!vlog_legal("a.b") && !vlog_legal(""));
+    }
+
+    #[test]
+    fn legal_names_survive_untouched() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("G0");
+        let g = b.not(a);
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let names = EmitNames::new(&n, vlog_legal);
+        assert_eq!(names.token(n.inputs()[0]), "G0");
+        assert_eq!(names.token(g), "n1");
+    }
+
+    #[test]
+    fn keywords_and_illegal_chars_are_rewritten() {
+        let mut b = NetlistBuilder::new("t");
+        let m = b.input("module");
+        let w = b.input("a b");
+        let g = b.and2(m, w);
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let names = EmitNames::new(&n, vlog_legal);
+        assert_eq!(names.token(n.inputs()[0]), "esc_module");
+        assert_eq!(names.token(n.inputs()[1]), "a_b");
+        // The same names are fine in `.bench`, so they stay put there.
+        let names = EmitNames::new(&n, bench_legal);
+        assert_eq!(names.token(n.inputs()[0]), "module");
+        assert_eq!(names.token(n.inputs()[1]), "a_b");
+    }
+
+    #[test]
+    fn collisions_get_numeric_suffixes_and_prefix_grows() {
+        let mut b = NetlistBuilder::new("t");
+        // `a b` and `a.b` both sanitize to `a_b`; `n2` forces the
+        // internal prefix away from bare `n`.
+        let x = b.input("a b");
+        let y = b.input("a.b");
+        let z = b.input("n2");
+        let g = b.gate(crate::GateKind::And, &[x, y, z]);
+        b.output("y", g);
+        let n = b.finish().unwrap();
+        let mut names = EmitNames::new(&n, vlog_legal);
+        assert_eq!(names.token(x), "a_b");
+        assert_eq!(names.token(y), "a_b_2");
+        assert_eq!(names.token(z), "n2");
+        assert_eq!(names.token(g), "n_3");
+        // Fresh claims dodge everything already planned.
+        assert_eq!(names.fresh("a_b"), "a_b_3");
+        assert_eq!(names.fresh("ok"), "ok");
+    }
+}

@@ -3,8 +3,10 @@
 //!
 //! This module is the common back half of every textual frontend in the
 //! crate — the native [SNL format](crate::text), the ISCAS'85/'89
-//! [`.bench` format](crate::bench) and the [structural BLIF
-//! subset](crate::blif). Each frontend tokenizes its own surface syntax
+//! [`.bench` format](crate::bench), the [structural BLIF
+//! subset](crate::blif), the [structural Verilog subset](crate::vlog)
+//! and the [ITC'99-style VHDL subset](crate::vhdl). Each frontend
+//! tokenizes its own surface syntax
 //! into the shared statement IR (`Stmt`, crate-internal) and hands it
 //! to the one lowering path, which:
 //!
@@ -249,7 +251,7 @@ pub(crate) fn lower(
 
 /// The on-disk netlist formats the import layer understands.
 ///
-/// Grammars for all three are specified in `docs/FORMATS.md`.
+/// Grammars for all five are specified in `docs/FORMATS.md`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SourceFormat {
     /// The crate's native line-based format ([`crate::text`]).
@@ -258,11 +260,16 @@ pub enum SourceFormat {
     Bench,
     /// Structural BLIF subset ([`crate::blif`]).
     Blif,
+    /// Structural Verilog subset ([`crate::vlog`]).
+    Verilog,
+    /// ITC'99-style VHDL subset ([`crate::vhdl`], import only).
+    Vhdl,
 }
 
 impl SourceFormat {
-    /// Guesses the format from a file extension (`snl`, `bench`, `blif`;
-    /// case-insensitive). Returns `None` for anything else.
+    /// Guesses the format from a file extension (`snl`, `bench`, `blif`,
+    /// `v`/`vlog`, `vhd`/`vhdl`; case-insensitive). Returns `None` for
+    /// anything else.
     #[must_use]
     pub fn from_extension(path: &Path) -> Option<Self> {
         let ext = path.extension()?.to_str()?.to_ascii_lowercase();
@@ -270,14 +277,19 @@ impl SourceFormat {
             "snl" => Some(SourceFormat::Snl),
             "bench" => Some(SourceFormat::Bench),
             "blif" => Some(SourceFormat::Blif),
+            "v" | "vlog" => Some(SourceFormat::Verilog),
+            "vhd" | "vhdl" => Some(SourceFormat::Vhdl),
             _ => None,
         }
     }
 
     /// Guesses the format from file contents.
     ///
-    /// BLIF files start their first non-comment line with a `.` keyword;
-    /// `.bench` files use `INPUT(`/`OUTPUT(`/`=` assignments; everything
+    /// The first non-blank, non-`#`-comment line decides: a `//` or
+    /// `/*` comment or a leading `module` keyword means Verilog; a `--`
+    /// comment or a leading `entity`/`library`/`use`/`architecture`
+    /// keyword (case-insensitive) means VHDL; a `.` keyword means BLIF;
+    /// `INPUT(`/`OUTPUT(`/`=` assignments mean `.bench`; everything
     /// else is assumed to be SNL.
     #[must_use]
     pub fn sniff(src: &str) -> Self {
@@ -286,8 +298,24 @@ impl SourceFormat {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
+            if line.starts_with("//") || line.starts_with("/*") {
+                return SourceFormat::Verilog;
+            }
+            if line.starts_with("--") {
+                return SourceFormat::Vhdl;
+            }
             if line.starts_with('.') {
                 return SourceFormat::Blif;
+            }
+            let first = line.split_whitespace().next().unwrap_or("");
+            if first == "module" {
+                return SourceFormat::Verilog;
+            }
+            if ["entity", "library", "use", "architecture"]
+                .iter()
+                .any(|kw| first.eq_ignore_ascii_case(kw))
+            {
+                return SourceFormat::Vhdl;
             }
             if line.contains('=')
                 || line.to_ascii_uppercase().starts_with("INPUT(")
@@ -300,23 +328,28 @@ impl SourceFormat {
         SourceFormat::Snl
     }
 
-    /// Lower-case label (`snl`, `bench`, `blif`).
+    /// Lower-case label (`snl`, `bench`, `blif`, `verilog`, `vhdl`).
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             SourceFormat::Snl => "snl",
             SourceFormat::Bench => "bench",
             SourceFormat::Blif => "blif",
+            SourceFormat::Verilog => "verilog",
+            SourceFormat::Vhdl => "vhdl",
         }
     }
 
-    /// Parses a label produced by [`label`](Self::label).
+    /// Parses a label produced by [`label`](Self::label); the file
+    /// extensions (`v`, `vlog`, `vhd`) are accepted as aliases.
     #[must_use]
     pub fn from_label(s: &str) -> Option<Self> {
         match s {
             "snl" => Some(SourceFormat::Snl),
             "bench" => Some(SourceFormat::Bench),
             "blif" => Some(SourceFormat::Blif),
+            "verilog" | "v" | "vlog" => Some(SourceFormat::Verilog),
+            "vhdl" | "vhd" => Some(SourceFormat::Vhdl),
             _ => None,
         }
     }
@@ -408,6 +441,8 @@ pub fn import_str_with(
         SourceFormat::Snl => crate::text::parse(src)?,
         SourceFormat::Bench => crate::bench::parse(src)?,
         SourceFormat::Blif => crate::blif::parse(src)?,
+        SourceFormat::Verilog => crate::vlog::parse(src)?,
+        SourceFormat::Vhdl => crate::vhdl::parse(src)?,
     };
     let parsed_cells = parsed.num_cells();
     let (netlist, swept_buffers) = if options.sweep_buffers {
@@ -653,14 +688,29 @@ mod tests {
             SourceFormat::from_extension(Path::new("x.snl")),
             Some(SourceFormat::Snl)
         );
-        assert_eq!(SourceFormat::from_extension(Path::new("x.v")), None);
+        assert_eq!(
+            SourceFormat::from_extension(Path::new("x.v")),
+            Some(SourceFormat::Verilog)
+        );
+        assert_eq!(
+            SourceFormat::from_extension(Path::new("x.VHD")),
+            Some(SourceFormat::Vhdl)
+        );
+        assert_eq!(SourceFormat::from_extension(Path::new("x.edif")), None);
         assert_eq!(SourceFormat::sniff(".model m\n.end\n"), SourceFormat::Blif);
         assert_eq!(SourceFormat::sniff("# c\nINPUT(a)\n"), SourceFormat::Bench);
         assert_eq!(SourceFormat::sniff("g = AND(a, b)\n"), SourceFormat::Bench);
         assert_eq!(SourceFormat::sniff("model m\nend\n"), SourceFormat::Snl);
         assert_eq!(SourceFormat::sniff(""), SourceFormat::Snl);
+        assert_eq!(SourceFormat::sniff("// hdl\nmodule m;\n"), SourceFormat::Verilog);
+        assert_eq!(SourceFormat::sniff("module m (a);\n"), SourceFormat::Verilog);
+        assert_eq!(SourceFormat::sniff("-- hdl\nentity e is\n"), SourceFormat::Vhdl);
+        assert_eq!(SourceFormat::sniff("LIBRARY ieee;\n"), SourceFormat::Vhdl);
+        assert_eq!(SourceFormat::sniff("entity e is\n"), SourceFormat::Vhdl);
         assert_eq!(SourceFormat::from_label("blif"), Some(SourceFormat::Blif));
-        assert_eq!(SourceFormat::from_label("vhdl"), None);
+        assert_eq!(SourceFormat::from_label("vhdl"), Some(SourceFormat::Vhdl));
+        assert_eq!(SourceFormat::from_label("v"), Some(SourceFormat::Verilog));
+        assert_eq!(SourceFormat::from_label("edif"), None);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //!   combinational cells with cycle detection;
 //! - [`NetlistStats`] — cell inventories, depth and size metrics;
 //! - a line-based [text format](text) with a parser and an emitter;
-//! - benchmark-netlist frontends for ISCAS [`.bench`](mod@bench) and the
-//!   structural [BLIF subset](blif), plus the shared [`import`] layer
-//!   (format detection, buffer sweeping, import statistics) — the
-//!   on-disk grammars are specified in `docs/FORMATS.md`;
+//! - benchmark-netlist frontends for ISCAS [`.bench`](mod@bench), the
+//!   structural [BLIF subset](blif), a structural [Verilog
+//!   subset](vlog) and an ITC'99-style [VHDL subset](vhdl), plus the
+//!   shared [`import`] layer (format detection, buffer sweeping, import
+//!   statistics) — the on-disk grammars are specified in
+//!   `docs/FORMATS.md`;
 //! - [DOT export](Netlist::to_dot) for visualisation;
 //! - [cone pruning](Netlist::pruned) that removes logic not observable at
 //!   any primary output.
@@ -54,12 +56,17 @@ mod cell;
 mod dot;
 mod error;
 mod id;
+mod ident;
 pub mod import;
 mod levelize;
 mod netlist;
 mod prune;
 mod stats;
+#[cfg(test)]
+mod testutil;
 pub mod text;
+pub mod vhdl;
+pub mod vlog;
 
 pub use builder::NetlistBuilder;
 pub use cell::{Cell, CellKind, GateKind};

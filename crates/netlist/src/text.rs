@@ -38,6 +38,7 @@
 
 use std::fmt::Write as _;
 
+use crate::ident::EmitNames;
 use crate::import::{lower, Stmt};
 use crate::{CellKind, GateKind, Netlist, NetlistError, SigId};
 
@@ -49,19 +50,17 @@ use crate::{CellKind, GateKind, Netlist, NetlistError, SigId};
 #[must_use]
 pub fn emit(netlist: &Netlist) -> String {
     let mut out = String::new();
-    let token = |sig: SigId| -> String {
-        // Inputs are referenced by their port name (that is the net the
-        // parser declares); all other nets use stable `n<i>` ids, with
-        // debug names kept as trailing comments for readability.
-        if let Some(pos) = netlist.inputs().iter().position(|&i| i == sig) {
-            netlist.input_names()[pos].clone()
-        } else {
-            sig.to_string()
-        }
-    };
-    writeln!(out, "model {}", netlist.name()).unwrap();
-    for name in netlist.input_names() {
-        writeln!(out, "input {name}").unwrap();
+    // Inputs are referenced by their port name (that is the net the
+    // parser declares); all other nets use stable `n<i>` ids, with
+    // debug names kept as trailing comments for readability. Tokens go
+    // through the shared legalization pass (crate::ident) so names with
+    // whitespace or `#` cannot corrupt the emitted grammar.
+    let names = EmitNames::new(netlist, crate::ident::snl_legal);
+    let token = |sig: SigId| -> String { names.token(sig).to_owned() };
+    writeln!(out, "model {}", crate::ident::legalize(netlist.name(), crate::ident::snl_legal))
+        .unwrap();
+    for &sig in netlist.inputs() {
+        writeln!(out, "input {}", token(sig)).unwrap();
     }
     for (id, cell) in netlist.iter_cells() {
         let comment = netlist
@@ -97,7 +96,10 @@ pub fn emit(netlist: &Netlist) -> String {
         }
     }
     for (name, sig) in netlist.outputs() {
-        writeln!(out, "output {name} {}", token(*sig)).unwrap();
+        // Port names live in their own namespace; legalize without
+        // renaming away legitimate overlaps with net tokens.
+        let port = crate::ident::legalize(name, crate::ident::snl_legal);
+        writeln!(out, "output {port} {}", token(*sig)).unwrap();
     }
     writeln!(out, "end").unwrap();
     out

@@ -146,7 +146,9 @@ impl JobSpec {
                     .and_then(Value::as_str)
                     .ok_or_else(|| bad("job.netlist.format must be a string".to_owned()))?;
                 let format = SourceFormat::from_label(format_label).ok_or_else(|| {
-                    bad(format!("job.netlist.format expects bench|blif|snl, got {format_label:?}"))
+                    bad(format!(
+                        "job.netlist.format expects bench|blif|snl|verilog|vhdl, got {format_label:?}"
+                    ))
                 })?;
                 let source = inline
                     .get("source")
@@ -465,7 +467,7 @@ mod tests {
             r#"{"cmd":"submit"}"#,
             r#"{"cmd":"submit","job":{"circuit":"s27","netlist":{}}}"#,
             r#"{"cmd":"submit","job":{"circuit":"s27","vectors":0}}"#,
-            r#"{"cmd":"submit","job":{"netlist":{"format":"vhdl","source":""}}}"#,
+            r#"{"cmd":"submit","job":{"netlist":{"format":"edif","source":""}}}"#,
         ] {
             let err = parse_request(bad).unwrap_err();
             assert!(!err.msg.is_empty(), "{bad:?}");

@@ -1,0 +1,63 @@
+// s208a — Verilog twin of s208a.bench (10 inputs, 1 output, 8
+// flip-flops): an 8-bit synchronous counter with enable (EN) and
+// synchronous clear (CLR), compared against D0..D7 by the single
+// comparator output CMP.
+module s208a (EN, CLR, D0, D1, D2, D3, D4, D5, D6, D7, CMP);
+  input EN, CLR, D0, D1, D2, D3, D4, D5, D6, D7;
+  output CMP;
+  wire Q0, Q1, Q2, Q3, Q4, Q5, Q6, Q7;
+  wire NCLR;
+  wire T0, T1, T2, T3, T4, T5, T6, T7;
+  wire C1, C2, C3, C4, C5, C6, C7;
+  wire N0, N1, N2, N3, N4, N5, N6, N7;
+  wire X0, X1, X2, X3, X4, X5, X6, X7;
+
+  dff (Q0, N0);
+  dff (Q1, N1);
+  dff (Q2, N2);
+  dff (Q3, N3);
+  dff (Q4, N4);
+  dff (Q5, N5);
+  dff (Q6, N6);
+  dff (Q7, N7);
+
+  not (NCLR, CLR);
+
+  // Ripple-carry increment, gated by EN.
+  xor (T0, Q0, EN);
+  and (C1, Q0, EN);
+  xor (T1, Q1, C1);
+  and (C2, Q1, C1);
+  xor (T2, Q2, C2);
+  and (C3, Q2, C2);
+  xor (T3, Q3, C3);
+  and (C4, Q3, C3);
+  xor (T4, Q4, C4);
+  and (C5, Q4, C4);
+  xor (T5, Q5, C5);
+  and (C6, Q5, C5);
+  xor (T6, Q6, C6);
+  and (C7, Q6, C6);
+  xor (T7, Q7, C7);
+
+  // Synchronous clear.
+  and (N0, T0, NCLR);
+  and (N1, T1, NCLR);
+  and (N2, T2, NCLR);
+  and (N3, T3, NCLR);
+  and (N4, T4, NCLR);
+  and (N5, T5, NCLR);
+  and (N6, T6, NCLR);
+  and (N7, T7, NCLR);
+
+  // Comparator: CMP is high when the count equals D7..D0.
+  xnor (X0, Q0, D0);
+  xnor (X1, Q1, D1);
+  xnor (X2, Q2, D2);
+  xnor (X3, Q3, D3);
+  xnor (X4, Q4, D4);
+  xnor (X5, Q5, D5);
+  xnor (X6, Q6, D6);
+  xnor (X7, Q7, D7);
+  and (CMP, X0, X1, X2, X3, X4, X5, X6, X7);
+endmodule

@@ -1,0 +1,24 @@
+// s27 — the standard ISCAS'89 s27 netlist (4 inputs, 1 output,
+// 3 flip-flops), hand-translated to the structural Verilog subset.
+// Twin of s27.bench / s27.blif; the ingest_roundtrip suite proves the
+// trio sim-equivalent.
+module s27 (G0, G1, G2, G3, G17);
+  input G0, G1, G2, G3;
+  output G17;
+  wire G5, G6, G7, G8, G9, G10, G11, G12, G13, G14, G15, G16;
+
+  dff q5 (G5, G10);
+  dff q6 (G6, G11);
+  dff q7 (G7, G13);
+
+  not u14 (G14, G0);
+  not u17 (G17, G11);
+  and u8 (G8, G14, G6);
+  or u15 (G15, G12, G8);
+  or u16 (G16, G3, G8);
+  nand u9 (G9, G16, G15);
+  nor u10 (G10, G14, G11);
+  nor u11 (G11, G5, G9);
+  nor u12 (G12, G1, G7);
+  nor u13 (G13, G2, G12);
+endmodule

@@ -1,0 +1,94 @@
+// s344a — Verilog twin of s344a.bench (9 inputs, 11 outputs, 15
+// flip-flops): a 15-bit loadable LFSR whose taps feed a bank of
+// pairwise-XOR observers plus parity, zero-detect and a two-tap AND
+// output. S0 powers up at 1 (via the `(* init *)` attribute) so the
+// free-running register does not stick at zero.
+module s344a (LD, X0, X1, X2, X3, X4, X5, X6, X7,
+              Y0, Y1, Y2, Y3, Y4, Y5, Y6, Y7, P, Z, M);
+  input LD, X0, X1, X2, X3, X4, X5, X6, X7;
+  output Y0, Y1, Y2, Y3, Y4, Y5, Y6, Y7, P, Z, M;
+  wire S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11, S12, S13, S14;
+  wire NLD, FB;
+  wire A0, A1, A2, A3, A4, A5, A6, A7, A8, A9, A10, A11, A12, A13, A14;
+  wire B0, B1, B2, B3, B4, B5, B6, B7, B8, B9, B10, B11, B12, B13, B14;
+  wire N0, N1, N2, N3, N4, N5, N6, N7, N8, N9, N10, N11, N12, N13, N14;
+
+  (* init = 1'b1 *) dff (S0, N0);
+  dff (S1, N1);
+  dff (S2, N2);
+  dff (S3, N3);
+  dff (S4, N4);
+  dff (S5, N5);
+  dff (S6, N6);
+  dff (S7, N7);
+  dff (S8, N8);
+  dff (S9, N9);
+  dff (S10, N10);
+  dff (S11, N11);
+  dff (S12, N12);
+  dff (S13, N13);
+  dff (S14, N14);
+
+  not (NLD, LD);
+  xor (FB, S14, S12, S10, S7);
+
+  // Load path (A*) vs shift path (B*), merged per bit.
+  and (A0, LD, X0);
+  and (B0, NLD, FB);
+  or (N0, A0, B0);
+  and (A1, LD, X1);
+  and (B1, NLD, S0);
+  or (N1, A1, B1);
+  and (A2, LD, X2);
+  and (B2, NLD, S1);
+  or (N2, A2, B2);
+  and (A3, LD, X3);
+  and (B3, NLD, S2);
+  or (N3, A3, B3);
+  and (A4, LD, X4);
+  and (B4, NLD, S3);
+  or (N4, A4, B4);
+  and (A5, LD, X5);
+  and (B5, NLD, S4);
+  or (N5, A5, B5);
+  and (A6, LD, X6);
+  and (B6, NLD, S5);
+  or (N6, A6, B6);
+  and (A7, LD, X7);
+  and (B7, NLD, S6);
+  or (N7, A7, B7);
+  and (A8, LD, X0);
+  and (B8, NLD, S7);
+  or (N8, A8, B8);
+  and (A9, LD, X1);
+  and (B9, NLD, S8);
+  or (N9, A9, B9);
+  and (A10, LD, X2);
+  and (B10, NLD, S9);
+  or (N10, A10, B10);
+  and (A11, LD, X3);
+  and (B11, NLD, S10);
+  or (N11, A11, B11);
+  and (A12, LD, X4);
+  and (B12, NLD, S11);
+  or (N12, A12, B12);
+  and (A13, LD, X5);
+  and (B13, NLD, S12);
+  or (N13, A13, B13);
+  and (A14, LD, X6);
+  and (B14, NLD, S13);
+  or (N14, A14, B14);
+
+  // Observers.
+  xor (Y0, S0, S7);
+  xor (Y1, S1, S8);
+  xor (Y2, S2, S9);
+  xor (Y3, S3, S10);
+  xor (Y4, S4, S11);
+  xor (Y5, S5, S12);
+  xor (Y6, S6, S13);
+  xor (Y7, S7, S14);
+  xor (P, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11, S12, S13, S14);
+  nor (Z, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11, S12, S13, S14);
+  and (M, S14, S0);
+endmodule

@@ -1,14 +1,15 @@
 //! Hostile-input fuzzing: every grammar the workspace reads —
 //! `seugrade-campaign-ckpt/v1` checkpoints, ISCAS `.bench`, structural
-//! BLIF, and the `seugrade-serve/v1` wire protocol — must reject
-//! truncated or mutated input with a structured, line-numbered error.
-//! Never a panic, never partial state (a rejected checkpoint resumes
-//! nothing; a rejected netlist builds nothing; a rejected request
-//! creates no job and leaves the connection open).
+//! BLIF, structural Verilog, the VHDL subset, and the
+//! `seugrade-serve/v1` wire protocol — must reject truncated or
+//! mutated input with a structured, line-numbered error. Never a
+//! panic, never partial state (a rejected checkpoint resumes nothing;
+//! a rejected netlist builds nothing; a rejected request creates no
+//! job and leaves the connection open).
 
 use proptest::prelude::*;
 use seugrade::prelude::*;
-use seugrade_netlist::{bench, blif};
+use seugrade_netlist::{bench, blif, vhdl, vlog};
 
 /// A real checkpoint, produced by an interrupted engine run rather than
 /// hand-assembled, so the fuzz targets exactly what `grade --checkpoint`
@@ -74,6 +75,60 @@ const BLIF_SRC: &str = "\
 01 1
 10 1
 .end
+";
+
+/// A structural-Verilog source exercising every statement form the
+/// subset accepts: block and line comments, an `(* init *)` attribute,
+/// instance names, a wide gate, a mux and constant/alias assigns.
+const VLOG_SRC: &str = "\
+// toggle with trimmings
+/* block
+   comment */
+module trimmings (en, ld, q, k);
+  input en, ld;
+  output q, k;
+  wire s, ns, d, m;
+
+  (* init = 1'b1 *) dff (s, d);
+  not u0 (ns, s);
+  mux (m, en, s, ns);
+  and u1 (d, m, ld, en);
+  assign q = s;
+  assign k = 1'b0;
+endmodule
+";
+
+/// A VHDL-subset source exercising the whole grammar: library/use
+/// clauses, port defaults, signal declarations, operator chains with
+/// parentheses, and a clocked process in the `rising_edge` form.
+const VHDL_SRC: &str = "\
+-- toggle with trimmings
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity trimmings is
+  port (
+    clk : in std_logic;
+    en  : in std_logic;
+    q   : out std_logic
+  );
+end entity;
+
+architecture rtl of trimmings is
+  signal s  : std_logic := '1';
+  signal ns : std_logic;
+  signal d  : std_logic;
+begin
+  ns <= not s;
+  d  <= (en and ns) or (not en and s);
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      s <= d;
+    end if;
+  end process;
+  q <= s;
+end architecture rtl;
 ";
 
 /// Truncating anywhere must yield `Ok` (a shorter-but-valid prefix) or a
@@ -174,6 +229,96 @@ proptest! {
             if let Some(line) = e.line() {
                 prop_assert!(line <= lines_in(&text) + 1, "{e}");
             }
+        }
+    }
+
+    #[test]
+    fn truncated_verilog_sources_never_panic(cut in 0usize..1000) {
+        let cut = cut % VLOG_SRC.len();
+        if let Err(e) = vlog::parse(&VLOG_SRC[..cut]) {
+            let line = e.line().expect("Verilog rejections carry a line");
+            prop_assert!(line <= lines_in(&VLOG_SRC[..cut]) + 1, "{e}");
+        }
+    }
+
+    #[test]
+    fn mutated_verilog_sources_never_panic(pos in 0usize..1000, byte in 32u8..127) {
+        let pos = pos % VLOG_SRC.len();
+        let mut bytes = VLOG_SRC.as_bytes().to_vec();
+        bytes[pos] = byte;
+        let text = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        if let Err(e) = vlog::parse(&text) {
+            let line = e.line().expect("Verilog rejections carry a line");
+            prop_assert!(line <= lines_in(&text) + 1, "{e}");
+        }
+    }
+
+    #[test]
+    fn garbage_verilog_sources_are_rejected_with_a_line(
+        bytes in proptest::collection::vec(32u8..127, 0..200usize)
+    ) {
+        // Random printable bytes essentially never spell a module; when
+        // they are rejected, the diagnostic must stay in range.
+        let garbage = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        if let Err(e) = vlog::parse(&garbage) {
+            let line = e.line().expect("Verilog rejections carry a line");
+            prop_assert!(line <= lines_in(&garbage) + 1, "{e}");
+        }
+    }
+
+    #[test]
+    fn truncated_vhdl_sources_never_panic(cut in 0usize..1000) {
+        let cut = cut % VHDL_SRC.len();
+        if let Err(e) = vhdl::parse(&VHDL_SRC[..cut]) {
+            let line = e.line().expect("VHDL rejections carry a line");
+            prop_assert!(line <= lines_in(&VHDL_SRC[..cut]) + 1, "{e}");
+        }
+    }
+
+    #[test]
+    fn mutated_vhdl_sources_never_panic(pos in 0usize..1000, byte in 32u8..127) {
+        let pos = pos % VHDL_SRC.len();
+        let mut bytes = VHDL_SRC.as_bytes().to_vec();
+        bytes[pos] = byte;
+        let text = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        if let Err(e) = vhdl::parse(&text) {
+            let line = e.line().expect("VHDL rejections carry a line");
+            prop_assert!(line <= lines_in(&text) + 1, "{e}");
+        }
+    }
+
+    #[test]
+    fn garbage_vhdl_sources_are_rejected_with_a_line(
+        bytes in proptest::collection::vec(32u8..127, 0..200usize)
+    ) {
+        let garbage = String::from_utf8(bytes).expect("ASCII stays ASCII");
+        if let Err(e) = vhdl::parse(&garbage) {
+            let line = e.line().expect("VHDL rejections carry a line");
+            prop_assert!(line <= lines_in(&garbage) + 1, "{e}");
+        }
+    }
+
+    #[test]
+    fn vhdl_paren_bombs_are_rejected_not_overflowed(depth in 30usize..400) {
+        // Expression nesting past the parser's depth bound must be a
+        // structured error, not a stack overflow. (The unit tests push
+        // this to 100 000 parentheses; here the property is that the
+        // boundary itself is exact.)
+        let bomb = format!(
+            "entity b is port (a : in bit; y : out bit); end entity;\n\
+             architecture rtl of b is begin\n\
+             y <= {}a{};\n\
+             end architecture;\n",
+            "(".repeat(depth),
+            ")".repeat(depth),
+        );
+        let result = vhdl::parse(&bomb);
+        if depth > 64 {
+            let e = result.expect_err("nesting past the bound must be rejected");
+            prop_assert!(e.to_string().contains("nested deeper"), "{e}");
+            prop_assert_eq!(e.line(), Some(3));
+        } else {
+            prop_assert!(result.is_ok(), "nesting within the bound must parse");
         }
     }
 
@@ -304,6 +449,28 @@ fn hostile_lines_on_a_live_connection_get_line_numbered_errors() {
 
     drop(server);
     let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn hdl_fuzz_exemplars_parse() {
+    // Guard: the sources the HDL batteries mutate must themselves be
+    // valid (and behaviourally identical), or the fuzzing is vacuous.
+    let v = vlog::parse(VLOG_SRC).expect("Verilog exemplar parses");
+    let h = vhdl::parse(VHDL_SRC).expect("VHDL exemplar parses");
+    assert_eq!(v.num_ffs(), 1);
+    assert_eq!(h.num_ffs(), 1);
+    assert_eq!(h.ff_init_values(), vec![true]);
+}
+
+#[test]
+fn unterminated_verilog_block_comment_is_a_structured_error() {
+    // A `/*` that swallows the rest of the file — the classic
+    // truncation hazard for the Verilog lexer — must be rejected at
+    // the line the comment opened on.
+    let src = "module m (a, y);\n  input a;\n  output y;\n  /* swallowed\n  buf (y, a);\n";
+    let e = vlog::parse(src).expect_err("unterminated comment");
+    assert_eq!(e.line(), Some(4), "{e}");
+    assert!(e.to_string().contains("comment"), "{e}");
 }
 
 #[test]

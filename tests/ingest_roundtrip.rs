@@ -1,12 +1,18 @@
 //! Ingestion round-trip and equivalence suite.
 //!
-//! Proves the three on-disk formats (`docs/FORMATS.md`) agree with each
+//! Proves the five on-disk formats (`docs/FORMATS.md`) agree with each
 //! other and with the engine:
 //!
 //! - every bundled `.bench` fixture survives `.bench` → [`Netlist`] →
 //!   SNL `emit` → `parse` with identical structure and behaviour;
-//! - the hand-translated BLIF twin of s27 is sim-equivalent to the
-//!   `.bench` original, and grades to bit-identical fault verdicts;
+//! - the hand-translated BLIF and Verilog twins of the fixtures are
+//!   sim-equivalent to the `.bench` originals, and grade to
+//!   bit-identical fault verdicts;
+//! - every registry circuit survives emit → import through every
+//!   emitted format (`.bench`, `.blif`, `.snl`, `.v`) with identical
+//!   verdict digests;
+//! - lying file extensions resolve to a clear diagnostic, and
+//!   extensionless content is classified by the sniffer;
 //! - malformed inputs fail with located errors in every frontend;
 //! - `repro -- grade`'s campaign path (exhaustive fault space on an
 //!   imported netlist) is thread-count invariant.
@@ -96,29 +102,83 @@ fn imported_campaigns_are_thread_count_invariant() {
 }
 
 #[test]
-fn bench_emit_import_round_trip_is_equivalent_for_every_registry_circuit() {
-    // The `.bench` emitter satellite: `import → emit → import` must be
-    // sim-equivalent for every registered circuit, including the
-    // RTL-elaborated Viper, the imported fixtures and the s5378-class
-    // generator mesh.
+fn every_emitter_round_trips_every_registry_circuit() {
+    // The emitter-matrix acceptance criterion: `import → emit → import`
+    // must be sim-equivalent for every registered circuit — including
+    // the RTL-elaborated Viper, the imported HDL fixtures and the
+    // s5378-class generator mesh — through every format the workspace
+    // can write. (`tests/format_fuzz.rs` additionally proves the same
+    // matrix preserves per-fault verdict digests.)
     for name in registry::NAMES {
         let circuit = registry::build(name).expect("registered");
-        let text = seugrade_netlist::bench::emit(&circuit);
-        let back = import::import_str(&text, SourceFormat::Bench)
-            .unwrap_or_else(|e| panic!("{name} re-import: {e}"))
-            .netlist;
-        assert_eq!(back.num_inputs(), circuit.num_inputs(), "{name}");
-        assert_eq!(back.num_outputs(), circuit.num_outputs(), "{name}");
-        assert_eq!(back.num_ffs(), circuit.num_ffs(), "{name}");
-        assert_eq!(back.ff_init_values(), circuit.ff_init_values(), "{name}");
-        let cycles = if circuit.num_ffs() > 1000 { 8 } else { 48 };
-        equiv_check(&circuit, &back, cycles, 4).unwrap_or_else(|cex| panic!("{name}: {cex}"));
+        let emitted = [
+            (SourceFormat::Bench, seugrade_netlist::bench::emit(&circuit)),
+            (SourceFormat::Blif, seugrade_netlist::blif::emit(&circuit)),
+            (SourceFormat::Snl, text::emit(&circuit)),
+            (SourceFormat::Verilog, seugrade_netlist::vlog::emit(&circuit)),
+        ];
+        for (format, src) in emitted {
+            let label = format.label();
+            let back = import::import_str(&src, format)
+                .unwrap_or_else(|e| panic!("{name} re-import from {label}: {e}"))
+                .netlist;
+            assert_eq!(back.num_inputs(), circuit.num_inputs(), "{name} {label}");
+            assert_eq!(back.num_outputs(), circuit.num_outputs(), "{name} {label}");
+            assert_eq!(back.num_ffs(), circuit.num_ffs(), "{name} {label}");
+            assert_eq!(back.ff_init_values(), circuit.ff_init_values(), "{name} {label}");
+            let cycles = if circuit.num_ffs() > 1000 { 8 } else { 48 };
+            equiv_check(&circuit, &back, cycles, 4)
+                .unwrap_or_else(|cex| panic!("{name} via {label}: {cex}"));
+        }
     }
 }
 
 #[test]
+fn verilog_twins_grade_to_identical_verdicts() {
+    // Same contract as the BLIF twin, for the Verilog frontend: the
+    // hand-translated `.v` twins declare their flip-flops in the same
+    // order as the `.bench` originals, so the exhaustive
+    // `FfIndex × cycle` fault space maps one-to-one.
+    for (bench, vlog) in [
+        (fixtures::s27(), fixtures::s27v()),
+        (fixtures::s208a(), fixtures::s208av()),
+        (fixtures::s344a(), fixtures::s344av()),
+    ] {
+        let name = vlog.name().to_owned();
+        equiv_check(&bench, &vlog, 96, 8).unwrap_or_else(|cex| panic!("{name}: {cex}"));
+        let tb = Testbench::random(bench.num_inputs(), 48, 11);
+        let run_b = CampaignPlan::builder(&bench, &tb).build().execute();
+        let run_v = CampaignPlan::builder(&vlog, &tb).build().execute();
+        assert_eq!(run_b.outcomes(), run_v.outcomes(), "{name}");
+        assert_eq!(run_b.summary(), run_v.summary(), "{name}");
+        assert!(run_b.summary().total() > 0, "{name}");
+    }
+}
+
+#[test]
+fn vhdl_fixture_grades_deterministically() {
+    // The b14-interface-class VHDL fixture has no twin; its contract is
+    // that the imported circuit grades end-to-end with a thread-count
+    // invariant verdict digest (the same determinism the serve suite
+    // pins for the bench fixtures).
+    let circuit = fixtures::b14c();
+    let tb = Testbench::random(circuit.num_inputs(), 16, 42);
+    let serial = CampaignPlan::builder(&circuit, &tb)
+        .policy(ShardPolicy::serial())
+        .build()
+        .execute();
+    assert_eq!(serial.summary().total(), 245 * 16, "exhaustive FfIndex × cycle space");
+    let threaded = CampaignPlan::builder(&circuit, &tb)
+        .policy(ShardPolicy::with_threads(4))
+        .build()
+        .execute();
+    assert_eq!(serial.outcomes(), threaded.outcomes());
+    assert_eq!(serial.summary(), threaded.summary());
+}
+
+#[test]
 fn fixture_registry_entries_participate_in_the_workspace() {
-    for name in ["s27", "s208a", "s344a"] {
+    for name in ["s27", "s208a", "s344a", "s27v", "s208av", "s344av", "b14c"] {
         let n = registry::build(name).expect("fixtures are registered");
         assert_eq!(n.name(), name);
         assert!(n.num_ffs() > 0);
@@ -129,17 +189,73 @@ fn fixture_registry_entries_participate_in_the_workspace() {
 #[test]
 fn import_path_detects_formats_from_extension() {
     let root = env!("CARGO_MANIFEST_DIR");
-    for (file, format, cells) in [
-        ("fixtures/s27.bench", SourceFormat::Bench, fixtures::s27().num_cells()),
-        ("fixtures/s27.blif", SourceFormat::Blif, fixtures::s27_blif().num_cells()),
+    for (file, format, cells, name) in [
+        ("fixtures/s27.bench", SourceFormat::Bench, fixtures::s27().num_cells(), "s27"),
+        ("fixtures/s27.blif", SourceFormat::Blif, fixtures::s27_blif().num_cells(), "s27"),
+        ("fixtures/s27.v", SourceFormat::Verilog, fixtures::s27v().num_cells(), "s27"),
+        ("fixtures/b14c.vhd", SourceFormat::Vhdl, fixtures::b14c().num_cells(), "b14c"),
     ] {
         let imported = import::import_path(format!("{root}/{file}"))
             .unwrap_or_else(|e| panic!("{file}: {e}"));
         assert_eq!(imported.stats.format, format, "{file}");
         assert_eq!(imported.netlist.num_cells(), cells, "{file}");
-        // No-name formats pick up the file stem.
-        assert_eq!(imported.netlist.name(), "s27", "{file}");
+        // No-name formats pick up the file stem; the HDL formats carry
+        // their module/entity name — for the fixtures those coincide.
+        assert_eq!(imported.netlist.name(), name, "{file}");
     }
+}
+
+#[test]
+fn lying_extensions_fail_with_the_extensions_own_diagnostic() {
+    // The extension is an explicit claim and it wins over content: a
+    // `.bench` file holding Verilog goes to the bench frontend, whose
+    // rejection names the file and a line — a clear diagnostic, never a
+    // silent fallback to a different grammar.
+    let dir = std::env::temp_dir().join(format!("seugrade-lying-ext-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (file, content) in [
+        ("lying.bench", fixtures::S27_VLOG),
+        ("lying.v", fixtures::S27_BENCH),
+        ("lying.vhd", fixtures::S27_BLIF),
+        ("lying.blif", fixtures::B14C_VHDL),
+    ] {
+        let path = dir.join(file);
+        std::fs::write(&path, content).expect("write fixture");
+        let err = import::import_path(&path)
+            .expect_err("the extension's frontend must reject foreign content");
+        match err {
+            ImportError::Netlist { ref path, ref source } => {
+                assert!(path.contains(file), "{file}: diagnostic names the file: {err}");
+                assert!(source.line().is_some(), "{file}: diagnostic carries a line: {err}");
+            }
+            other => panic!("{file}: expected a netlist rejection, got {other}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn extensionless_and_unknown_extension_content_is_sniffed() {
+    // With no extension claim (or one the importer does not know), the
+    // content sniffer classifies the source — each frontend's opening
+    // idiom is distinctive enough to land in the right grammar.
+    let dir = std::env::temp_dir().join(format!("seugrade-sniff-ext-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (file, content, format, name) in [
+        ("noext_verilog", fixtures::S27_VLOG, SourceFormat::Verilog, "s27"),
+        ("noext_vhdl", fixtures::B14C_VHDL, SourceFormat::Vhdl, "b14c"),
+        ("netlist.txt", fixtures::S27_BENCH, SourceFormat::Bench, "netlist"),
+        ("netlist.dump", fixtures::S27_BLIF, SourceFormat::Blif, "s27"),
+    ] {
+        let path = dir.join(file);
+        std::fs::write(&path, content).expect("write fixture");
+        let imported =
+            import::import_path(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(imported.stats.format, format, "{file}");
+        assert_eq!(imported.netlist.name(), name, "{file}");
+        assert!(imported.netlist.num_ffs() > 0, "{file}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
