@@ -26,8 +26,12 @@
 //! auto` widens the sweep to `checkpoint:K` for K ∈ {16, 64, 256,
 //! 1024}, reports the fastest policy against dense, and re-measures
 //! the winner with early fault collapse inverted (`--collapse on|off`
-//! picks the mode for every other row). It is deliberately *not* part
-//! of `all`: wall-clock measurement deserves an unloaded machine.
+//! picks the mode for every other row). The grade rows always end with
+//! a single-core **kernel sweep** — `generic` vs `tape` vs
+//! `differential` over the exhaustive s5378g space, digests asserted
+//! identical — and one s38417g-class (~10k FF) scale row. It is
+//! deliberately *not* part of `all`: wall-clock measurement deserves an
+//! unloaded machine.
 //!
 //! `grade <target>` loads a circuit — a bundled registry name
 //! (`repro -- grade s5378g`) or an external netlist file (ISCAS
@@ -92,6 +96,10 @@ struct Options {
     /// in `bench` and report the fastest policy.
     trace_policy_auto: bool,
     collapse: Collapse,
+    /// `--kernel auto|generic|tape|differential`: the faulty-evaluation
+    /// kernel workers grade with (a pure speed knob; verdicts and
+    /// digests never change).
+    kernel: Kernel,
     sample: Option<usize>,
     checkpoint: Option<String>,
     checkpoint_every: usize,
@@ -134,6 +142,7 @@ fn main() {
         trace_policy: TracePolicy::Dense,
         trace_policy_auto: false,
         collapse: Collapse::Early,
+        kernel: Kernel::Auto,
         sample: None,
         checkpoint: None,
         checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
@@ -182,6 +191,16 @@ fn main() {
                 });
                 opts.collapse = Collapse::from_label(&v).unwrap_or_else(|| {
                     eprintln!("--collapse expects on|off, got `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--kernel" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--kernel needs a value");
+                    std::process::exit(2);
+                });
+                opts.kernel = Kernel::from_label(&v).unwrap_or_else(|| {
+                    eprintln!("--kernel expects auto|generic|tape|differential, got `{v}`");
                     std::process::exit(2);
                 });
             }
@@ -284,7 +303,8 @@ fn main() {
             eprintln!(
                 "usage: repro -- grade <file-or-registry-name> [--format bench|blif|snl|verilog|vhdl] \
                  [--threads N] [--vectors N] [--seed S] [--trace-policy dense|checkpoint:K] \
-                 [--sample N] [--checkpoint PATH] [--checkpoint-every N]"
+                 [--kernel auto|generic|tape|differential] [--sample N] [--checkpoint PATH] \
+                 [--checkpoint-every N]"
             );
             std::process::exit(2);
         };
@@ -460,6 +480,7 @@ fn run_engine_bench(opts: &Options) {
             faults_per_sec: engine_bench::rate(n_faults, wall_ns),
             speedup_vs_serial: engine_bench::ratio(serial_ns_per_fault, ns_per_fault),
             speedup_vs_single_thread: 0.0,
+            host_cores: engine_bench::host_cores(),
         });
     }
 
@@ -539,6 +560,11 @@ fn run_serve_bench(opts: &Options, threads: usize) {
 /// row is graded under the requested `--collapse` mode; with `auto`
 /// the winning checkpoint policy is re-measured with collapse
 /// inverted so the record shows what early collapse buys.
+///
+/// Two row groups always follow the policy sweep: the single-core
+/// **kernel sweep** (`generic` / `tape` / `differential` over the
+/// exhaustive s5378g space, one worker, digests asserted bit-identical)
+/// and one s38417g-class (~10k FF) scale row.
 fn run_grade_scaling(opts: &Options, threads: usize) {
     let circuit = registry::build("s5378g").expect("registered scale fixture");
     let (cycles, sample) = if opts.quick { (512, 8_192) } else { (4_096, 65_536) };
@@ -565,6 +591,7 @@ fn run_grade_scaling(opts: &Options, threads: usize) {
             .policy(ShardPolicy { threads, serial_below: 0 })
             .trace_policy(policy)
             .collapse(collapse)
+            .kernel(opts.kernel)
             .build();
         let engine = Engine::new(&plan);
         let run = engine.run_streamed(&plan);
@@ -596,6 +623,8 @@ fn run_grade_scaling(opts: &Options, threads: usize) {
             golden_stored_bits: stored,
             golden_dense_bits: dense_bits,
             collapse: collapse.label().to_owned(),
+            kernel: opts.kernel.resolve().label().to_owned(),
+            host_cores: engine_bench::host_cores(),
         });
         rate
     };
@@ -632,6 +661,99 @@ fn run_grade_scaling(opts: &Options, threads: usize) {
         "trace policies must agree fault for fault"
     );
 
+    // Kernel sweep: the same circuit over the **exhaustive** fault space
+    // on one worker — the single-core faults/sec comparison across
+    // faulty-evaluation kernels. Bit-identical digests across the sweep
+    // are asserted, not assumed.
+    let exhaustive = circuit.num_ffs() * cycles;
+    eprintln!(
+        "kernel sweep: s5378g exhaustive ({exhaustive} faults, checkpoint:64, 1 thread)..."
+    );
+    let mut kernel_digests = Vec::new();
+    for kernel in Kernel::CONCRETE {
+        let plan = CampaignPlan::builder(&circuit, &tb)
+            .policy(ShardPolicy { threads: 1, serial_below: 0 })
+            .trace_policy(TracePolicy::Checkpoint(64))
+            .collapse(opts.collapse)
+            .kernel(kernel)
+            .build();
+        let engine = Engine::new(&plan);
+        let run = engine.run_streamed(&plan);
+        kernel_digests.push(run.digest());
+        let rate = engine_bench::rate(run.stats().faults, run.stats().wall_ns);
+        println!(
+            "kernel {:<12} threads  1: {:>12.0} faults/sec ({} faults)",
+            kernel.label(),
+            rate,
+            run.stats().faults,
+        );
+        grade_report.push(GradeRecord {
+            circuit: circuit.name().to_owned(),
+            policy: TracePolicy::Checkpoint(64).label(),
+            threads: 1,
+            ffs: circuit.num_ffs(),
+            cycles,
+            faults: run.stats().faults,
+            source: "exhaustive".to_owned(),
+            wall_ns: run.stats().wall_ns,
+            faults_per_sec: rate,
+            golden_stored_bits: engine.grader().golden().stored_bits(),
+            golden_dense_bits: engine.grader().golden().dense_equivalent_bits(),
+            collapse: opts.collapse.label().to_owned(),
+            kernel: kernel.label().to_owned(),
+            host_cores: engine_bench::host_cores(),
+        });
+    }
+    assert!(
+        kernel_digests.windows(2).all(|w| w[0] == w[1]),
+        "kernels must agree fault for fault"
+    );
+
+    // Scale row: the s38417-class fixture (~10k flip-flops) through the
+    // same streamed path — one row showing throughput holds at 6.7x the
+    // flip-flop count.
+    let scale = registry::build("s38417g").expect("registered scale fixture");
+    let (scale_cycles, scale_sample) = if opts.quick { (128, 4_096) } else { (1_024, 32_768) };
+    let scale_tb = Testbench::random(scale.num_inputs(), scale_cycles, 42);
+    eprintln!(
+        "scale row: s38417g ({} FFs, {scale_cycles} cycles, {scale_sample} sampled faults)...",
+        scale.num_ffs(),
+    );
+    let plan = CampaignPlan::builder(&scale, &scale_tb)
+        .sampled(scale_sample, 7)
+        .policy(ShardPolicy { threads, serial_below: 0 })
+        .trace_policy(TracePolicy::Checkpoint(64))
+        .collapse(opts.collapse)
+        .kernel(opts.kernel)
+        .build();
+    let engine = Engine::new(&plan);
+    let run = engine.run_streamed(&plan);
+    let rate = engine_bench::rate(run.stats().faults, run.stats().wall_ns);
+    println!(
+        "{:<16} collapse {:<3} threads {:>2}: {:>12.0} faults/sec ({} faults) on s38417g",
+        TracePolicy::Checkpoint(64).label(),
+        opts.collapse.label(),
+        run.stats().threads,
+        rate,
+        run.stats().faults,
+    );
+    grade_report.push(GradeRecord {
+        circuit: scale.name().to_owned(),
+        policy: TracePolicy::Checkpoint(64).label(),
+        threads: run.stats().threads,
+        ffs: scale.num_ffs(),
+        cycles: scale_cycles,
+        faults: run.stats().faults,
+        source: format!("sampled:{scale_sample}"),
+        wall_ns: run.stats().wall_ns,
+        faults_per_sec: rate,
+        golden_stored_bits: engine.grader().golden().stored_bits(),
+        golden_dense_bits: engine.grader().golden().dense_equivalent_bits(),
+        collapse: opts.collapse.label().to_owned(),
+        kernel: opts.kernel.resolve().label().to_owned(),
+        host_cores: engine_bench::host_cores(),
+    });
+
     let path = "BENCH_grade.json";
     std::fs::write(path, grade_report.to_json()).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
@@ -662,20 +784,22 @@ fn run_grade(target: &str, opts: &Options) {
     let space = circuit.num_ffs() * tb.num_cycles();
     let faults = opts.sample.map_or(space, |n| n.min(space));
     eprintln!(
-        "grading {} of {} faults ({} FFs x {} cycles, seed {}, {}) on {} threads...",
+        "grading {} of {} faults ({} FFs x {} cycles, seed {}, {}, kernel {}) on {} threads...",
         faults,
         space,
         circuit.num_ffs(),
         tb.num_cycles(),
         opts.seed,
         opts.trace_policy,
+        opts.kernel.resolve(),
         policy.resolved_threads()
     );
 
     let mut builder = CampaignPlan::builder(&circuit, &tb)
         .policy(policy)
         .trace_policy(opts.trace_policy)
-        .collapse(opts.collapse);
+        .collapse(opts.collapse)
+        .kernel(opts.kernel);
     if let Some(count) = opts.sample {
         builder = builder.sampled(count, opts.seed);
     }
@@ -761,7 +885,8 @@ fn run_resume(path: &str, opts: &Options) {
     let mut builder = CampaignPlan::builder(&circuit, &tb)
         .policy(policy)
         .trace_policy(trace_policy)
-        .collapse(opts.collapse);
+        .collapse(opts.collapse)
+        .kernel(opts.kernel);
     if let Some(count) = sample {
         builder = builder.sampled(count, seed);
     }

@@ -189,6 +189,19 @@ pub fn s5378_class() -> Netlist {
     banked_mesh(24, 64).renamed("s5378g")
 }
 
+/// The s38417-class scale fixture: a 160 × 64 [`banked_mesh`] — 10,240
+/// flip-flops, the size regime of the largest ISCAS'89 sequential
+/// benchmarks (s38417/s38584). One order of magnitude above
+/// [`s5378_class`], it is the fixture that keeps the streamed grading
+/// path honest about per-fault cost scaling with circuit size.
+///
+/// Registered as `s38417g`; `repro -- bench` grades one sampled scale
+/// row on it (see `BENCH_grade.json`).
+#[must_use]
+pub fn s38417_class() -> Netlist {
+    banked_mesh(160, 64).renamed("s38417g")
+}
+
 /// Configuration for [`random_sequential`].
 #[derive(Clone, Debug)]
 pub struct RandomCircuitConfig {
@@ -358,6 +371,18 @@ mod tests {
         let tb = Testbench::random(n.num_inputs(), 4, 1);
         let trace = CompiledSim::new(&n).run_golden(&tb);
         assert_eq!(trace.num_cycles(), 4);
+    }
+
+    #[test]
+    fn s38417_class_is_benchmark_scale() {
+        let n = s38417_class();
+        assert_eq!(n.name(), "s38417g");
+        assert!(n.num_ffs() >= 10_000, "{} flip-flops", n.num_ffs());
+        assert_eq!(n.num_inputs(), 8);
+        assert_eq!(n.num_outputs(), 160);
+        let tb = Testbench::random(n.num_inputs(), 2, 1);
+        let trace = CompiledSim::new(&n).run_golden(&tb);
+        assert_eq!(trace.num_cycles(), 2);
     }
 
     #[test]

@@ -16,8 +16,10 @@ use crate::{fixtures, generators, small, viper};
 /// generator-produced s5378-class scale fixture
 /// ([`generators::s5378_class`], 1536 flip-flops): the workload the
 /// streaming campaign core (`TracePolicy::Checkpoint`, streamed fault
-/// sources) exists for.
-pub const NAMES: [&str; 18] = [
+/// sources) exists for. `s38417g` ([`generators::s38417_class`],
+/// 10,240 flip-flops) is its order-of-magnitude-larger sibling for
+/// scale benchmarking.
+pub const NAMES: [&str; 19] = [
     "viper",
     "b01s",
     "b02s",
@@ -33,6 +35,7 @@ pub const NAMES: [&str; 18] = [
     "s344a",
     "s344av",
     "s5378g",
+    "s38417g",
     "lfsr16",
     "counter8",
     "shreg32",
@@ -65,6 +68,7 @@ pub fn build(name: &str) -> Option<Netlist> {
         "s344a" => Some(fixtures::s344a()),
         "s344av" => Some(fixtures::s344av()),
         "s5378g" => Some(generators::s5378_class()),
+        "s38417g" => Some(generators::s38417_class()),
         "lfsr16" => Some(generators::lfsr(16, &[15, 13, 12, 10])),
         "counter8" => Some(generators::counter(8)),
         "shreg32" => Some(generators::shift_register(32)),

@@ -85,8 +85,8 @@ pub mod prelude {
         ServeBenchReport, SERVE_SCHEMA,
     };
     pub use seugrade_sim::{
-        equiv_check, CompiledSim, Counterexample, EventSim, GoldenTrace, SplitMix64, Testbench,
-        TracePolicy, TraceWindow, WindowCache,
+        equiv_check, CompiledSim, Counterexample, EventSim, GoldenTrace, Kernel, SplitMix64,
+        Testbench, TracePolicy, TraceWindow, WindowCache,
     };
     pub use seugrade_techmap::{map_luts, BramEstimate, MapperConfig, ResourceReport};
 }

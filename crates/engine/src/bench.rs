@@ -79,6 +79,14 @@ pub struct GradeRecord {
     /// Additive `seugrade-grade-bench/v1` field: appended after the v1
     /// columns so existing consumers are unaffected.
     pub collapse: String,
+    /// Faulty-evaluation kernel label (`generic` / `tape` /
+    /// `differential`) the row was measured under. Additive field,
+    /// appended after `collapse`.
+    pub kernel: String,
+    /// Logical cores of the measuring host (see [`host_cores`]), so
+    /// committed rows carry the hardware context of their thread counts.
+    /// Additive field, appended after `kernel`.
+    pub host_cores: usize,
 }
 
 /// A streamed-grading scaling report, serializable to the stable
@@ -122,7 +130,8 @@ impl GradeBenchReport {
                 "\"circuit\": {}, \"policy\": {}, \"threads\": {}, \"ffs\": {}, \
                  \"cycles\": {}, \"faults\": {}, \"source\": {}, \"wall_ns\": {}, \
                  \"faults_per_sec\": {}, \"golden_stored_bits\": {}, \
-                 \"golden_dense_bits\": {}, \"collapse\": {}",
+                 \"golden_dense_bits\": {}, \"collapse\": {}, \"kernel\": {}, \
+                 \"host_cores\": {}",
                 json_string(&r.circuit),
                 json_string(&r.policy),
                 r.threads,
@@ -135,6 +144,8 @@ impl GradeBenchReport {
                 r.golden_stored_bits,
                 r.golden_dense_bits,
                 json_string(&r.collapse),
+                json_string(&r.kernel),
+                r.host_cores,
             );
             s.push('}');
             if i + 1 < self.records.len() {
@@ -166,6 +177,9 @@ pub struct BenchRecord {
     pub speedup_vs_serial: f64,
     /// Wall-clock speedup over the single-threaded engine run.
     pub speedup_vs_single_thread: f64,
+    /// Logical cores of the measuring host (see [`host_cores`]).
+    /// Additive `seugrade-engine-bench/v1` field, appended last.
+    pub host_cores: usize,
 }
 
 impl BenchRecord {
@@ -221,7 +235,7 @@ impl BenchReport {
                 s,
                 "\"circuit\": {}, \"technique\": {}, \"threads\": {}, \"faults\": {}, \
                  \"wall_ns\": {}, \"faults_per_sec\": {}, \"speedup_vs_serial\": {}, \
-                 \"speedup_vs_single_thread\": {}",
+                 \"speedup_vs_single_thread\": {}, \"host_cores\": {}",
                 json_string(&r.circuit),
                 json_string(&r.technique),
                 r.threads,
@@ -230,6 +244,7 @@ impl BenchReport {
                 json_number(r.faults_per_sec),
                 json_number(r.speedup_vs_serial),
                 json_number(r.speedup_vs_single_thread),
+                r.host_cores,
             );
             s.push('}');
             if i + 1 < self.records.len() {
@@ -321,6 +336,7 @@ pub fn throughput_harness(
         faults_per_sec: rate(sample.len(), serial_wall),
         speedup_vs_serial: 1.0,
         speedup_vs_single_thread: 0.0,
+        host_cores: host_cores(),
     });
 
     // The sharded engine at each thread count (1 first, as the scaling
@@ -352,10 +368,21 @@ pub fn throughput_harness(
             faults_per_sec: rate(exhaustive.len(), wall),
             speedup_vs_serial: ratio(serial_ns_per_fault, ns_per_fault),
             speedup_vs_single_thread: ratio(single_thread_wall as f64, wall as f64),
+            host_cores: host_cores(),
         });
         last_run = Some(run);
     }
     (report, last_run.expect("at least one thread count measured"))
+}
+
+/// Logical cores of the measuring host
+/// (`std::thread::available_parallelism`, 1 when undetectable).
+///
+/// Recorded in every bench row so a committed `BENCH_*.json` carries the
+/// hardware context its thread counts were measured on.
+#[must_use]
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
 /// Throughput in faults per second (0 for a zero-duration measurement).
@@ -417,6 +444,7 @@ mod tests {
             faults_per_sec: 1e8,
             speedup_vs_serial: 2.5,
             speedup_vs_single_thread: f64::NAN,
+            host_cores: 8,
         });
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"seugrade-engine-bench/v1\""));
@@ -427,11 +455,15 @@ mod tests {
         assert!(json.contains("\"wall_ns\": 1000"));
         assert!(json.contains("\"faults_per_sec\": 100000000.000"));
         assert!(json.contains("\"speedup_vs_single_thread\": 0.000"), "NaN clamped");
-        // Field order is part of the schema contract.
+        assert!(json.contains("\"host_cores\": 8"));
+        // Field order is part of the schema contract; the additive
+        // `host_cores` column stays last.
         let c = json.find("\"circuit\"").unwrap();
         let t = json.find("\"technique\"").unwrap();
         let th = json.find("\"threads\"").unwrap();
-        assert!(c < t && t < th);
+        let st = json.find("\"speedup_vs_single_thread\"").unwrap();
+        let hc = json.find("\"host_cores\"").unwrap();
+        assert!(c < t && t < th && st < hc);
     }
 
     #[test]
@@ -456,6 +488,8 @@ mod tests {
             golden_stored_bits: 101_376,
             golden_dense_bits: 6_390_720,
             collapse: "on".into(),
+            kernel: "differential".into(),
+            host_cores: 4,
         });
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"seugrade-grade-bench/v1\""));
@@ -463,14 +497,24 @@ mod tests {
         assert!(json.contains("\"golden_stored_bits\": 101376"));
         assert!(json.contains("\"source\": \"sampled:65536\""));
         assert!(json.contains("\"collapse\": \"on\""));
+        assert!(json.contains("\"kernel\": \"differential\""));
+        assert!(json.contains("\"host_cores\": 4"));
         assert_eq!(report.find("checkpoint:64").unwrap().cycles, 4096);
         assert!(report.find("dense").is_none());
-        // Field order is part of the schema contract; the additive
-        // `collapse` column stays after every v1 field.
+        // Field order is part of the schema contract; additive columns
+        // stay after every v1 field, in `collapse`, `kernel`,
+        // `host_cores` order.
         let p = json.find("\"policy\"").unwrap();
         let f = json.find("\"ffs\"").unwrap();
         let d = json.find("\"golden_dense_bits\"").unwrap();
         let cl = json.find("\"collapse\"").unwrap();
-        assert!(p < f && d < cl);
+        let k = json.find("\"kernel\"").unwrap();
+        let hc = json.find("\"host_cores\"").unwrap();
+        assert!(p < f && d < cl && cl < k && k < hc);
+    }
+
+    #[test]
+    fn host_cores_is_positive() {
+        assert!(host_cores() >= 1);
     }
 }

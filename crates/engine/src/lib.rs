@@ -63,8 +63,8 @@ pub mod runtime;
 pub mod stream;
 
 pub use bench::{
-    throughput_harness, BenchRecord, BenchReport, GradeBenchReport, GradeRecord, BENCH_SCHEMA,
-    GRADE_BENCH_SCHEMA,
+    host_cores, throughput_harness, BenchRecord, BenchReport, GradeBenchReport, GradeRecord,
+    BENCH_SCHEMA, GRADE_BENCH_SCHEMA,
 };
 pub use cancel::CancelToken;
 pub use error::EngineError;

@@ -4,7 +4,7 @@ use std::fmt;
 
 use seugrade_faultsim::{Collapse, FaultList, MultiFault, DEFAULT_WINDOW_CACHE_SPANS};
 use seugrade_netlist::Netlist;
-use seugrade_sim::{Testbench, TracePolicy};
+use seugrade_sim::{Kernel, Testbench, TracePolicy};
 
 /// The three autonomous fault-injection techniques of the paper.
 ///
@@ -150,6 +150,7 @@ pub struct CampaignPlan<'a> {
     trace_policy: TracePolicy,
     collapse: Collapse,
     window_cache: usize,
+    kernel: Kernel,
 }
 
 impl<'a> CampaignPlan<'a> {
@@ -158,7 +159,8 @@ impl<'a> CampaignPlan<'a> {
     /// Defaults: exhaustive fault list, all three techniques,
     /// [`ShardPolicy::auto`], [`TracePolicy::Dense`],
     /// [`Collapse::Early`], a
-    /// [`DEFAULT_WINDOW_CACHE_SPANS`]-span window cache per worker.
+    /// [`DEFAULT_WINDOW_CACHE_SPANS`]-span window cache per worker,
+    /// [`Kernel::Auto`].
     #[must_use]
     pub fn builder(circuit: &'a Netlist, tb: &'a Testbench) -> CampaignPlanBuilder<'a> {
         CampaignPlanBuilder {
@@ -170,6 +172,7 @@ impl<'a> CampaignPlan<'a> {
             trace_policy: TracePolicy::Dense,
             collapse: Collapse::Early,
             window_cache: DEFAULT_WINDOW_CACHE_SPANS,
+            kernel: Kernel::Auto,
         }
     }
 
@@ -228,6 +231,16 @@ impl<'a> CampaignPlan<'a> {
         self.window_cache
     }
 
+    /// The faulty-evaluation [`Kernel`] workers grade with. A pure speed
+    /// knob: every kernel produces bit-identical verdicts (the
+    /// equivalence suites pin the digests), so — like the window cache —
+    /// it is excluded from resume fingerprints: a campaign checkpointed
+    /// under one kernel can resume under another.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
     /// Builds an engine for this plan and runs it once.
     #[must_use]
     pub fn execute(&self) -> crate::CampaignRun {
@@ -254,6 +267,7 @@ pub struct CampaignPlanBuilder<'a> {
     trace_policy: TracePolicy,
     collapse: Collapse,
     window_cache: usize,
+    kernel: Kernel,
 }
 
 impl<'a> CampaignPlanBuilder<'a> {
@@ -341,6 +355,14 @@ impl<'a> CampaignPlanBuilder<'a> {
         self
     }
 
+    /// Sets the faulty-evaluation [`Kernel`] ([`Kernel::Auto`] lets the
+    /// grader pick; verdicts never change).
+    #[must_use]
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Finalizes the plan.
     ///
     /// # Panics
@@ -363,6 +385,7 @@ impl<'a> CampaignPlanBuilder<'a> {
             trace_policy: self.trace_policy,
             collapse: self.collapse,
             window_cache: self.window_cache,
+            kernel: self.kernel,
         }
     }
 }
@@ -383,6 +406,7 @@ mod tests {
         assert_eq!(plan.policy(), &ShardPolicy::auto());
         assert_eq!(plan.collapse(), Collapse::Early);
         assert_eq!(plan.window_cache(), DEFAULT_WINDOW_CACHE_SPANS);
+        assert_eq!(plan.kernel(), Kernel::Auto);
     }
 
     #[test]
@@ -395,11 +419,13 @@ mod tests {
             .threads(2)
             .collapse(Collapse::Horizon)
             .window_cache(0)
+            .kernel(Kernel::Tape)
             .build();
         assert_eq!(plan.source(), &FaultSource::Sampled { count: 10, seed: 7 });
         assert_eq!(plan.techniques(), &[Technique::TimeMux]);
         assert_eq!(plan.collapse(), Collapse::Horizon);
         assert_eq!(plan.window_cache(), 0);
+        assert_eq!(plan.kernel(), Kernel::Tape);
         assert_eq!(plan.policy().threads, 2);
         assert_eq!(plan.policy().serial_below, 0);
     }

@@ -6,7 +6,7 @@ use seugrade_faultsim::{
     sampling, Collapse, FaultList, FaultOutcome, GradeScratch, Grader, GradingSummary, MultiFault,
 };
 use seugrade_netlist::Netlist;
-use seugrade_sim::{Testbench, TracePolicy, WindowCache};
+use seugrade_sim::{BitCache, Kernel, Testbench, TracePolicy, WindowCache};
 
 use crate::error::EngineError;
 use crate::plan::{CampaignPlan, FaultSource, Technique};
@@ -349,7 +349,14 @@ impl Engine {
                     FaultSource::Exhaustive => ChunkPlan::exhaustive(num_ffs, num_cycles, lanes),
                     _ => ChunkPlan::ordered(list.as_slice(), num_cycles, lanes),
                 };
-                self.grade_single(&chunks, threads, plan.collapse(), plan.window_cache(), &on_shard)
+                self.grade_single(
+                    &chunks,
+                    threads,
+                    plan.collapse(),
+                    plan.window_cache(),
+                    plan.kernel(),
+                    &on_shard,
+                )
             }
             FaultPlan::Multi(list) => self.grade_multi(list, threads, &on_shard),
         };
@@ -456,10 +463,11 @@ impl Engine {
         let threads = self.streamed_threads(plan, chunks.num_faults());
         let start = Instant::now();
         let cache_root = WindowCache::shared(plan.window_cache());
+        let bits_root = BitCache::shared(plan.window_cache());
         let accs: Vec<A> = run_folded(
             chunks.num_chunks(),
             threads,
-            || self.streamed_scratch(plan, &cache_root),
+            || self.streamed_scratch(plan, &cache_root, &bits_root),
             A::default,
             |a: &mut A, b| a.merge(b),
             |scratch, acc: &mut A, i| self.grade_streamed_chunk(&chunks, scratch, acc, i, None),
@@ -579,6 +587,7 @@ impl Engine {
         // One shared span store across every round: the per-round scratch
         // rebuild must not throw replayed golden spans away.
         let cache_root = WindowCache::shared(plan.window_cache());
+        let bits_root = BitCache::shared(plan.window_cache());
         while done < total_chunks {
             let budget = opts
                 .limit
@@ -591,7 +600,7 @@ impl Engine {
             let status = run_folded_ctl(
                 round,
                 threads,
-                || self.streamed_scratch(plan, &cache_root),
+                || self.streamed_scratch(plan, &cache_root, &bits_root),
                 A::default,
                 |a: &mut A, b| a.merge(b),
                 |scratch, acc: &mut A, i| {
@@ -688,9 +697,17 @@ impl Engine {
     /// the plan's collapse mode and window-cache capacity, the chunk
     /// fault buffer, and the 64-lane outcome array. Cheap to rebuild —
     /// the pool recreates it after a contained worker panic.
-    fn streamed_scratch(&self, plan: &CampaignPlan<'_>, root: &WindowCache) -> StreamedScratch {
+    fn streamed_scratch(
+        &self,
+        plan: &CampaignPlan<'_>,
+        root: &WindowCache,
+        bits: &BitCache,
+    ) -> StreamedScratch {
         (
-            self.grader.new_scratch_with_cache(plan.collapse(), root.clone_handle()),
+            self.grader
+                .new_scratch_with_cache(plan.collapse(), root.clone_handle())
+                .with_kernel(plan.kernel())
+                .with_bit_cache(bits.clone_handle()),
             Vec::with_capacity(64),
             [FaultOutcome::latent(); 64],
         )
@@ -730,18 +747,23 @@ impl Engine {
         threads: usize,
         collapse: Collapse,
         cache_spans: usize,
+        kernel: Kernel,
         on_shard: &(impl Fn(ProgressEvent) + Sync),
     ) -> (Vec<FaultOutcome>, GradingSummary, EngineStats) {
         let start = Instant::now();
         // One span store for the whole pool: each worker gets a handle,
         // so a span is replayed once per run, not once per worker.
         let cache_root = WindowCache::shared(cache_spans);
+        let bits_root = BitCache::shared(cache_spans);
         let graded: Vec<(Vec<FaultOutcome>, GradingSummary)> = run_indexed(
             chunks.num_chunks(),
             threads,
             || {
                 (
-                    self.grader.new_scratch_with_cache(collapse, cache_root.clone_handle()),
+                    self.grader
+                        .new_scratch_with_cache(collapse, cache_root.clone_handle())
+                        .with_kernel(kernel)
+                        .with_bit_cache(bits_root.clone_handle()),
                     Vec::with_capacity(64),
                 )
             },

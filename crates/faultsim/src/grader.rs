@@ -1,9 +1,11 @@
 //! The fault-grading engines.
 
+use std::sync::Arc;
+
 use seugrade_netlist::Netlist;
 use seugrade_sim::{
-    broadcast, CompiledSim, GoldenTrace, SimState, Testbench, TracePolicy, TraceWindow,
-    WindowCache,
+    broadcast, BitCache, BitSpan, CompiledSim, DiffScratch, GoldenTrace, Kernel, SimState,
+    Testbench, TracePolicy, TraceWindow, WindowCache,
 };
 
 use crate::{Fault, FaultClass, FaultOutcome};
@@ -79,6 +81,9 @@ pub struct GradeScratch {
     cache: WindowCache,
     collapse: Collapse,
     sim_steps: u64,
+    kernel: Kernel,
+    diff: DiffScratch,
+    bits: BitCache,
 }
 
 impl GradeScratch {
@@ -92,6 +97,36 @@ impl GradeScratch {
     #[must_use]
     pub fn cache(&self) -> &WindowCache {
         &self.cache
+    }
+
+    /// The golden bit-span cache used by the differential kernel.
+    #[must_use]
+    pub fn bit_cache(&self) -> &BitCache {
+        &self.bits
+    }
+
+    /// The faulty-evaluation kernel this scratch grades with.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Selects the faulty-evaluation [`Kernel`] (chainable; the default
+    /// is [`Kernel::Auto`]). A pure speed knob — verdicts are identical
+    /// for every kernel.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Replaces the bit-span cache — the engine hands every worker a
+    /// [`BitCache::clone_handle`] of one shared per-run store, so the
+    /// pool replays each golden bit span once in total (chainable).
+    #[must_use]
+    pub fn with_bit_cache(mut self, bits: BitCache) -> Self {
+        self.bits = bits;
+        self
     }
 
     /// Faulty-machine cycles simulated through this scratch (one per
@@ -367,7 +402,15 @@ impl Grader {
     pub fn grade_cycle_chunk(&self, st: &mut SimState, chunk: &[Fault], out: &mut [FaultOutcome]) {
         let mut cache = WindowCache::disabled();
         let mut sim_steps = 0;
-        self.grade_chunk_inner(st, &mut cache, Collapse::Early, &mut sim_steps, chunk, out);
+        self.grade_chunk_inner(
+            st,
+            &mut cache,
+            Collapse::Early,
+            &mut sim_steps,
+            Kernel::Tape,
+            chunk,
+            out,
+        );
     }
 
     /// The lane budget a same-cycle chunk should be cut to for this
@@ -392,6 +435,9 @@ impl Grader {
             cache: WindowCache::new(cache_spans),
             collapse,
             sim_steps: 0,
+            kernel: Kernel::Auto,
+            diff: self.sim.new_diff_scratch(),
+            bits: BitCache::new(cache_spans),
         }
     }
 
@@ -401,7 +447,16 @@ impl Grader {
     /// so the whole pool replays each golden span once in total.
     #[must_use]
     pub fn new_scratch_with_cache(&self, collapse: Collapse, cache: WindowCache) -> GradeScratch {
-        GradeScratch { st: self.sim.new_state(), cache, collapse, sim_steps: 0 }
+        let bits = BitCache::new(cache.capacity());
+        GradeScratch {
+            st: self.sim.new_state(),
+            cache,
+            collapse,
+            sim_steps: 0,
+            kernel: Kernel::Auto,
+            diff: self.sim.new_diff_scratch(),
+            bits,
+        }
     }
 
     /// [`grade_cycle_chunk`](Self::grade_cycle_chunk) against a
@@ -419,19 +474,18 @@ impl Grader {
         chunk: &[Fault],
         out: &mut [FaultOutcome],
     ) {
-        let GradeScratch { st, cache, collapse, sim_steps } = scratch;
-        self.grade_chunk_inner(st, cache, *collapse, sim_steps, chunk, out);
+        let GradeScratch { st, cache, collapse, sim_steps, kernel, diff, bits } = scratch;
+        match kernel.resolve() {
+            Kernel::Differential => {
+                self.grade_chunk_diff(diff, bits, *collapse, sim_steps, chunk, out);
+            }
+            k => self.grade_chunk_inner(st, cache, *collapse, sim_steps, k, chunk, out),
+        }
     }
 
-    fn grade_chunk_inner(
-        &self,
-        st: &mut SimState,
-        cache: &mut WindowCache,
-        collapse: Collapse,
-        sim_steps: &mut u64,
-        chunk: &[Fault],
-        out: &mut [FaultOutcome],
-    ) {
+    /// Validates a same-cycle chunk, resets `out` to latent, and returns
+    /// the shared injection cycle plus the used-lane mask.
+    fn validate_chunk(&self, chunk: &[Fault], out: &mut [FaultOutcome]) -> (usize, u64) {
         assert!(!chunk.is_empty(), "empty chunk");
         assert!(chunk.len() <= 64, "a chunk holds at most 64 faults");
         assert_eq!(chunk.len(), out.len(), "outcome slice width");
@@ -440,9 +494,7 @@ impl Grader {
             chunk.iter().all(|f| f.cycle as usize == t),
             "chunk mixes injection cycles"
         );
-        let n_cycles = self.tb.num_cycles();
-        assert!(t < n_cycles, "fault cycle out of range");
-
+        assert!(t < self.tb.num_cycles(), "fault cycle out of range");
         for o in out.iter_mut() {
             *o = FaultOutcome::latent();
         }
@@ -451,8 +503,34 @@ impl Grader {
         } else {
             (1u64 << chunk.len()) - 1
         };
+        (t, lanes_used)
+    }
+
+    /// Runs one full combinational settle with the chunk's kernel.
+    fn eval_faulty(&self, st: &mut SimState, kernel: Kernel) {
+        match kernel {
+            Kernel::Generic => self.sim.eval_generic(st),
+            _ => self.sim.eval(st),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grade_chunk_inner(
+        &self,
+        st: &mut SimState,
+        cache: &mut WindowCache,
+        collapse: Collapse,
+        sim_steps: &mut u64,
+        kernel: Kernel,
+        chunk: &[Fault],
+        out: &mut [FaultOutcome],
+    ) {
+        let (t, lanes_used) = self.validate_chunk(chunk, out);
+        let n_cycles = self.tb.num_cycles();
         if matches!(self.policy, TracePolicy::Checkpoint(_)) && chunk.len() < 64 {
-            self.grade_chunk_companion(st, cache, collapse, sim_steps, chunk, out, lanes_used);
+            self.grade_chunk_companion(
+                st, cache, collapse, sim_steps, kernel, chunk, out, lanes_used,
+            );
             return;
         }
 
@@ -467,7 +545,7 @@ impl Grader {
                 win = self.next_window_cached(&win, cache);
             }
             self.sim.set_inputs(st, self.tb.cycle(u));
-            self.sim.eval(st);
+            self.eval_faulty(st, kernel);
             *sim_steps += 1;
             // Output mismatch mask across all outputs.
             let mut out_diff = 0u64;
@@ -539,6 +617,7 @@ impl Grader {
         cache: &mut WindowCache,
         collapse: Collapse,
         sim_steps: &mut u64,
+        kernel: Kernel,
         chunk: &[Fault],
         out: &mut [FaultOutcome],
         lanes_used: u64,
@@ -558,7 +637,7 @@ impl Grader {
         let mut undecided = lanes_used;
         for u in t..n_cycles {
             self.sim.set_inputs(st, self.tb.cycle(u));
-            self.sim.eval(st);
+            self.eval_faulty(st, kernel);
             *sim_steps += 1;
             let mut out_diff = 0u64;
             for word in self.sim.outputs_raw(st) {
@@ -600,6 +679,84 @@ impl Grader {
                 }
             }
         }
+    }
+
+    /// The golden bit span covering cycle `t`: the checkpoint-aligned
+    /// `K`-cycle span under `Checkpoint(K)`, a 64-cycle-aligned span
+    /// under `Dense` (bounding span memory the same way checkpoints do).
+    fn bit_span_for(&self, t: usize, bits: &mut BitCache) -> Arc<BitSpan> {
+        let n = self.tb.num_cycles();
+        let (start, end) = match self.policy {
+            TracePolicy::Dense => {
+                let start = t - t % 64;
+                (start, (start + 64).min(n))
+            }
+            TracePolicy::Checkpoint(k) => {
+                let start = t - t % k;
+                (start, (start + k).min(n))
+            }
+        };
+        self.golden.bit_span_cached(&self.sim, &self.tb, start, end, bits)
+    }
+
+    /// The differential (activity-driven) chunk walk: the faulty lanes
+    /// are simulated **in deviation space** against bit-packed golden
+    /// values, so per cycle only the gates reachable from the dirty
+    /// frontier are evaluated — work proportional to the deviation cone,
+    /// not the netlist. `out_diff` from the dev-space step *is* the
+    /// failure mask, and a zero `state_diff` proves every lane
+    /// reconverged without scanning a single register (the frontier is
+    /// simply empty from then on).
+    ///
+    /// Verdict semantics are identical to the full-evaluation paths:
+    /// failures are claimed before same-cycle silences, each lane
+    /// records its first event only, and `sim_steps` counts one per
+    /// walked cycle.
+    fn grade_chunk_diff(
+        &self,
+        sc: &mut DiffScratch,
+        bits: &mut BitCache,
+        collapse: Collapse,
+        sim_steps: &mut u64,
+        chunk: &[Fault],
+        out: &mut [FaultOutcome],
+    ) {
+        let (t, lanes_used) = self.validate_chunk(chunk, out);
+        let n_cycles = self.tb.num_cycles();
+        for (lane, f) in chunk.iter().enumerate() {
+            self.sim.diff_seed(sc, f.ff, lane as u32);
+        }
+        let mut span = self.bit_span_for(t, bits);
+        let mut undecided = lanes_used;
+        for u in t..n_cycles {
+            if u >= span.end() {
+                span = self.bit_span_for(u, bits);
+            }
+            let (out_diff, state_diff) = self.sim.diff_cycle(sc, &span, u);
+            *sim_steps += 1;
+            let newly_failed = out_diff & undecided;
+            if newly_failed != 0 {
+                for (lane, o) in out.iter_mut().enumerate() {
+                    if newly_failed >> lane & 1 == 1 {
+                        *o = FaultOutcome::failure(u as u32);
+                    }
+                }
+                undecided &= !newly_failed;
+            }
+            let newly_silent = !state_diff & undecided;
+            if newly_silent != 0 {
+                for (lane, o) in out.iter_mut().enumerate() {
+                    if newly_silent >> lane & 1 == 1 {
+                        *o = FaultOutcome::silent(u as u32);
+                    }
+                }
+                undecided &= !newly_silent;
+            }
+            if undecided == 0 && collapse == Collapse::Early {
+                break;
+            }
+        }
+        self.sim.diff_reset(sc);
     }
 
     /// Multi-threaded bit-parallel grading: injection cycles are
@@ -1014,7 +1171,10 @@ mod tests {
         let n = generators::lfsr(12, &[11, 9, 7, 4]);
         let tb = Testbench::random(0, 64, 9);
         let g = Grader::with_policy(&n, &tb, TracePolicy::Checkpoint(8));
-        let mut scratch = g.new_scratch(Collapse::Early, 4);
+        // Pinned to the tape kernel: the companion-lane path is what
+        // fetches value windows (the differential kernel replays golden
+        // *bit spans* through its own cache instead).
+        let mut scratch = g.new_scratch(Collapse::Early, 4).with_kernel(Kernel::Tape);
         let mut out = [FaultOutcome::latent(); 2];
         let chunk = [Fault::new(FfIndex::new(0), 10), Fault::new(FfIndex::new(3), 10)];
         g.grade_chunk(&mut scratch, &chunk, &mut out);
@@ -1028,5 +1188,82 @@ mod tests {
         g.grade_chunk(&mut scratch, &chunk2, &mut out[..1]);
         assert_eq!(scratch.cache().misses(), 1);
         assert_eq!(scratch.cache().hits(), 1);
+    }
+
+    #[test]
+    fn every_kernel_agrees_with_serial() {
+        use seugrade_sim::TracePolicy;
+        for name in ["b03s", "b06s"] {
+            let n = seugrade_circuits::registry::build(name).unwrap();
+            let tb = Testbench::random(n.num_inputs(), 25, 31);
+            let faults = FaultList::exhaustive(n.num_ffs(), 25);
+            for policy in [TracePolicy::Dense, TracePolicy::Checkpoint(4)] {
+                let g = Grader::with_policy(&n, &tb, policy);
+                let reference = g.run_serial(faults.as_slice());
+                for kernel in Kernel::CONCRETE {
+                    for collapse in [Collapse::Early, Collapse::Horizon] {
+                        let mut scratch =
+                            g.new_scratch(collapse, 4).with_kernel(kernel);
+                        assert_eq!(scratch.kernel(), kernel);
+                        let mut got = vec![FaultOutcome::latent(); faults.len()];
+                        let mut out = [FaultOutcome::latent(); 64];
+                        for (gi, group) in
+                            faults.as_slice().chunks(n.num_ffs()).enumerate()
+                        {
+                            for (ci, chunk) in
+                                group.chunks(g.chunk_lanes()).enumerate()
+                            {
+                                g.grade_chunk(&mut scratch, chunk, &mut out[..chunk.len()]);
+                                let base = gi * n.num_ffs() + ci * g.chunk_lanes();
+                                got[base..base + chunk.len()]
+                                    .copy_from_slice(&out[..chunk.len()]);
+                            }
+                        }
+                        assert_eq!(
+                            got, reference,
+                            "{name} {policy} kernel {kernel} collapse {}",
+                            collapse.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn differential_kernel_replays_bit_spans_once() {
+        use seugrade_sim::TracePolicy;
+        // Latent-heavy: faults walk to the horizon, crossing every span.
+        let n = generators::lfsr(12, &[11, 9, 7, 4]);
+        let tb = Testbench::random(0, 64, 9);
+        let g = Grader::with_policy(&n, &tb, TracePolicy::Checkpoint(8));
+        // Early collapse decides the chunk inside its first span: one
+        // bit-span replay, no value windows.
+        let mut scratch = g.new_scratch(Collapse::Early, 16);
+        let mut out = [FaultOutcome::latent(); 2];
+        let chunk = [Fault::new(FfIndex::new(0), 10), Fault::new(FfIndex::new(3), 10)];
+        g.grade_chunk(&mut scratch, &chunk, &mut out);
+        assert_eq!(scratch.bit_cache().misses(), 1);
+        assert_eq!(scratch.cache().misses(), 0, "no value windows fetched");
+        // A horizon walk from cycle 10 crosses spans 8..16 through
+        // 56..64: 7 distinct spans replayed into a fresh cache.
+        let mut horizon = g.new_scratch(Collapse::Horizon, 16);
+        g.grade_chunk(&mut horizon, &chunk, &mut out);
+        assert_eq!(horizon.bit_cache().misses(), 7);
+        // Re-walking the same chunk hits every span.
+        g.grade_chunk(&mut horizon, &chunk, &mut out);
+        assert_eq!(horizon.bit_cache().misses(), 7);
+        assert_eq!(horizon.bit_cache().hits(), 7);
+    }
+
+    #[test]
+    fn kernel_labels_round_trip() {
+        for k in [Kernel::Auto, Kernel::Generic, Kernel::Tape, Kernel::Differential] {
+            assert_eq!(Kernel::from_label(k.label()), Some(k));
+        }
+        assert_eq!(Kernel::default(), Kernel::Auto);
+        assert_eq!(Kernel::Auto.resolve(), Kernel::Differential);
+        assert_eq!(Kernel::Tape.resolve(), Kernel::Tape);
+        assert_eq!(Kernel::from_label("quantum"), None);
     }
 }

@@ -39,7 +39,93 @@ impl Levelization {
     }
 }
 
+/// Levelized fanout adjacency: for every signal, the gates that consume
+/// it, identified by their **position** in a [`Levelization::order`]
+/// (compressed sparse rows).
+///
+/// Positions, not [`SigId`]s, because the consumers of a levelized
+/// program are evaluation engines: a position indexes straight into the
+/// compiled tape, and ascending positions are already topological — a
+/// worklist that pops positions in increasing order evaluates every
+/// gate after all of its cone predecessors. This is the traversal
+/// structure behind the differential (dirty-frontier) fault kernel.
+#[derive(Clone, Debug)]
+pub struct FanoutAdjacency {
+    /// CSR row starts, one per signal plus a terminator.
+    start: Vec<u32>,
+    /// Consumer gate positions, ascending within each row.
+    targets: Vec<u32>,
+}
+
+impl FanoutAdjacency {
+    /// Order positions of the gates reading `sig`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` is out of range for the levelized netlist.
+    #[must_use]
+    pub fn consumers(&self, sig: SigId) -> &[u32] {
+        let i = sig.index();
+        &self.targets[self.start[i] as usize..self.start[i + 1] as usize]
+    }
+
+    /// Consumer positions of a raw signal slot (same rows as
+    /// [`consumers`](Self::consumers), index form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn consumers_of_slot(&self, slot: usize) -> &[u32] {
+        &self.targets[self.start[slot] as usize..self.start[slot + 1] as usize]
+    }
+
+    /// Total number of (signal → gate) edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
 impl Netlist {
+    /// Builds the [`FanoutAdjacency`] of a levelization of this netlist:
+    /// for each signal, the order-positions of the gates consuming it.
+    ///
+    /// `lv` must be a levelization of this same netlist (the compiled
+    /// simulator guarantees this by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lv` orders a different cell count than this netlist
+    /// has gates.
+    #[must_use]
+    pub fn levelized_fanout(&self, lv: &Levelization) -> FanoutAdjacency {
+        assert_eq!(lv.order().len(), self.num_gates(), "levelization mismatch");
+        let n = self.cells.len();
+        let mut counts = vec![0u32; n + 1];
+        for &id in lv.order() {
+            for p in self.cell(id).pins() {
+                counts[p.index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let start = counts;
+        let mut cursor = start.clone();
+        let mut targets = vec![0u32; start[n] as usize];
+        // Walking positions in ascending order fills each row ascending,
+        // which is what keeps frontier traversals topological.
+        for (pos, &id) in lv.order().iter().enumerate() {
+            for p in self.cell(id).pins() {
+                let c = &mut cursor[p.index()];
+                targets[*c as usize] = pos as u32;
+                *c += 1;
+            }
+        }
+        FanoutAdjacency { start, targets }
+    }
+
     /// Computes a topological order of the combinational cells.
     ///
     /// Flip-flop outputs, constants and inputs are treated as sources, so
@@ -195,6 +281,40 @@ end
         let n = b.finish().unwrap();
         let lv = n.levelize().unwrap();
         assert_eq!(lv.level(g), 1);
+    }
+
+    #[test]
+    fn fanout_adjacency_rows_are_topological() {
+        let mut b = NetlistBuilder::new("fan");
+        let a = b.input("a");
+        let q = b.dff(false);
+        let inv = b.not(a);
+        let g1 = b.and2(inv, q);
+        let g2 = b.or2(a, g1);
+        b.connect_dff(q, g2).unwrap();
+        b.output("y", g2);
+        let n = b.finish().unwrap();
+        let lv = n.levelize().unwrap();
+        let fan = n.levelized_fanout(&lv);
+        assert_eq!(fan.num_edges(), 5, "one edge per gate pin");
+        let pos = |s: SigId| lv.order().iter().position(|&x| x == s).unwrap() as u32;
+        // `a` feeds the inverter and the or gate.
+        let mut expect = vec![pos(inv), pos(g2)];
+        expect.sort_unstable();
+        assert_eq!(fan.consumers(a), &expect[..]);
+        // The flip-flop output feeds only the and gate.
+        assert_eq!(fan.consumers(q), &[pos(g1)]);
+        // Rows are ascending (topological worklist invariant).
+        for (id, _) in n.iter_cells() {
+            let row = fan.consumers(id);
+            assert!(row.windows(2).all(|w| w[0] <= w[1]), "row sorted");
+        }
+        // Every consumer position is after the producer's own position.
+        for &id in lv.order() {
+            for &c in fan.consumers(id) {
+                assert!(c > pos(id), "consumer scheduled after producer");
+            }
+        }
     }
 
     #[test]

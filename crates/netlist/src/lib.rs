@@ -73,7 +73,7 @@ pub use cell::{Cell, CellKind, GateKind};
 pub use error::NetlistError;
 pub use id::{FfIndex, SigId};
 pub use import::{ImportError, ImportOptions, ImportStats, Imported, SourceFormat};
-pub use levelize::Levelization;
+pub use levelize::{FanoutAdjacency, Levelization};
 pub use netlist::Netlist;
 pub use prune::PruneResult;
 pub use stats::NetlistStats;

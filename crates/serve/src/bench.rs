@@ -38,6 +38,10 @@ pub struct ServeBenchRecord {
     pub jobs_per_sec: f64,
     /// Aggregate graded faults per second.
     pub faults_per_sec: f64,
+    /// Logical cores of the measuring host
+    /// ([`seugrade_engine::host_cores`]). Additive
+    /// `seugrade-serve-bench/v1` field, appended last.
+    pub host_cores: usize,
 }
 
 impl ServeBenchRecord {
@@ -51,6 +55,7 @@ impl ServeBenchRecord {
             ("wall_ns", Value::Num(self.wall_ns as f64)),
             ("jobs_per_sec", Value::Num(self.jobs_per_sec)),
             ("faults_per_sec", Value::Num(self.faults_per_sec)),
+            ("host_cores", Value::count(self.host_cores)),
         ])
     }
 }
@@ -124,6 +129,7 @@ pub fn multi_tenant_level(
         wall_ns,
         jobs_per_sec: if secs > 0.0 { jobs as f64 / secs } else { 0.0 },
         faults_per_sec: if secs > 0.0 { faults as f64 / secs } else { 0.0 },
+        host_cores: seugrade_engine::host_cores(),
     })
 }
 
@@ -192,6 +198,7 @@ mod tests {
                 wall_ns: 1_000_000,
                 jobs_per_sec: 4000.0,
                 faults_per_sec: 256_000.0,
+                host_cores: 2,
             }],
         };
         let text = report.to_json();
@@ -200,6 +207,7 @@ mod tests {
         let line = text.lines().find(|l| l.contains("\"circuit\"")).unwrap();
         let v = crate::json::parse(line.trim().trim_end_matches(',')).unwrap();
         assert_eq!(v.get("concurrent").and_then(Value::as_usize), Some(4));
+        assert_eq!(v.get("host_cores").and_then(Value::as_usize), Some(2));
     }
 
     #[test]

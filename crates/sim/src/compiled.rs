@@ -1,17 +1,18 @@
 //! Compiled, levelized, 64-lane logic simulator.
 
-use seugrade_netlist::{CellKind, FfIndex, GateKind, Netlist, SigId};
+use seugrade_netlist::{CellKind, FanoutAdjacency, FfIndex, GateKind, Netlist, SigId};
 
+use crate::tape::{self, Tape};
 use crate::{broadcast, GoldenTrace, Testbench, TracePolicy};
 
-/// One evaluation step of the compiled tape.
+/// One evaluation step of the generic tape.
 #[derive(Clone, Debug)]
-struct Instr {
-    kind: GateKind,
-    out: u32,
+pub(crate) struct Instr {
+    pub(crate) kind: GateKind,
+    pub(crate) out: u32,
     /// Range into the pin pool.
-    pin_start: u32,
-    pin_len: u32,
+    pub(crate) pin_start: u32,
+    pub(crate) pin_len: u32,
 }
 
 /// A netlist compiled into a linear evaluation tape.
@@ -25,24 +26,34 @@ struct Instr {
 /// [`step`](Self::step) then latches flip-flops.
 #[derive(Clone, Debug)]
 pub struct CompiledSim {
-    num_cells: usize,
-    instrs: Vec<Instr>,
-    pin_pool: Vec<u32>,
-    inputs: Vec<u32>,
-    outputs: Vec<u32>,
+    pub(crate) num_cells: usize,
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) pin_pool: Vec<u32>,
+    pub(crate) inputs: Vec<u32>,
+    pub(crate) outputs: Vec<u32>,
     /// Flip-flop output slot per [`FfIndex`].
-    ffs: Vec<u32>,
+    pub(crate) ffs: Vec<u32>,
     /// Flip-flop data-input slot per [`FfIndex`].
-    ff_d: Vec<u32>,
+    pub(crate) ff_d: Vec<u32>,
     ff_init: Vec<bool>,
     consts: Vec<(u32, bool)>,
+    /// The specialized SoA evaluation tape behind [`eval`](Self::eval).
+    tape: Tape,
+    /// Levelized fanout rows: signal slot → consumer instruction
+    /// positions, ascending — the traversal structure of the
+    /// differential kernel.
+    pub(crate) fanout: FanoutAdjacency,
+    /// CSR rows mapping a signal slot to the output slots of the
+    /// flip-flops whose `D` pin reads it (the dev-space step relation).
+    pub(crate) ff_q_start: Vec<u32>,
+    pub(crate) ff_q_targets: Vec<u32>,
 }
 
 /// The mutable value store for a [`CompiledSim`]: one 64-lane word per
 /// signal.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimState {
-    values: Vec<u64>,
+    pub(crate) values: Vec<u64>,
     /// Scratch buffer for the two-phase flip-flop latch in
     /// [`CompiledSim::step`].
     ff_next: Vec<u64>,
@@ -98,8 +109,24 @@ impl CompiledSim {
             .iter()
             .map(|&f| netlist.cell(f).pins()[0].index() as u32)
             .collect();
+        let num_cells = netlist.num_cells();
+        // CSR: signal slot → the Q slots latching it (dev-space step).
+        let mut ff_q_start = vec![0u32; num_cells + 1];
+        for &d in &ff_d {
+            ff_q_start[d as usize + 1] += 1;
+        }
+        for i in 0..num_cells {
+            ff_q_start[i + 1] += ff_q_start[i];
+        }
+        let mut cursor = ff_q_start.clone();
+        let mut ff_q_targets = vec![0u32; ff_d.len()];
+        for (i, &d) in ff_d.iter().enumerate() {
+            let c = &mut cursor[d as usize];
+            ff_q_targets[*c as usize] = ffs[i];
+            *c += 1;
+        }
         CompiledSim {
-            num_cells: netlist.num_cells(),
+            num_cells,
             instrs,
             pin_pool,
             inputs: netlist.inputs().iter().map(|i| i.index() as u32).collect(),
@@ -112,6 +139,10 @@ impl CompiledSim {
             ff_d,
             ff_init: netlist.ff_init_values(),
             consts,
+            tape: Tape::build(netlist, &lv),
+            fanout: netlist.levelized_fanout(&lv),
+            ff_q_start,
+            ff_q_targets,
         }
     }
 
@@ -190,41 +221,27 @@ impl CompiledSim {
     }
 
     /// Propagates all combinational logic (one levelized pass).
+    ///
+    /// Runs the specialized SoA tape — homogeneous opcode runs with
+    /// `Not`/`Buf` folded into consumer pins as negation masks. Golden
+    /// runs, windowed trace replay and full faulty evaluation all go
+    /// through here, so every consumer sees the same (bit-exact) kernel;
+    /// [`eval_generic`](Self::eval_generic) keeps the historical
+    /// per-instruction walk selectable as a baseline.
     pub fn eval(&self, state: &mut SimState) {
+        self.tape.eval(&mut state.values);
+    }
+
+    /// Propagates all combinational logic through the generic
+    /// per-instruction tape — the pre-specialization kernel, kept as the
+    /// reference baseline (`kernel: generic`) and for benchmarking the
+    /// specialized tape against.
+    pub fn eval_generic(&self, state: &mut SimState) {
         let values = &mut state.values;
         for instr in &self.instrs {
             let pins = &self.pin_pool
                 [instr.pin_start as usize..(instr.pin_start + instr.pin_len) as usize];
-            let v = match (instr.kind, pins) {
-                (GateKind::Buf, [a]) => values[*a as usize],
-                (GateKind::Not, [a]) => !values[*a as usize],
-                (GateKind::And, [a, b]) => values[*a as usize] & values[*b as usize],
-                (GateKind::Or, [a, b]) => values[*a as usize] | values[*b as usize],
-                (GateKind::Nand, [a, b]) => !(values[*a as usize] & values[*b as usize]),
-                (GateKind::Nor, [a, b]) => !(values[*a as usize] | values[*b as usize]),
-                (GateKind::Xor, [a, b]) => values[*a as usize] ^ values[*b as usize],
-                (GateKind::Xnor, [a, b]) => !(values[*a as usize] ^ values[*b as usize]),
-                (GateKind::Mux, [s, d0, d1]) => {
-                    let sel = values[*s as usize];
-                    (sel & values[*d1 as usize]) | (!sel & values[*d0 as usize])
-                }
-                (kind, pins) => {
-                    let mut acc = values[pins[0] as usize];
-                    for &p in &pins[1..] {
-                        let v = values[p as usize];
-                        acc = match kind {
-                            GateKind::And | GateKind::Nand => acc & v,
-                            GateKind::Or | GateKind::Nor => acc | v,
-                            GateKind::Xor | GateKind::Xnor => acc ^ v,
-                            _ => unreachable!("wide {kind} impossible"),
-                        };
-                    }
-                    match kind {
-                        GateKind::Nand | GateKind::Nor | GateKind::Xnor => !acc,
-                        _ => acc,
-                    }
-                }
-            };
+            let v = tape::eval_gate(instr.kind, pins, |p| values[p as usize]);
             values[instr.out as usize] = v;
         }
     }
@@ -593,6 +610,53 @@ mod tests {
         sim.set_inputs(&mut st, &[false, false, false, true]);
         sim.eval(&mut st);
         assert_eq!(sim.outputs_lane(&st, 0), vec![false, true]);
+    }
+
+    #[test]
+    fn tape_matches_generic_on_every_slot() {
+        // Inverter chains, reconvergence, wide gates, muxes: the
+        // specialized tape must leave every signal word — not just
+        // outputs — identical to the generic interpreter's.
+        let mut b = NetlistBuilder::new("mix");
+        let i0 = b.input("i0");
+        let i1 = b.input("i1");
+        let i2 = b.input("i2");
+        let q = b.dff(true);
+        let n1 = b.not(i0);
+        let n2 = b.not(n1);
+        let n3 = b.not(n2);
+        let bf = b.buf(n3);
+        let a = b.and2(bf, i1);
+        let o = b.gate(GateKind::Nor, &[n1, i2, a]);
+        let x = b.xor2(n3, q);
+        let xn = b.gate(GateKind::Xnor, &[n1, bf]);
+        let m = b.mux(x, o, xn);
+        b.connect_dff(q, m).unwrap();
+        b.output("m", m);
+        b.output("o", o);
+        let n = b.finish().unwrap();
+        let sim = CompiledSim::new(&n);
+        let mut st_t = sim.new_state();
+        let mut st_g = sim.new_state();
+        for step in 0..32u32 {
+            let vec: Vec<bool> = (0..3).map(|i| step >> i & 1 == 1).collect();
+            sim.set_inputs(&mut st_t, &vec);
+            sim.set_inputs(&mut st_g, &vec);
+            sim.eval(&mut st_t);
+            sim.eval_generic(&mut st_g);
+            assert_eq!(st_t.values, st_g.values, "step {step}");
+            sim.step(&mut st_t);
+            sim.step(&mut st_g);
+        }
+    }
+
+    #[test]
+    fn tape_specializes_the_common_gates() {
+        let n = adder_netlist();
+        let sim = CompiledSim::new(&n);
+        // Every gate of the adder is a 2-input and/or/xor: no generic
+        // fallback instructions should remain.
+        assert_eq!(sim.tape.specialized_gates(), sim.num_instrs());
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! The specialized evaluation tape: homogeneous SoA opcode runs.
+//!
+//! [`CompiledSim::eval`](crate::CompiledSim::eval) used to walk a
+//! per-gate instruction list, paying a `match` on the gate kind and a
+//! pin-pool slice per instruction. After techmap the instruction mix is
+//! dominated by 2-input AND/OR/XOR families plus inverters, so this
+//! module recompiles the levelized program into **runs** of one fixed
+//! opcode over struct-of-arrays operand tables:
+//!
+//! - Binary runs share three parallel arrays (`out`, `a`, `b`); the
+//!   opcode of the run — not of the gate — picks the combining function,
+//!   so the inner loop is branch-free.
+//! - `Not`/`Buf` cells are **folded into consumer pins**: an operand
+//!   index carries a negation flag in its top bit, realized as an XOR
+//!   with a sign-extended mask — no extra instruction, no extra level of
+//!   indirection for inverter chains. The inverter's own slot is still
+//!   materialized by a cheap `Copy` run (collapsing whole `Not`/`Buf`
+//!   chains to a single copy from the chain root), so every signal word
+//!   stays bit-exact with the generic tape — raw accessors, VCD export
+//!   and the equivalence oracles never see a difference.
+//! - 2-input muxes get their own run; wide gates (3+-input AND/OR/XOR
+//!   trees) fall back to a generic run that evaluates the original
+//!   per-gate instruction form.
+//!
+//! Runs are emitted level by level (gates within a level are mutually
+//! independent, so regrouping them by opcode preserves the topological
+//! contract), which keeps dispatch overhead at one branch per
+//! (level × opcode) instead of one per gate.
+
+use seugrade_netlist::{CellKind, GateKind, Levelization, Netlist, SigId};
+
+/// Negation flag carried in the top bit of a packed operand index.
+const NEG: u32 = 1 << 31;
+
+/// Packed operand → value: load the slot and XOR with the sign-extended
+/// negation flag (all-ones when bit 31 is set, zero otherwise).
+#[inline]
+fn ld(values: &[u64], packed: u32) -> u64 {
+    let neg = i64::from(packed as i32 >> 31) as u64;
+    values[(packed & !NEG) as usize] ^ neg
+}
+
+/// One specialized opcode. Binary ops read the shared `bin_*` arrays,
+/// `Copy` the `cp_*` arrays, `Mux2` the `mx_*` arrays, and `Generic`
+/// a range of fallback instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Op {
+    And2,
+    Nand2,
+    Or2,
+    Nor2,
+    Xor2,
+    Xnor2,
+    Copy,
+    Mux2,
+    Generic,
+}
+
+/// A run: `len` consecutive entries of one opcode's operand tables.
+#[derive(Clone, Debug)]
+struct Run {
+    op: Op,
+    start: u32,
+    len: u32,
+}
+
+/// Fallback instruction for gates outside the specialized families.
+#[derive(Clone, Debug)]
+struct GenInstr {
+    kind: GateKind,
+    out: u32,
+    pin_start: u32,
+    pin_len: u32,
+}
+
+/// The compiled specialized tape. Built once per [`crate::CompiledSim`];
+/// evaluation ([`Tape::eval`]) writes every combinational slot, exactly
+/// like the generic instruction walk it replaces.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Tape {
+    runs: Vec<Run>,
+    bin_out: Vec<u32>,
+    bin_a: Vec<u32>,
+    bin_b: Vec<u32>,
+    cp_out: Vec<u32>,
+    cp_a: Vec<u32>,
+    mx_out: Vec<u32>,
+    mx_s: Vec<u32>,
+    mx_d0: Vec<u32>,
+    mx_d1: Vec<u32>,
+    gen_instrs: Vec<GenInstr>,
+    gen_pins: Vec<u32>,
+}
+
+/// Follows `Not`/`Buf` chains from `sig` to the first non-inverter
+/// driver, accumulating negation parity.
+fn resolve(netlist: &Netlist, mut sig: SigId) -> (SigId, bool) {
+    let mut neg = false;
+    loop {
+        match netlist.cell(sig).kind() {
+            CellKind::Gate(GateKind::Not) => {
+                neg = !neg;
+                sig = netlist.cell(sig).pins()[0];
+            }
+            CellKind::Gate(GateKind::Buf) => {
+                sig = netlist.cell(sig).pins()[0];
+            }
+            _ => return (sig, neg),
+        }
+    }
+}
+
+/// Packs a pin into an operand index: resolved chain root plus the
+/// accumulated negation flag in bit 31.
+fn packed(netlist: &Netlist, sig: SigId) -> u32 {
+    let (root, neg) = resolve(netlist, sig);
+    root.index() as u32 | if neg { NEG } else { 0 }
+}
+
+impl Tape {
+    /// Recompiles a levelized netlist into specialized runs.
+    pub(crate) fn build(netlist: &Netlist, lv: &Levelization) -> Self {
+        assert!(
+            netlist.num_cells() < NEG as usize,
+            "netlist exceeds the packed-operand address space"
+        );
+        let mut tape = Tape::default();
+        // Bucket gate ids by level; within a level any order is valid.
+        let depth = lv.depth() as usize;
+        let mut by_level: Vec<Vec<SigId>> = vec![Vec::new(); depth + 1];
+        for &id in lv.order() {
+            by_level[lv.level(id) as usize].push(id);
+        }
+        let mut bucket: Vec<(Op, SigId)> = Vec::new();
+        for ids in &by_level {
+            bucket.clear();
+            for &id in ids {
+                let cell = netlist.cell(id);
+                let CellKind::Gate(kind) = cell.kind() else {
+                    unreachable!("levelize order contains only gates")
+                };
+                let op = match (kind, cell.pins().len()) {
+                    (GateKind::Buf | GateKind::Not, 1) => Op::Copy,
+                    (GateKind::And, 2) => Op::And2,
+                    (GateKind::Nand, 2) => Op::Nand2,
+                    (GateKind::Or, 2) => Op::Or2,
+                    (GateKind::Nor, 2) => Op::Nor2,
+                    (GateKind::Xor, 2) => Op::Xor2,
+                    (GateKind::Xnor, 2) => Op::Xnor2,
+                    (GateKind::Mux, 3) => Op::Mux2,
+                    _ => Op::Generic,
+                };
+                bucket.push((op, id));
+            }
+            // Stable regrouping: one run per opcode present in the level.
+            for op in [
+                Op::Copy,
+                Op::And2,
+                Op::Nand2,
+                Op::Or2,
+                Op::Nor2,
+                Op::Xor2,
+                Op::Xnor2,
+                Op::Mux2,
+                Op::Generic,
+            ] {
+                tape.emit_run(netlist, op, bucket.iter().filter(|(o, _)| *o == op));
+            }
+        }
+        tape
+    }
+
+    fn emit_run<'a>(
+        &mut self,
+        netlist: &Netlist,
+        op: Op,
+        gates: impl Iterator<Item = &'a (Op, SigId)>,
+    ) {
+        let start = match op {
+            Op::Copy => self.cp_out.len(),
+            Op::Mux2 => self.mx_out.len(),
+            Op::Generic => self.gen_instrs.len(),
+            _ => self.bin_out.len(),
+        } as u32;
+        let mut len = 0u32;
+        for &(_, id) in gates {
+            len += 1;
+            let cell = netlist.cell(id);
+            let out = id.index() as u32;
+            let pins = cell.pins();
+            match op {
+                Op::Copy => {
+                    // Collapse the whole inverter chain into one copy
+                    // from its root (the packed flag carries the parity).
+                    self.cp_out.push(out);
+                    self.cp_a.push(packed(netlist, id));
+                }
+                Op::Mux2 => {
+                    self.mx_out.push(out);
+                    self.mx_s.push(packed(netlist, pins[0]));
+                    self.mx_d0.push(packed(netlist, pins[1]));
+                    self.mx_d1.push(packed(netlist, pins[2]));
+                }
+                Op::Generic => {
+                    let pin_start = self.gen_pins.len() as u32;
+                    // Generic pins stay unfolded: inverter slots are
+                    // always materialized, so the original indices are
+                    // correct and the fallback needs no mask logic.
+                    self.gen_pins.extend(pins.iter().map(|p| p.index() as u32));
+                    self.gen_instrs.push(GenInstr {
+                        kind: match cell.kind() {
+                            CellKind::Gate(k) => k,
+                            _ => unreachable!(),
+                        },
+                        out,
+                        pin_start,
+                        pin_len: pins.len() as u32,
+                    });
+                }
+                _ => {
+                    self.bin_out.push(out);
+                    self.bin_a.push(packed(netlist, pins[0]));
+                    self.bin_b.push(packed(netlist, pins[1]));
+                }
+            }
+        }
+        if len > 0 {
+            self.runs.push(Run { op, start, len });
+        }
+    }
+
+    /// Number of gates evaluated through specialized (non-generic) runs.
+    #[cfg(test)]
+    pub(crate) fn specialized_gates(&self) -> usize {
+        self.bin_out.len() + self.cp_out.len() + self.mx_out.len()
+    }
+
+    /// One levelized pass over all runs: settles every combinational
+    /// slot, bit-exact with the generic instruction walk.
+    pub(crate) fn eval(&self, values: &mut [u64]) {
+        for run in &self.runs {
+            let s = run.start as usize;
+            let e = s + run.len as usize;
+            match run.op {
+                Op::And2 => self.bin(values, s, e, |a, b| a & b),
+                Op::Nand2 => self.bin(values, s, e, |a, b| !(a & b)),
+                Op::Or2 => self.bin(values, s, e, |a, b| a | b),
+                Op::Nor2 => self.bin(values, s, e, |a, b| !(a | b)),
+                Op::Xor2 => self.bin(values, s, e, |a, b| a ^ b),
+                Op::Xnor2 => self.bin(values, s, e, |a, b| !(a ^ b)),
+                Op::Copy => {
+                    for (&out, &a) in self.cp_out[s..e].iter().zip(&self.cp_a[s..e]) {
+                        values[out as usize] = ld(values, a);
+                    }
+                }
+                Op::Mux2 => {
+                    for i in s..e {
+                        let sel = ld(values, self.mx_s[i]);
+                        let v = (sel & ld(values, self.mx_d1[i]))
+                            | (!sel & ld(values, self.mx_d0[i]));
+                        values[self.mx_out[i] as usize] = v;
+                    }
+                }
+                Op::Generic => {
+                    for g in &self.gen_instrs[s..e] {
+                        let pins = &self.gen_pins
+                            [g.pin_start as usize..(g.pin_start + g.pin_len) as usize];
+                        let v = eval_gate(g.kind, pins, |p| values[p as usize]);
+                        values[g.out as usize] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn bin(&self, values: &mut [u64], s: usize, e: usize, f: impl Fn(u64, u64) -> u64) {
+        let outs = &self.bin_out[s..e];
+        let az = &self.bin_a[s..e];
+        let bz = &self.bin_b[s..e];
+        for ((&out, &a), &b) in outs.iter().zip(az).zip(bz) {
+            values[out as usize] = f(ld(values, a), ld(values, b));
+        }
+    }
+}
+
+/// Generic n-ary gate evaluation over an arbitrary operand reader —
+/// shared by the generic kernel (`read` = plain slot load) and the
+/// differential cone walker (`read` = golden bit ⊕ deviation word).
+pub(crate) fn eval_gate(kind: GateKind, pins: &[u32], read: impl Fn(u32) -> u64) -> u64 {
+    match (kind, pins) {
+        (GateKind::Buf, [a]) => read(*a),
+        (GateKind::Not, [a]) => !read(*a),
+        (GateKind::And, [a, b]) => read(*a) & read(*b),
+        (GateKind::Or, [a, b]) => read(*a) | read(*b),
+        (GateKind::Nand, [a, b]) => !(read(*a) & read(*b)),
+        (GateKind::Nor, [a, b]) => !(read(*a) | read(*b)),
+        (GateKind::Xor, [a, b]) => read(*a) ^ read(*b),
+        (GateKind::Xnor, [a, b]) => !(read(*a) ^ read(*b)),
+        (GateKind::Mux, [s, d0, d1]) => {
+            let sel = read(*s);
+            (sel & read(*d1)) | (!sel & read(*d0))
+        }
+        (kind, pins) => {
+            let mut acc = read(pins[0]);
+            for &p in &pins[1..] {
+                let v = read(p);
+                acc = match kind {
+                    GateKind::And | GateKind::Nand => acc & v,
+                    GateKind::Or | GateKind::Nor => acc | v,
+                    GateKind::Xor | GateKind::Xnor => acc ^ v,
+                    _ => unreachable!("wide {kind} impossible"),
+                };
+            }
+            match kind {
+                GateKind::Nand | GateKind::Nor | GateKind::Xnor => !acc,
+                _ => acc,
+            }
+        }
+    }
+}

@@ -571,6 +571,20 @@ impl GoldenTrace {
         TraceWindow { start, data: WindowData::Shared(span) }
     }
 
+    /// The nearest stored flip-flop vector at or before cycle `start`,
+    /// plus the cycle it belongs to — the replay seed for reconstructing
+    /// golden data from `start` onward. Dense traces seed at `start`
+    /// itself (zero replay distance).
+    pub(crate) fn seed_for(&self, start: usize) -> (&[bool], usize) {
+        match &self.repr {
+            Repr::Dense { states, .. } => (&states[start], start),
+            Repr::Checkpoint { interval, checkpoints, .. } => {
+                let cp = start / interval;
+                (&checkpoints[cp], cp * interval)
+            }
+        }
+    }
+
     /// Golden-output storage in bits as the *emulator* sees it:
     /// `num_outputs × num_cycles` (the on-FPGA golden-response region for
     /// mask- and state-scan) — a property of the run, not of this trace's

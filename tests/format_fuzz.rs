@@ -211,6 +211,13 @@ fn registry_circuits_round_trip_through_every_format() {
     // the exhaustive FfIndex × cycle campaign stays test-sized.
     for name in registry::NAMES {
         let original = registry::build(name).expect("registry name");
+        if original.num_ffs() > 4096 {
+            // The s38417-class scale fixture shares its generator (and
+            // thus its emitter coverage) with s5378g; running the
+            // exhaustive matrix campaign on 10k flip-flops buys no new
+            // format coverage for its debug-build cost.
+            continue;
+        }
         let cycles = if original.num_ffs() > 100 { 4 } else { 24 };
         assert_round_trips(&original, cycles);
     }
